@@ -1,0 +1,42 @@
+"""Ablation: MinCutBranch's two optimization techniques (Sec. III-C).
+
+Lines 20-23 divert neighbors whose partitions are provably duplicates to
+the cheap Reachable path; lines 25-26 stop exploring neighbors inside an
+already-emitted region.  Disabling them keeps the output identical but
+adds child invocations on partially-cyclic shapes.
+"""
+
+import pytest
+
+from repro import MinCutBranch, grid_graph
+from repro.graph.random import random_cyclic_graph
+
+GRAPHS = {
+    "grid3x3": grid_graph(3, 3),
+    "cyclic10": random_cyclic_graph(10, 20, seed=7),
+    "cyclic12": random_cyclic_graph(12, 22, seed=7),
+}
+
+
+def _drain(graph, use_optimizations):
+    strategy = MinCutBranch(graph, use_optimizations=use_optimizations)
+    for _ in strategy.partitions(graph.all_vertices):
+        pass
+    return strategy
+
+
+@pytest.mark.benchmark(group="ablation-mcb-opts")
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+@pytest.mark.parametrize("optimized", [True, False], ids=["opts-on", "opts-off"])
+def test_partition_with_and_without_opts(benchmark, name, optimized):
+    graph = GRAPHS[name]
+    benchmark(_drain, graph, optimized)
+
+
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+def test_opts_never_increase_internal_work(name):
+    graph = GRAPHS[name]
+    fast = _drain(graph, True).stats
+    slow = _drain(graph, False).stats
+    assert fast.calls <= slow.calls
+    assert fast.loop_iterations <= slow.loop_iterations

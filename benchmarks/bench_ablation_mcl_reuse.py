@@ -1,0 +1,55 @@
+"""Ablation: MinCutLazy's IsUsable biconnection-tree reuse test.
+
+With the test disabled, the tree is rebuilt on every recursive call;
+acyclic shapes go from 1 build to one per emitted partition.  On cliques
+the conservative test never succeeds, so both variants coincide — the
+structural reason MinCutLazy is O(n^2) per ccp there.
+"""
+
+import pytest
+
+from repro import MinCutLazy, chain_graph, clique_graph, cycle_graph, star_graph
+
+GRAPHS = {
+    "chain12": chain_graph(12),
+    "star10": star_graph(10),
+    "cycle12": cycle_graph(12),
+    "clique8": clique_graph(8),
+}
+
+
+def _drain(graph, use_reuse_test):
+    strategy = MinCutLazy(graph, use_reuse_test=use_reuse_test)
+    for _ in strategy.partitions(graph.all_vertices):
+        pass
+    return strategy
+
+
+@pytest.mark.benchmark(group="ablation-mcl-reuse")
+@pytest.mark.parametrize("name", sorted(GRAPHS))
+@pytest.mark.parametrize("reuse", [True, False], ids=["reuse-on", "reuse-off"])
+def test_partition_with_and_without_reuse(benchmark, name, reuse):
+    graph = GRAPHS[name]
+    benchmark(_drain, graph, reuse)
+
+
+def test_chain_reuse_collapses_to_one_build():
+    graph = GRAPHS["chain12"]
+    assert _drain(graph, True).stats.tree_builds == 1
+    assert _drain(graph, False).stats.tree_builds > 1
+
+
+def test_star_single_build_even_without_reuse():
+    # Starting from the hub, every child invocation early-exits (its only
+    # frontier vertex is the excluded hub) before reaching the tree build,
+    # so stars build once regardless of the reuse test.
+    graph = GRAPHS["star10"]
+    assert _drain(graph, True).stats.tree_builds == 1
+    assert _drain(graph, False).stats.tree_builds == 1
+
+
+def test_clique_reuse_never_fires():
+    graph = GRAPHS["clique8"]
+    with_reuse = _drain(graph, True).stats
+    assert with_reuse.usability_hits == 0
+    assert with_reuse.tree_builds == 2 ** 6

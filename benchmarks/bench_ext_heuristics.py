@@ -1,0 +1,63 @@
+"""Extension bench: restricted plan spaces and heuristics.
+
+Runtime of GOO / IKKBZ / left-deep DP vs the exhaustive bushy optimum,
+plus plan-quality assertions (heuristics never beat the optimum; IKKBZ
+equals the left-deep DP on trees).
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    IKKBZ,
+    greedy_operator_ordering,
+    optimal_left_deep,
+    optimize_query,
+)
+
+from .conftest import make_instances
+
+_GEN = make_instances(seed=77)
+_TREE = _GEN.random_acyclic(10)
+_CYCLIC = _GEN.random_cyclic(9, 16)
+
+
+@pytest.mark.benchmark(group="ext-heuristics-tree")
+def test_bushy_optimum_tree(benchmark):
+    benchmark(lambda: optimize_query(_TREE.catalog))
+
+
+@pytest.mark.benchmark(group="ext-heuristics-tree")
+def test_left_deep_dp_tree(benchmark):
+    benchmark(lambda: optimal_left_deep(_TREE.catalog))
+
+
+@pytest.mark.benchmark(group="ext-heuristics-tree")
+def test_ikkbz_tree(benchmark):
+    benchmark(lambda: IKKBZ(_TREE.catalog).optimize())
+
+
+@pytest.mark.benchmark(group="ext-heuristics-tree")
+def test_goo_tree(benchmark):
+    benchmark(lambda: greedy_operator_ordering(_TREE.catalog))
+
+
+@pytest.mark.benchmark(group="ext-heuristics-cyclic")
+def test_bushy_optimum_cyclic(benchmark):
+    benchmark(lambda: optimize_query(_CYCLIC.catalog))
+
+
+@pytest.mark.benchmark(group="ext-heuristics-cyclic")
+def test_goo_cyclic(benchmark):
+    benchmark(lambda: greedy_operator_ordering(_CYCLIC.catalog))
+
+
+def test_quality_ordering():
+    bushy = optimize_query(_TREE.catalog).cost
+    left_deep = optimal_left_deep(_TREE.catalog).cost
+    ikkbz = IKKBZ(_TREE.catalog).optimize().cost
+    greedy = greedy_operator_ordering(_TREE.catalog).cost
+    assert math.isclose(ikkbz, left_deep, rel_tol=1e-9)
+    assert left_deep >= bushy * (1 - 1e-9)
+    assert greedy >= bushy * (1 - 1e-9)

@@ -1,0 +1,61 @@
+"""Extension bench: hypergraph optimization (the paper's future work).
+
+DPhyp vs the exhaustive hypergraph oracle vs the naive top-down
+hypergraph driver, on random hypergraphs with complex predicates.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    DPhyp,
+    HyperDPsub,
+    TopDownHypBasic,
+    attach_random_hyper_statistics,
+    random_hypergraph,
+)
+
+SIZES = [6, 8, 10]
+
+_INSTANCES = {
+    n: attach_random_hyper_statistics(
+        random_hypergraph(n, n_complex_edges=2, seed=n), seed=n
+    )
+    for n in SIZES
+}
+
+_OPTIMIZERS = {
+    "dphyp": DPhyp,
+    "hyperdpsub": HyperDPsub,
+    "tdhypbasic": TopDownHypBasic,
+}
+
+
+@pytest.mark.benchmark(group="ext-hypergraph")
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("name", sorted(_OPTIMIZERS))
+def test_hypergraph_optimizers(benchmark, name, n):
+    catalog = _INSTANCES[n]
+    optimizer_cls = _OPTIMIZERS[name]
+    plan = benchmark(lambda: optimizer_cls(catalog).optimize())
+    assert plan.vertex_set == catalog.hypergraph.all_vertices
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_all_agree(n):
+    catalog = _INSTANCES[n]
+    costs = [cls(catalog).optimize().cost for cls in _OPTIMIZERS.values()]
+    assert all(math.isclose(c, costs[0], rel_tol=1e-9) for c in costs)
+
+
+def test_dphyp_is_output_sensitive_the_oracle_is_not():
+    # DPhyp processes exactly the valid ccps; the subset oracle examines
+    # every split of every connected subset (~3^n/2 candidates).  Work
+    # counters make the comparison deterministic (wall time is not).
+    catalog = _INSTANCES[10]
+    dphyp = DPhyp(catalog)
+    dphyp.optimize()
+    oracle = HyperDPsub(catalog)
+    oracle.optimize()
+    assert dphyp.ccps_processed * 5 < oracle.subsets_considered

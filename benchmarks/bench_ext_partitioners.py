@@ -1,0 +1,50 @@
+"""Extension bench: all four partitioning strategies head-to-head.
+
+One Partition call on the full vertex set per strategy (the Fig. 9
+measurement generalized to every strategy and several shapes).  Expected
+ordering of per-call work: MinCutBranch < MinCutLazy ~ conservative <
+naive on sparse shapes; on cliques the conservative strategy degenerates
+toward naive while MinCutBranch stays flat.
+"""
+
+import pytest
+
+from repro import (
+    ConservativePartitioning,
+    MinCutBranch,
+    MinCutLazy,
+    NaivePartitioning,
+    make_shape,
+)
+
+STRATEGIES = {
+    "mincutbranch": MinCutBranch,
+    "mincutlazy": MinCutLazy,
+    "conservative": ConservativePartitioning,
+    "naive": NaivePartitioning,
+}
+
+SHAPES = [("chain", 14), ("star", 12), ("cycle", 12), ("clique", 9)]
+
+
+def _drain(strategy_cls, graph):
+    count = 0
+    for _ in strategy_cls(graph).partitions(graph.all_vertices):
+        count += 1
+    return count
+
+
+@pytest.mark.benchmark(group="ext-partitioners")
+@pytest.mark.parametrize("shape,n", SHAPES, ids=[f"{s}{n}" for s, n in SHAPES])
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_partition_call(benchmark, name, shape, n):
+    graph = make_shape(shape, n)
+    emitted = benchmark(_drain, STRATEGIES[name], graph)
+    assert emitted > 0
+
+
+@pytest.mark.parametrize("shape,n", SHAPES, ids=[f"{s}{n}" for s, n in SHAPES])
+def test_all_emit_same_count(shape, n):
+    graph = make_shape(shape, n)
+    counts = {_drain(cls, graph) for cls in STRATEGIES.values()}
+    assert len(counts) == 1

@@ -1,0 +1,42 @@
+"""Extension bench: the Star Schema Benchmark workload.
+
+All SSB flights are star queries — the acyclic shape with the largest
+ccp count (paper Fig. 11 territory) — with realistic FK selectivities
+and dimension filters.
+"""
+
+import math
+
+import pytest
+
+from repro.optimizer.api import make_optimizer, optimize_query
+from repro.workloads import ssb_query, ssb_query_names
+
+ALGORITHMS = ["dpccp", "tdmincutbranch", "tdmincutlazy"]
+
+_CATALOGS = {name: ssb_query(name) for name in ("q2.1", "q3.1", "q4.1")}
+
+
+@pytest.mark.benchmark(group="ext-ssb-flight2")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_q21(benchmark, algorithm):
+    catalog = _CATALOGS["q2.1"]
+    plan = benchmark(lambda: make_optimizer(algorithm, catalog).optimize())
+    assert plan.n_joins() == 3
+
+
+@pytest.mark.benchmark(group="ext-ssb-flight4")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_q41(benchmark, algorithm):
+    catalog = _CATALOGS["q4.1"]
+    plan = benchmark(lambda: make_optimizer(algorithm, catalog).optimize())
+    assert plan.n_joins() == 4
+
+
+def test_all_flights_agree():
+    for name in ssb_query_names():
+        catalog = ssb_query(name)
+        costs = [
+            optimize_query(catalog, algorithm=a).cost for a in ALGORITHMS
+        ]
+        assert all(math.isclose(c, costs[0], rel_tol=1e-9) for c in costs)

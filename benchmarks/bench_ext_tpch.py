@@ -1,0 +1,52 @@
+"""Extension bench: the TPC-H-shaped workload.
+
+Optimizes the join subgraphs of the modelled TPC-H queries with every
+enumerator — realistic FK selectivities and local filters instead of
+the synthetic Gaussian statistics, including the cyclic Q5/Q9 graphs
+where the paper's algorithms separate.
+"""
+
+import math
+
+import pytest
+
+from repro.optimizer.api import make_optimizer, optimize_query
+from repro.workloads import tpch_query, tpch_query_names
+
+ALGORITHMS = ["dpccp", "tdmincutbranch", "tdmincutlazy", "memoizationbasic"]
+
+_CATALOGS = {name: tpch_query(name) for name in tpch_query_names()}
+
+
+@pytest.mark.benchmark(group="ext-tpch-q5-cyclic")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_q5(benchmark, algorithm):
+    catalog = _CATALOGS["q5"]
+    plan = benchmark(lambda: make_optimizer(algorithm, catalog).optimize())
+    assert plan.n_joins() == catalog.graph.n_vertices - 1
+
+
+@pytest.mark.benchmark(group="ext-tpch-q9-cyclic")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_q9(benchmark, algorithm):
+    catalog = _CATALOGS["q9"]
+    plan = benchmark(lambda: make_optimizer(algorithm, catalog).optimize())
+    assert plan.n_joins() == catalog.graph.n_vertices - 1
+
+
+@pytest.mark.benchmark(group="ext-tpch-q8-tree")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_q8(benchmark, algorithm):
+    catalog = _CATALOGS["q8"]
+    plan = benchmark(lambda: make_optimizer(algorithm, catalog).optimize())
+    assert plan.n_joins() == catalog.graph.n_vertices - 1
+
+
+def test_all_queries_all_algorithms_agree():
+    for name, catalog in _CATALOGS.items():
+        costs = [
+            optimize_query(catalog, algorithm=a).cost for a in ALGORITHMS
+        ]
+        assert all(
+            math.isclose(c, costs[0], rel_tol=1e-9) for c in costs
+        ), name

@@ -1,0 +1,52 @@
+"""Figure 9: partitioning cost per emitted ccp on clique queries.
+
+MinCutLazy's per-ccp cost grows quadratically with the number of
+vertices (biconnection tree rebuilds); MinCutBranch's stays constant.
+The benchmark times one Partition call on the full clique; dividing by
+|P_ccp_sym| = 2^(n-1) - 1 gives the figure's ordinate.
+"""
+
+import pytest
+
+from repro import MinCutBranch, MinCutLazy, clique_graph
+
+SIZES = [6, 8, 10, 12]
+
+
+def _drain(strategy_cls, graph):
+    strategy = strategy_cls(graph)
+    count = 0
+    for _ in strategy.partitions(graph.all_vertices):
+        count += 1
+    return count
+
+
+@pytest.mark.benchmark(group="fig09-partition-cost")
+@pytest.mark.parametrize("n", SIZES)
+def test_mincutbranch_partition_clique(benchmark, n):
+    graph = clique_graph(n)
+    emitted = benchmark(_drain, MinCutBranch, graph)
+    assert emitted == 2 ** (n - 1) - 1
+
+
+@pytest.mark.benchmark(group="fig09-partition-cost")
+@pytest.mark.parametrize("n", SIZES)
+def test_mincutlazy_partition_clique(benchmark, n):
+    graph = clique_graph(n)
+    emitted = benchmark(_drain, MinCutLazy, graph)
+    assert emitted == 2 ** (n - 1) - 1
+
+
+def test_per_ccp_ratio_grows_with_n():
+    """The figure's shape: MCL/MCB per-ccp cost ratio widens with n."""
+    from repro.bench.runner import time_partitioning
+    from repro.catalog.workload import WorkloadGenerator
+
+    gen = WorkloadGenerator(seed=9)
+    ratios = []
+    for n in (5, 9, 12):
+        instance = gen.fixed_shape("clique", n)
+        lazy = time_partitioning("mincutlazy", instance, time_budget=0.2)
+        branch = time_partitioning("mincutbranch", instance, time_budget=0.2)
+        ratios.append(lazy.average / branch.average)
+    assert ratios[-1] > ratios[0]

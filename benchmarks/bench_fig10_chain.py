@@ -1,0 +1,31 @@
+"""Figure 10: plan generation time on chain queries.
+
+TDMinCutBranch vs TDMinCutLazy; both run the full TDPlanGen (memo table,
+cardinality estimation, BuildTree) so only the partitioning strategy
+differs, as in the paper's Sec. IV-C measurements.
+"""
+
+import pytest
+
+from repro.optimizer.api import make_optimizer
+
+from .conftest import make_instances
+
+SIZES = [8, 12, 16]
+ALGORITHMS = ["tdmincutbranch", "tdmincutlazy"]
+
+_GEN = make_instances(seed=10)
+_INSTANCES = {n: _GEN.fixed_shape("chain", n) for n in SIZES}
+
+
+@pytest.mark.benchmark(group="fig10-chain")
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_plan_generation_chain(benchmark, algorithm, n):
+    instance = _INSTANCES[n]
+
+    def run():
+        return make_optimizer(algorithm, instance.catalog).optimize()
+
+    plan = benchmark(run)
+    assert plan.n_joins() == n - 1

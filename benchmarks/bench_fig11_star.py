@@ -1,0 +1,26 @@
+"""Figure 11: plan generation time on star queries."""
+
+import pytest
+
+from repro.optimizer.api import make_optimizer
+
+from .conftest import make_instances
+
+SIZES = [7, 9, 11]
+ALGORITHMS = ["tdmincutbranch", "tdmincutlazy"]
+
+_GEN = make_instances(seed=11)
+_INSTANCES = {n: _GEN.fixed_shape("star", n) for n in SIZES}
+
+
+@pytest.mark.benchmark(group="fig11-star")
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_plan_generation_star(benchmark, algorithm, n):
+    instance = _INSTANCES[n]
+
+    def run():
+        return make_optimizer(algorithm, instance.catalog).optimize()
+
+    plan = benchmark(run)
+    assert plan.n_joins() == n - 1

@@ -1,0 +1,28 @@
+"""Figure 12: plan generation time on random acyclic queries
+(neither chain nor star)."""
+
+import pytest
+
+from repro.optimizer.api import make_optimizer
+
+from .conftest import make_instances
+
+SIZES = [8, 12, 15]
+ALGORITHMS = ["tdmincutbranch", "tdmincutlazy"]
+
+_GEN = make_instances(seed=12)
+_INSTANCES = {n: _GEN.random_acyclic(n) for n in SIZES}
+
+
+@pytest.mark.benchmark(group="fig12-acyclic")
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_plan_generation_acyclic(benchmark, algorithm, n):
+    instance = _INSTANCES[n]
+    assert instance.graph.shape_name() == "tree"
+
+    def run():
+        return make_optimizer(algorithm, instance.catalog).optimize()
+
+    plan = benchmark(run)
+    assert plan.n_joins() == n - 1

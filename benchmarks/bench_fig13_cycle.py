@@ -1,0 +1,26 @@
+"""Figure 13: plan generation time on cycle queries."""
+
+import pytest
+
+from repro.optimizer.api import make_optimizer
+
+from .conftest import make_instances
+
+SIZES = [8, 12, 15]
+ALGORITHMS = ["tdmincutbranch", "tdmincutlazy"]
+
+_GEN = make_instances(seed=13)
+_INSTANCES = {n: _GEN.fixed_shape("cycle", n) for n in SIZES}
+
+
+@pytest.mark.benchmark(group="fig13-cycle")
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_plan_generation_cycle(benchmark, algorithm, n):
+    instance = _INSTANCES[n]
+
+    def run():
+        return make_optimizer(algorithm, instance.catalog).optimize()
+
+    plan = benchmark(run)
+    assert plan.n_joins() == n - 1

@@ -1,0 +1,31 @@
+"""Figure 14: plan generation time on clique queries.
+
+The paper's strongest separation: TDMinCutLazy's normalized runtime
+climbs to ~5x by 16 vertices because its partitioning cost is O(n^2)
+per ccp; TDMinCutBranch stays within a constant factor of DPccp.
+"""
+
+import pytest
+
+from repro.optimizer.api import make_optimizer
+
+from .conftest import make_instances
+
+SIZES = [6, 8, 10]
+ALGORITHMS = ["tdmincutbranch", "tdmincutlazy"]
+
+_GEN = make_instances(seed=14)
+_INSTANCES = {n: _GEN.fixed_shape("clique", n) for n in SIZES}
+
+
+@pytest.mark.benchmark(group="fig14-clique")
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_plan_generation_clique(benchmark, algorithm, n):
+    instance = _INSTANCES[n]
+
+    def run():
+        return make_optimizer(algorithm, instance.catalog).optimize()
+
+    plan = benchmark(run)
+    assert plan.n_joins() == n - 1

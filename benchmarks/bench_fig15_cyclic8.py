@@ -1,0 +1,27 @@
+"""Figure 15: random cyclic queries with 8 vertices, time vs edge count."""
+
+import pytest
+
+from repro.optimizer.api import make_optimizer
+
+from .conftest import make_instances
+
+EDGE_COUNTS = [10, 16, 22, 28]
+ALGORITHMS = ["tdmincutbranch", "tdmincutlazy"]
+
+_GEN = make_instances(seed=15)
+_INSTANCES = {m: _GEN.random_cyclic(8, m) for m in EDGE_COUNTS}
+
+
+@pytest.mark.benchmark(group="fig15-cyclic8")
+@pytest.mark.parametrize("edges", EDGE_COUNTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_plan_generation_cyclic8(benchmark, algorithm, edges):
+    instance = _INSTANCES[edges]
+    assert instance.n_edges == edges
+
+    def run():
+        return make_optimizer(algorithm, instance.catalog).optimize()
+
+    plan = benchmark(run)
+    assert plan.n_joins() == 7

@@ -1,0 +1,26 @@
+"""Figure 16: random cyclic queries with 12 vertices, time vs edge count."""
+
+import pytest
+
+from repro.optimizer.api import make_optimizer
+
+from .conftest import make_instances
+
+EDGE_COUNTS = [14, 20, 26]
+ALGORITHMS = ["tdmincutbranch", "tdmincutlazy"]
+
+_GEN = make_instances(seed=16)
+_INSTANCES = {m: _GEN.random_cyclic(12, m) for m in EDGE_COUNTS}
+
+
+@pytest.mark.benchmark(group="fig16-cyclic12")
+@pytest.mark.parametrize("edges", EDGE_COUNTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_plan_generation_cyclic12(benchmark, algorithm, edges):
+    instance = _INSTANCES[edges]
+
+    def run():
+        return make_optimizer(algorithm, instance.catalog).optimize()
+
+    plan = benchmark(run)
+    assert plan.n_joins() == 11

@@ -1,0 +1,32 @@
+"""Figure 17: random cyclic queries with 16 vertices, time vs edge count.
+
+Edge counts stay moderate: Python pays a constant interpreter factor and
+dense 16-vertex graphs have clique-like ccp counts (the paper capped all
+inputs at 100 s per plan generator on its C++ testbed for the same
+reason).
+"""
+
+import pytest
+
+from repro.optimizer.api import make_optimizer
+
+from .conftest import make_instances
+
+EDGE_COUNTS = [18, 22]
+ALGORITHMS = ["tdmincutbranch", "tdmincutlazy"]
+
+_GEN = make_instances(seed=17)
+_INSTANCES = {m: _GEN.random_cyclic(16, m) for m in EDGE_COUNTS}
+
+
+@pytest.mark.benchmark(group="fig17-cyclic16")
+@pytest.mark.parametrize("edges", EDGE_COUNTS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_plan_generation_cyclic16(benchmark, algorithm, edges):
+    instance = _INSTANCES[edges]
+
+    def run():
+        return make_optimizer(algorithm, instance.catalog).optimize()
+
+    plan = benchmark(run)
+    assert plan.n_joins() == 15

@@ -1,0 +1,71 @@
+"""Micro-benchmarks for the substrate primitives.
+
+The partitioners' O(1)-per-ccp claims stand on these primitives being
+cheap: neighborhood lookups, connectivity flood fills, subset walks, and
+biconnection-tree builds.  Tracking them separately catches substrate
+regressions that the algorithm-level benches would mis-attribute.
+"""
+
+import pytest
+
+from repro import BiconnectionTree, bitset, chain_graph, clique_graph, cycle_graph
+from repro.graph.bcc import biconnected_components
+
+N = 16
+
+
+@pytest.mark.benchmark(group="micro-neighborhood")
+@pytest.mark.parametrize("shape", ["chain", "clique"])
+def test_neighborhood_full_set(benchmark, shape):
+    graph = chain_graph(N) if shape == "chain" else clique_graph(N)
+    half = graph.all_vertices >> (N // 2)
+
+    def run():
+        return graph.neighborhood(half)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-neighborhood")
+def test_neighborhood_singleton_fast_path(benchmark):
+    graph = clique_graph(N)
+    benchmark(lambda: graph.neighborhood(1 << (N // 2)))
+
+
+@pytest.mark.benchmark(group="micro-connectivity")
+@pytest.mark.parametrize("shape", ["chain", "cycle", "clique"])
+def test_is_connected(benchmark, shape):
+    builders = {"chain": chain_graph, "cycle": cycle_graph, "clique": clique_graph}
+    graph = builders[shape](N)
+    target = graph.all_vertices & ~0b10  # drop one vertex
+
+    result = benchmark(lambda: graph.is_connected(target))
+    assert result == (shape != "chain")
+
+
+@pytest.mark.benchmark(group="micro-subsets")
+def test_subset_walk(benchmark):
+    mask = (1 << 14) - 1
+
+    def run():
+        count = 0
+        for _ in bitset.iter_nonempty_subsets(mask):
+            count += 1
+        return count
+
+    assert benchmark(run) == 2 ** 14 - 1
+
+
+@pytest.mark.benchmark(group="micro-bcc")
+@pytest.mark.parametrize("shape", ["chain", "cycle", "clique"])
+def test_biconnected_components(benchmark, shape):
+    builders = {"chain": chain_graph, "cycle": cycle_graph, "clique": clique_graph}
+    graph = builders[shape](N)
+    benchmark(lambda: biconnected_components(graph, graph.all_vertices))
+
+
+@pytest.mark.benchmark(group="micro-bcctree")
+@pytest.mark.parametrize("shape", ["chain", "clique"])
+def test_biconnection_tree_build(benchmark, shape):
+    graph = chain_graph(N) if shape == "chain" else clique_graph(N)
+    benchmark(lambda: BiconnectionTree(graph, graph.all_vertices, root=0))

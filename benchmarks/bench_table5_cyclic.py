@@ -1,0 +1,46 @@
+"""Table V: normalized runtimes vs DPccp on cyclic workloads.
+
+On cliques MemoizationBasic becomes competitive (nearly every subset is
+a valid ccp, so generate-and-test wastes little) while TDMinCutLazy
+falls behind by its tree-rebuild factor — both effects the paper's
+Table V reports.
+"""
+
+import pytest
+
+from repro.optimizer.api import make_optimizer
+
+from .conftest import make_instances
+
+ALGORITHMS = ["dpccp", "tdmincutbranch", "tdmincutlazy", "memoizationbasic"]
+
+_GEN = make_instances(seed=55)
+_INSTANCES = {
+    "cycle": _GEN.fixed_shape("cycle", 12),
+    "clique": _GEN.fixed_shape("clique", 8),
+    "cyclic": _GEN.random_cyclic(9, 18),
+}
+
+
+@pytest.mark.benchmark(group="table5-cycle")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_normalized_cycle(benchmark, algorithm):
+    catalog = _INSTANCES["cycle"].catalog
+    plan = benchmark(lambda: make_optimizer(algorithm, catalog).optimize())
+    assert plan.n_joins() == 11
+
+
+@pytest.mark.benchmark(group="table5-clique")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_normalized_clique(benchmark, algorithm):
+    catalog = _INSTANCES["clique"].catalog
+    plan = benchmark(lambda: make_optimizer(algorithm, catalog).optimize())
+    assert plan.n_joins() == 7
+
+
+@pytest.mark.benchmark(group="table5-cyclic")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_normalized_cyclic(benchmark, algorithm):
+    catalog = _INSTANCES["cyclic"].catalog
+    plan = benchmark(lambda: make_optimizer(algorithm, catalog).optimize())
+    assert plan.n_joins() == 8

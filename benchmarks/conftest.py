@@ -1,0 +1,24 @@
+"""Shared fixtures for the pytest-benchmark suites.
+
+Each bench file regenerates one table/figure of the paper at a pinned,
+CI-friendly size; the full parameter sweeps live in
+``repro.bench.experiments`` (``python -m repro.bench.report --all``) and
+``benchmarks/run_all.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.workload import WorkloadGenerator
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """One deterministic workload generator for the whole bench session."""
+    return WorkloadGenerator(seed=20110411)  # ICDE 2011 week
+
+
+def make_instances(seed: int = 20110411):
+    """Standalone generator for module-level parametrization."""
+    return WorkloadGenerator(seed=seed)

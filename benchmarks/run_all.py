@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Regenerate every experiment and rewrite EXPERIMENTS.md's data section.
+
+Usage::
+
+    python benchmarks/run_all.py [--scale quick|full]
+
+This drives the experiment registry (``repro.bench.experiments``) —
+Table I, Figs. 9-17, Tables IV-V and the three ablations — and updates
+the measured-results section of EXPERIMENTS.md in place, preserving the
+hand-written commentary above the marker line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+MARKER = "<!-- GENERATED RESULTS BELOW - run benchmarks/run_all.py -->"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["quick", "full"], default="quick")
+    parser.add_argument(
+        "--experiments-md",
+        default=str(pathlib.Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"),
+    )
+    args = parser.parse_args()
+
+    sections = []
+    for name in EXPERIMENTS:
+        print(f"running {name} ...", flush=True)
+        started = time.perf_counter()
+        result = run_experiment(name, scale=args.scale)
+        elapsed = time.perf_counter() - started
+        print(f"  done in {elapsed:.1f}s")
+        sections.append(
+            "```\n" + result.render() + f"\n(ran in {elapsed:.1f}s, scale={args.scale})\n```"
+        )
+
+    path = pathlib.Path(args.experiments_md)
+    if path.exists() and MARKER in path.read_text():
+        head = path.read_text().split(MARKER)[0]
+    else:
+        head = "# EXPERIMENTS\n\n"
+    body = (
+        head
+        + MARKER
+        + "\n\n## Measured results (scale="
+        + args.scale
+        + ")\n\n"
+        + "\n\n".join(sections)
+        + "\n"
+    )
+    path.write_text(body)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Race all six plan generators on the paper's query shapes.
+
+For each shape the example shows what the paper's evaluation shows:
+
+* every enumerator finds a plan of the *same* optimal cost (they explore
+  the same search space),
+* they differ only in enumeration overhead — TDMinCutBranch tracks
+  DPccp, TDMinCutLazy lags by its tree rebuilds, and MemoizationBasic
+  collapses on sparse graphs while staying respectable on cliques.
+
+Run:  python examples/compare_enumerators.py [n]
+"""
+
+import sys
+import time
+
+from repro import ALGORITHMS, WorkloadGenerator, optimize_query
+
+SHAPES = ["chain", "star", "cycle", "clique", "cyclic"]
+
+
+def race(shape: str, n: int) -> None:
+    generator = WorkloadGenerator(seed=2011)
+    if shape == "cyclic":
+        instance = generator.random_cyclic_uniform_edges(n)
+    else:
+        instance = generator.fixed_shape(shape, n)
+    print(
+        f"\n{shape} query, {instance.n_vertices} relations, "
+        f"{instance.n_edges} join edges"
+    )
+    timings = {}
+    costs = []
+    for name in sorted(ALGORITHMS):
+        started = time.perf_counter()
+        result = optimize_query(instance, algorithm=name)
+        timings[name] = time.perf_counter() - started
+        costs.append(result.cost)
+    # Identical up to float summation order (cost accumulation visits the
+    # same joins in algorithm-specific order).
+    assert all(
+        abs(c - costs[0]) <= 1e-9 * costs[0] for c in costs
+    ), "all enumerators must agree on the optimum"
+    baseline = timings["dpccp"]
+    for name, elapsed in sorted(timings.items(), key=lambda kv: kv[1]):
+        bar = "#" * max(1, int(40 * elapsed / max(timings.values())))
+        print(
+            f"  {name:17s} {elapsed * 1e3:9.2f} ms"
+            f"  ({elapsed / baseline:5.2f}x DPccp)  {bar}"
+        )
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+    for shape in SHAPES:
+        size = min(n, 8) if shape == "clique" else n
+        race(shape, size)
+    print(
+        "\nAll six agree on plan cost; only the csg-cmp-pair enumeration "
+        "overhead differs (paper Tables IV/V)."
+    )
+
+
+if __name__ == "__main__":
+    main()

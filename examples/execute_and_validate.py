@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Close the loop: execute optimized plans on synthetic data.
+
+The paper costs plans with C_out (sum of intermediate result sizes) but
+never runs them.  This example generates synthetic tables whose join
+keys realize the catalog's statistics exactly, executes plans with
+in-memory hash joins, and shows that:
+
+1. the optimizer's cardinality estimates match measured sizes closely
+   (the independence assumption holds by construction on this data),
+2. the C_out-optimal plan really does move fewer tuples than a
+   deliberately bad plan on actual execution.
+
+Run:  python examples/execute_and_validate.py
+"""
+
+from repro import (
+    attach_random_statistics,
+    bitset,
+    optimize_query,
+    random_acyclic_graph,
+    uniform_statistics,
+    chain_graph,
+)
+from repro.exec import Executor, generate_database, validate_estimates
+
+
+def estimate_accuracy() -> None:
+    print("1) estimate accuracy on synthetic data (chain of 5 relations)")
+    catalog = uniform_statistics(chain_graph(5), cardinality=1000, selectivity=0.002)
+    database = generate_database(catalog, max_rows=1000, seed=7)
+    plan = optimize_query(database.scaled_catalog).plan
+    print("   intermediate        estimated   measured   ratio")
+    for record in validate_estimates(database, plan):
+        name = bitset.format_set(record["vertex_set"])
+        print(
+            f"   {name:18s} {record['estimated']:10.0f} "
+            f"{record['measured']:10.0f}   {record['ratio']:5.2f}"
+        )
+    print()
+
+
+def _worst_left_deep(catalog):
+    """Costliest left-deep plan (max instead of min): the anti-optimizer."""
+    import math
+
+    from repro import JoinTree
+
+    graph = catalog.graph
+    worst = {}
+
+    def solve(vertex_set):
+        if vertex_set & (vertex_set - 1) == 0:
+            return 0.0
+        if vertex_set in worst:
+            return worst[vertex_set][0]
+        best_cost, best_last = -math.inf, None
+        for last in bitset.iter_indices(vertex_set):
+            rest = vertex_set & ~(1 << last)
+            if not graph.is_connected(rest):
+                continue
+            if graph.neighborhood(rest) & (1 << last) == 0:
+                continue
+            cost = solve(rest)
+            if cost > best_cost:
+                best_cost, best_last = cost, last
+        total = best_cost + catalog.estimate(vertex_set)
+        worst[vertex_set] = (total, best_last)
+        return total
+
+    solve(graph.all_vertices)
+
+    def extract(vertex_set):
+        if vertex_set & (vertex_set - 1) == 0:
+            vertex = bitset.lowest_index(vertex_set)
+            return JoinTree(
+                vertex_set=vertex_set,
+                cardinality=catalog.cardinality(vertex),
+                cost=0.0,
+                relation=catalog.relations[vertex].name,
+            )
+        total, last = worst[vertex_set]
+        rest = vertex_set & ~(1 << last)
+        return JoinTree(
+            vertex_set=vertex_set,
+            cardinality=catalog.estimate(vertex_set),
+            cost=total,
+            left=extract(rest),
+            right=extract(1 << last),
+            implementation="join",
+        )
+
+    return extract(graph.all_vertices)
+
+
+def plan_quality_on_real_tuples() -> None:
+    print("2) optimal vs worst valid plan, measured in actual tuples moved")
+    graph = random_acyclic_graph(6, seed=9)
+    catalog = attach_random_statistics(graph, seed=9)
+    database = generate_database(catalog, max_rows=400, seed=9)
+    scaled = database.scaled_catalog
+
+    optimal_plan = optimize_query(scaled).plan
+    worst_plan = _worst_left_deep(scaled)
+
+    executor = Executor(database)
+    optimal = executor.execute(optimal_plan)
+    worst = executor.execute(worst_plan)
+
+    print(f"   result rows (identical by definition): "
+          f"{optimal.n_rows} vs {worst.n_rows}")
+    print(f"   optimal plan   : estimated C_out {optimal_plan.cost:12.0f}, "
+          f"measured tuples {optimal.measured_cout:12.0f}")
+    print(f"   worst left-deep: estimated C_out {worst_plan.cost:12.0f}, "
+          f"measured tuples {worst.measured_cout:12.0f}")
+    if optimal.measured_cout <= worst.measured_cout:
+        print("   -> the C_out winner also wins on actual tuple traffic")
+    else:
+        print("   -> sampling noise inverted the ranking on this instance")
+
+
+def main() -> None:
+    estimate_accuracy()
+    plan_quality_on_real_tuples()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Walk through the paper's own examples, step by step.
+
+Regenerates, live:
+
+* Table II — MinCutBranch on the chain of Fig. 7,
+* Table III — MinCutBranch on the cyclic graph of Fig. 8,
+
+using the tracing variant of branch partitioning, and then shows the
+per-shape complexity counters (Sec. III-F) next to the paper's closed
+forms.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro import MinCutBranch, QueryGraph, chain_graph, clique_graph, cycle_graph
+from repro.analysis import formulas
+from repro.enumeration.trace import TracedMinCutBranch
+
+
+def table_ii() -> None:
+    print("=" * 72)
+    print("Table II: MinCutBranch on the chain of Fig. 7 (R3-R1-R0-R2-R4)")
+    print("=" * 72)
+    graph = QueryGraph(5, [(1, 3), (0, 1), (0, 2), (2, 4)])
+    trace = TracedMinCutBranch(graph)
+    pairs = list(trace.partitions(graph.all_vertices))
+    print(trace.render())
+    print(f"-> {len(pairs)} ccps (|S| - 1 = 4 for acyclic graphs)\n")
+
+
+def table_iii() -> None:
+    print("=" * 72)
+    print("Table III: MinCutBranch on the cyclic graph of Fig. 8")
+    print("=" * 72)
+    graph = QueryGraph(4, [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)])
+    trace = TracedMinCutBranch(graph)
+    pairs = list(trace.partitions(graph.all_vertices))
+    print(trace.render())
+    print(f"-> {len(pairs)} ccps; note the final non-emitting invocation "
+          "(the overhead the paper says 'cannot be avoided easily')\n")
+
+
+def complexity_counters() -> None:
+    print("=" * 72)
+    print("Sec. III-F: instrumented work counters vs the paper's closed forms")
+    print("=" * 72)
+    print(f"{'shape':10s} {'i (measured)':>13s} {'i (paper)':>10s} "
+          f"{'r':>4s} {'l':>4s} {'per ccp':>8s}")
+    for shape, graph, predicted_i in (
+        ("chain(10)", chain_graph(10), formulas.mcb_counters_chain(10)["i"]),
+        ("cycle(10)", cycle_graph(10), formulas.mcb_counters_cycle(10)["i"]),
+        ("clique(10)", clique_graph(10), None),
+    ):
+        strategy = MinCutBranch(graph)
+        pairs = list(strategy.partitions(graph.all_vertices))
+        stats = strategy.stats
+        total = (
+            stats.loop_iterations
+            + stats.reachable_calls
+            + stats.reachable_iterations
+        )
+        paper = str(predicted_i) if predicted_i is not None else (
+            f"~{formulas.mcb_clique_total_work(10)}"
+        )
+        print(
+            f"{shape:10s} {stats.loop_iterations:>13d} {paper:>10s} "
+            f"{stats.reachable_calls:>4d} {stats.reachable_iterations:>4d} "
+            f"{total / len(pairs):>8.2f}"
+        )
+    print("\nchains: i = |S|-1; cycles: i = |S|^2/2 + |S|/2 - 2; cliques:")
+    print("total work ~ (5/4)2^n, i.e. O(1) per emitted ccp — the paper's")
+    print("headline result.")
+
+
+def main() -> None:
+    table_ii()
+    table_iii()
+    complexity_counters()
+
+
+if __name__ == "__main__":
+    main()

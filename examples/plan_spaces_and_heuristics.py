@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Plan spaces and heuristics: what exhaustive bushy enumeration buys.
+
+Compares, over a batch of random queries:
+
+* the exhaustive bushy optimum (the paper's search space, via
+  TDMinCutBranch),
+* the optimal *left-deep* plan (exact DP over the restricted space of
+  Ioannidis & Kang, the paper's ref. [1]),
+* IKKBZ (polynomial-time, provably optimal left-deep for acyclic
+  queries — verified here against the DP),
+* GOO, the greedy bushy heuristic.
+
+Run:  python examples/plan_spaces_and_heuristics.py
+"""
+
+import statistics
+
+from repro import (
+    IKKBZ,
+    WorkloadGenerator,
+    greedy_operator_ordering,
+    optimal_left_deep,
+    optimize_query,
+)
+
+
+def compare(shape: str, sizes, trials: int = 6) -> None:
+    generator = WorkloadGenerator(seed=31)
+    rows = []
+    for n in sizes:
+        for _ in range(trials):
+            if shape == "acyclic":
+                instance = generator.random_acyclic(n)
+            elif shape == "cyclic":
+                instance = generator.random_cyclic_uniform_edges(n)
+            else:
+                instance = generator.fixed_shape(shape, n)
+            catalog = instance.catalog
+            bushy = optimize_query(catalog).cost
+            left_deep = optimal_left_deep(catalog).cost
+            greedy = greedy_operator_ordering(catalog).cost
+            row = {
+                "leftdeep": left_deep / bushy,
+                "goo": greedy / bushy,
+            }
+            if instance.graph.is_acyclic():
+                ikkbz = IKKBZ(catalog).optimize().cost
+                assert abs(ikkbz - left_deep) <= 1e-6 * left_deep, (
+                    "IKKBZ must equal the left-deep DP on trees"
+                )
+            rows.append(row)
+    print(f"{shape}: {len(rows)} queries (n in {list(sizes)})")
+    for key, label in (("leftdeep", "optimal left-deep"), ("goo", "GOO greedy")):
+        values = [r[key] for r in rows]
+        print(
+            f"  {label:18s} vs bushy optimum: "
+            f"median {statistics.median(values):6.3f}x   "
+            f"worst {max(values):8.3f}x"
+        )
+    print()
+
+
+def main() -> None:
+    print("plan-quality ratios relative to the exhaustive bushy optimum\n")
+    compare("acyclic", [6, 8, 10])
+    compare("cyclic", [6, 8])
+    compare("star", [6, 8])
+    print(
+        "Left-deep misses the bushy optimum whenever balanced subtrees\n"
+        "keep intermediates small; greedy misses it whenever a locally\n"
+        "cheap join forces an expensive one later.  Exhaustive top-down\n"
+        "enumeration with MinCutBranch pays ~O(1) per considered pair\n"
+        "for the guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

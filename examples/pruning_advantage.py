@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Branch-and-bound pruning: the top-down advantage the paper anticipates.
+
+The paper compares raw (unpruned) enumeration for fairness, but its
+conclusion notes that "as soon as the query is amenable for
+branch-and-bound pruning, our new top-down algorithm will be superior to
+the best bottom-up algorithm" — because bottom-up must fill the whole
+table while top-down can skip subproblems whose cost lower bound exceeds
+the budget.  This example measures the effect on skewed statistics.
+
+Run:  python examples/pruning_advantage.py
+"""
+
+from repro import WorkloadGenerator, make_optimizer
+
+WORKLOADS = [
+    ("star", 10),
+    ("clique", 9),
+    ("cyclic", 10),
+]
+
+
+def main() -> None:
+    generator = WorkloadGenerator(seed=7)
+    print(f"{'workload':12s} {'cost evals':>12s} {'with pruning':>13s} "
+          f"{'saved':>7s} {'pruned sets':>12s} {'same plan?':>11s}")
+    for shape, n in WORKLOADS:
+        if shape == "cyclic":
+            instance = generator.random_cyclic_uniform_edges(n)
+        else:
+            instance = generator.fixed_shape(shape, n)
+        plain = make_optimizer("tdmincutbranch", instance.catalog)
+        plain_plan = plain.optimize()
+        pruned = make_optimizer(
+            "tdmincutbranch", instance.catalog, enable_pruning=True
+        )
+        pruned_plan = pruned.optimize()
+        saved = 1 - pruned.builder.cost_evaluations / plain.builder.cost_evaluations
+        same = abs(plain_plan.cost - pruned_plan.cost) < 1e-6 * plain_plan.cost
+        print(
+            f"{shape + str(n):12s} {plain.builder.cost_evaluations:>12,d} "
+            f"{pruned.builder.cost_evaluations:>13,d} {saved:>6.0%} "
+            f"{pruned.pruned_sets:>12,d} {'yes' if same else 'NO':>11s}"
+        )
+    print(
+        "\nPruning preserves the optimum (verified) while skipping"
+        " provably over-budget subproblems; bottom-up DP cannot do this."
+    )
+
+
+if __name__ == "__main__":
+    main()

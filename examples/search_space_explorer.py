@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Explore the join-ordering search space (the paper's Table I story).
+
+Shows, for each query shape, how the number of connected subgraphs
+(#csg — cardinality estimations), csg-cmp-pairs (#ccp — cost function
+calls) and naive generate-and-test subsets (#ngt) grow — and why a
+partitioning algorithm that emits *only* valid ccps matters: on a
+20-relation chain, naive partitioning enumerates ~3000x more subsets
+than there are ccps.
+
+Run:  python examples/search_space_explorer.py
+"""
+
+from repro import make_shape
+from repro.analysis import formulas
+from repro.enumeration.counting import (
+    count_ccps,
+    count_connected_subgraphs,
+    count_ngt_subsets,
+)
+
+SIZES = [5, 10, 15, 20]
+ENUMERATION_CAP = 10  # exhaustive cross-check below this size
+
+
+def main() -> None:
+    header = f"{'shape':8s} {'metric':7s}" + "".join(f"{f'n={n}':>14s}" for n in SIZES)
+    print(header)
+    print("-" * len(header))
+    for shape in ("chain", "star", "cycle", "clique"):
+        rows = {"#csg": [], "#ccp": [], "#ngt": []}
+        for n in SIZES:
+            row = formulas.table1_row(shape, n)
+            rows["#csg"].append(row["csg"])
+            rows["#ccp"].append(row["ccp"])
+            rows["#ngt"].append(row["ngt"])
+            if n <= ENUMERATION_CAP:
+                graph = make_shape(shape, n)
+                assert count_connected_subgraphs(graph) == row["csg"]
+                assert count_ccps(graph) == row["ccp"]
+                assert count_ngt_subsets(graph) == row["ngt"]
+        for metric, values in rows.items():
+            print(
+                f"{shape:8s} {metric:7s}"
+                + "".join(f"{v:>14,d}" for v in values)
+            )
+        waste = rows["#ngt"][-1] / rows["#ccp"][-1]
+        print(
+            f"{'':8s} -> naive generates {waste:,.0f}x more subsets than "
+            f"there are ccps at n=20\n"
+        )
+    print(
+        "The 'Fortunate Observation': #csg (cardinality estimations) is far\n"
+        "below #ccp (cheap cost-function calls) — estimation happens once\n"
+        "per connected subgraph, never per pair."
+    )
+
+
+if __name__ == "__main__":
+    main()

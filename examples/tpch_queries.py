@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Optimize TPC-H's join subgraphs — the workload the intro motivates.
+
+Runs every modelled TPC-H query through the optimizer, showing query
+graph shape, search-space size, chosen join order and how far greedy
+ordering strays from the optimum on real FK statistics.
+
+Run:  python examples/tpch_queries.py [scale_factor]
+"""
+
+import sys
+
+from repro import optimize_query
+from repro.enumeration.counting import count_ccps
+from repro.heuristics import greedy_operator_ordering
+from repro.workloads import tpch_query, tpch_query_names
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    print(f"TPC-H join subgraphs at SF={scale_factor:g}\n")
+    print(f"{'query':6s} {'shape':7s} {'rel':>3s} {'ccps':>5s} "
+          f"{'opt cost':>12s} {'greedy/opt':>10s}  join order")
+    for name in tpch_query_names():
+        catalog = tpch_query(name, scale_factor=scale_factor)
+        graph = catalog.graph
+        result = optimize_query(catalog)
+        greedy = greedy_operator_ordering(catalog)
+        ratio = greedy.cost / result.cost if result.cost > 0 else 1.0
+        print(
+            f"{name:6s} {graph.shape_name():7s} {graph.n_vertices:>3d} "
+            f"{count_ccps(graph):>5d} {result.cost:>12.4g} "
+            f"{ratio:>10.2f}  {result.plan.to_expression()}"
+        )
+    print(
+        "\nQ5 and Q9 are cyclic: their nation/equality-class edges close"
+        "\ncycles, which is exactly where MinCutBranch's O(1)-per-ccp"
+        "\npartitioning separates from MinCutLazy (paper Figs. 13-17)."
+    )
+
+
+if __name__ == "__main__":
+    main()

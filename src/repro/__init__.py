@@ -1,0 +1,168 @@
+"""repro — Top-down join enumeration with MinCutBranch.
+
+A faithful, production-quality reproduction of:
+
+    Pit Fender and Guido Moerkotte.
+    "A New, Highly Efficient, and Easy To Implement Top-Down Join
+    Enumeration Algorithm."  ICDE 2011.
+
+The library provides the paper's contribution (branch partitioning /
+MinCutBranch), the prior top-down state of the art (DeHaan & Tompa's
+MinCutLazy on biconnection trees), naive generate-and-test partitioning,
+and the bottom-up baselines (DPccp, DPsub, DPsize) — all running on one
+shared optimizer infrastructure (query graphs, memo table, cardinality
+estimation, cost models), exactly as the paper's evaluation demands.
+
+Quickstart::
+
+    from repro import chain_graph, attach_random_statistics, optimize_query
+
+    graph = chain_graph(8)
+    catalog = attach_random_statistics(graph, seed=42)
+    result = optimize_query(catalog, algorithm="tdmincutbranch")
+    print(result.plan.pretty())
+"""
+
+from repro.errors import (
+    ReproError,
+    GraphError,
+    DisconnectedGraphError,
+    CatalogError,
+    OptimizationError,
+)
+from repro.graph import (
+    QueryGraph,
+    Hyperedge,
+    Hypergraph,
+    chain_graph,
+    star_graph,
+    cycle_graph,
+    clique_graph,
+    grid_graph,
+    make_shape,
+    random_acyclic_graph,
+    random_cyclic_graph,
+    random_hypergraph,
+    BiconnectionTree,
+)
+from repro.catalog.hyper import (
+    HyperCatalog,
+    attach_random_hyper_statistics,
+    uniform_hyper_statistics,
+)
+from repro.catalog import (
+    Catalog,
+    Relation,
+    attach_random_statistics,
+    uniform_statistics,
+    QueryInstance,
+    WorkloadGenerator,
+)
+from repro.cost import (
+    CostModel,
+    CoutCostModel,
+    PhysicalCostModel,
+    CardinalityEstimator,
+)
+from repro.plan import JoinTree, MemoTable, PlanBuilder
+from repro.enumeration import (
+    PartitioningStrategy,
+    NaivePartitioning,
+    ConservativePartitioning,
+    MinCutBranch,
+    MinCutLazy,
+)
+from repro.optimizer import (
+    TopDownPlanGenerator,
+    DPccp,
+    DPsub,
+    DPsize,
+    DPhyp,
+    HyperDPsub,
+    TopDownHyp,
+    TopDownHypBasic,
+    ALGORITHMS,
+    OptimizationResult,
+    make_optimizer,
+    optimize_query,
+)
+from repro.analysis.explain import explain, explain_comparison
+from repro.heuristics import (
+    optimal_left_deep,
+    greedy_operator_ordering,
+    IKKBZ,
+    ikkbz_optimal_left_deep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "GraphError",
+    "DisconnectedGraphError",
+    "CatalogError",
+    "OptimizationError",
+    # graph
+    "QueryGraph",
+    "chain_graph",
+    "star_graph",
+    "cycle_graph",
+    "clique_graph",
+    "grid_graph",
+    "make_shape",
+    "random_acyclic_graph",
+    "random_cyclic_graph",
+    "BiconnectionTree",
+    # catalog
+    "Catalog",
+    "Relation",
+    "attach_random_statistics",
+    "uniform_statistics",
+    "QueryInstance",
+    "WorkloadGenerator",
+    # cost
+    "CostModel",
+    "CoutCostModel",
+    "PhysicalCostModel",
+    "CardinalityEstimator",
+    # plan
+    "JoinTree",
+    "MemoTable",
+    "PlanBuilder",
+    # enumeration
+    "PartitioningStrategy",
+    "NaivePartitioning",
+    "ConservativePartitioning",
+    "MinCutBranch",
+    "MinCutLazy",
+    # optimizers
+    "TopDownPlanGenerator",
+    "DPccp",
+    "DPsub",
+    "DPsize",
+    "ALGORITHMS",
+    "OptimizationResult",
+    "make_optimizer",
+    "optimize_query",
+    # hypergraphs (the paper's future work)
+    "Hyperedge",
+    "Hypergraph",
+    "random_hypergraph",
+    "HyperCatalog",
+    "attach_random_hyper_statistics",
+    "uniform_hyper_statistics",
+    "DPhyp",
+    "HyperDPsub",
+    "TopDownHyp",
+    "TopDownHypBasic",
+    # diagnostics
+    "explain",
+    "explain_comparison",
+    # heuristics / restricted plan spaces
+    "optimal_left_deep",
+    "greedy_operator_ordering",
+    "IKKBZ",
+    "ikkbz_optimal_left_deep",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Analytic formulas, complexity predictions, and EXPLAIN reporting."""
+
+from repro.analysis.explain import explain, explain_comparison
+from repro.analysis.formulas import (
+    csg_count,
+    ccp_count,
+    ngt_count,
+    table1_row,
+    mcb_counters_chain,
+    mcb_counters_cycle,
+    mcb_clique_total_work,
+    mcl_clique_total_work,
+    mcl_per_ccp_clique,
+    mcb_per_ccp_clique,
+)
+
+__all__ = [
+    "explain",
+    "explain_comparison",
+    "csg_count",
+    "ccp_count",
+    "ngt_count",
+    "table1_row",
+    "mcb_counters_chain",
+    "mcb_counters_cycle",
+    "mcb_clique_total_work",
+    "mcl_clique_total_work",
+    "mcl_per_ccp_clique",
+    "mcb_per_ccp_clique",
+]

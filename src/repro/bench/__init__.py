@@ -1,0 +1,29 @@
+"""Benchmark harness: timing, experiment definitions, reporting.
+
+Every table and figure of the paper's evaluation section has an
+experiment definition in :mod:`repro.bench.experiments`; run them all via
+``python -m repro.bench.report --all`` or individually with
+``--experiment fig09``.
+"""
+
+from repro.bench.timing import time_callable, TimingResult
+from repro.bench.runner import (
+    time_optimizer,
+    time_partitioning,
+    normalized_runtimes,
+)
+from repro.bench.compare import ComparisonResult, compare_algorithms
+from repro.bench.experiments import EXPERIMENTS, ExperimentResult, run_experiment
+
+__all__ = [
+    "time_callable",
+    "TimingResult",
+    "time_optimizer",
+    "time_partitioning",
+    "normalized_runtimes",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "run_experiment",
+    "compare_algorithms",
+    "ComparisonResult",
+]

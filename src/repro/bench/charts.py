@@ -1,0 +1,110 @@
+"""ASCII line charts for the figure-style experiments.
+
+The paper's Figs. 9-17 are log-scale line charts; this module renders
+the same series as terminal plots so ``python -m repro.bench.report
+--chart`` can show curve *shapes* (the reproduction target) without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["line_chart", "chart_from_experiment"]
+
+_MARKERS = "*o+x#@"
+
+
+def line_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = True,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    ``log_y`` plots the ordinate logarithmically, matching the paper's
+    figures.  Points that collide on the same cell keep the first
+    series' marker; the legend maps markers to series names.
+    """
+    points = [(x, y) for values in series.values() for (x, y) in values]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points if p[1] > 0 or not log_y]
+    if not ys:
+        return "(no positive data for log scale)"
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+
+    def y_transform(value: float) -> float:
+        return math.log10(value) if log_y else value
+
+    ty_min, ty_max = y_transform(y_min), y_transform(y_max)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (ty_max - ty_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for (x, y) in values:
+            if log_y and y <= 0:
+                continue
+            column = round((x - x_min) / x_span * (width - 1))
+            row = round((y_transform(y) - ty_min) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    def y_axis_label(value: float) -> str:
+        return f"{value:9.3g}"
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_axis_label(y_max)
+        elif row_index == height - 1:
+            label = y_axis_label(y_min)
+        else:
+            label = " " * 9
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_min:<10g}{x_label:^{max(0, width - 20)}}{x_max:>10g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    scale = "log10" if log_y else "linear"
+    lines.append(f"legend: {legend}   ({y_label}, {scale} scale)")
+    return "\n".join(lines)
+
+
+def chart_from_experiment(result) -> str:
+    """Build a chart from a figure-style ExperimentResult.
+
+    Expects a first column holding the abscissa (``n`` or ``edges``) and
+    one or more ``*_ms``/``*_per_ccp`` columns as series.
+    """
+    columns: Sequence[str] = result.columns
+    series_columns = [
+        (index, name)
+        for index, name in enumerate(columns)
+        if name.endswith("_ms") or "per_ccp" in name
+    ]
+    if not series_columns or len(result.rows) < 2:
+        return "(experiment has no chartable series)"
+    series: Dict[str, List[Tuple[float, float]]] = {
+        name: [] for _, name in series_columns
+    }
+    for row in result.rows:
+        x = float(row[0])
+        for index, name in series_columns:
+            series[name].append((x, float(row[index])))
+    return line_chart(
+        series,
+        x_label=columns[0],
+        y_label="time",
+    )

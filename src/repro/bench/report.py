@@ -1,0 +1,89 @@
+"""Command-line experiment runner: regenerate the paper's tables/figures.
+
+Usage::
+
+    python -m repro.bench.report --all                 # every experiment
+    python -m repro.bench.report -e fig09 -e table1    # selected ones
+    python -m repro.bench.report --all --scale full    # paper-sized runs
+    python -m repro.bench.report --all -o results.txt  # also write a file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.report",
+        description="Regenerate the evaluation tables and figures of "
+        "Fender & Moerkotte (ICDE 2011).",
+    )
+    parser.add_argument(
+        "-e",
+        "--experiment",
+        action="append",
+        choices=sorted(EXPERIMENTS),
+        help="experiment to run (repeatable)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every experiment"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "full"],
+        default="quick",
+        help="workload size: quick (seconds) or full (minutes)",
+    )
+    parser.add_argument(
+        "-o", "--output", help="also append rendered results to this file"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render figure-style experiments as ASCII charts too",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, fn in sorted(EXPERIMENTS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"{name:20s} {doc[0] if doc else ''}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.all else (args.experiment or [])
+    if not names:
+        parser.error("pass --all, --list, or at least one -e/--experiment")
+
+    chunks = []
+    for name in names:
+        started = time.perf_counter()
+        result = run_experiment(name, scale=args.scale)
+        elapsed = time.perf_counter() - started
+        text = result.render() + f"\n(ran in {elapsed:.1f}s, scale={args.scale})\n"
+        if args.chart:
+            from repro.bench.charts import chart_from_experiment
+
+            chart = chart_from_experiment(result)
+            if "no chartable" not in chart and "no data" not in chart:
+                text += "\n" + chart + "\n"
+        print(text)
+        chunks.append(text)
+    if args.output:
+        with open(args.output, "a") as handle:
+            handle.write("\n".join(chunks))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Benchmark runners: time optimizers and partitioners on query instances.
+
+``normalized_runtimes`` reproduces the aggregation of the paper's Tables
+IV and V: per input, each algorithm's runtime is divided by DPccp's on
+the same input; min/max/avg are then taken per algorithm over the whole
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.bench.timing import TimingResult, time_callable
+from repro.catalog.workload import QueryInstance
+from repro.enumeration.mincutbranch import MinCutBranch
+from repro.enumeration.mincutlazy import MinCutLazy
+from repro.optimizer.api import make_optimizer
+
+__all__ = [
+    "time_optimizer",
+    "time_partitioning",
+    "normalized_runtimes",
+    "NormalizedSummary",
+]
+
+#: Strategies measurable by time_partitioning.
+_PARTITIONERS = {
+    "mincutbranch": MinCutBranch,
+    "mincutlazy": MinCutLazy,
+}
+
+
+def time_optimizer(
+    algorithm: str,
+    instance: QueryInstance,
+    time_budget: float = 0.5,
+) -> TimingResult:
+    """Time complete plan generation (one call to the plan generator).
+
+    A fresh optimizer (fresh memo table) is built per run, matching the
+    paper's per-query measurement of TDPLANGEN.
+    """
+
+    def run():
+        make_optimizer(algorithm, instance.catalog).optimize()
+
+    return time_callable(run, time_budget=time_budget)
+
+
+def time_partitioning(
+    strategy_name: str,
+    instance: QueryInstance,
+    time_budget: float = 0.5,
+) -> TimingResult:
+    """Time one Partition call on the full vertex set (Fig. 9 measurement).
+
+    The result divided by |P_ccp_sym(V)| gives the cost per emitted ccp.
+    """
+    strategy_cls = _PARTITIONERS[strategy_name]
+    graph = instance.graph
+
+    def run():
+        strategy = strategy_cls(graph)
+        for _ in strategy.partitions(graph.all_vertices):
+            pass
+
+    return time_callable(run, time_budget=time_budget)
+
+
+@dataclass
+class NormalizedSummary:
+    """Min/max/avg of per-input runtime factors relative to the baseline."""
+
+    algorithm: str
+    minimum: float
+    maximum: float
+    average: float
+
+    def row(self) -> List[str]:
+        return [
+            self.algorithm,
+            f"{self.minimum:.2f}",
+            f"{self.maximum:.2f}",
+            f"{self.average:.2f}",
+        ]
+
+
+def normalized_runtimes(
+    algorithms: Sequence[str],
+    instances: Iterable[QueryInstance],
+    baseline: str = "dpccp",
+    time_budget: float = 0.3,
+) -> List[NormalizedSummary]:
+    """Tables IV/V aggregation: runtime factors relative to ``baseline``.
+
+    Every algorithm (plus the baseline) is timed on every instance; the
+    per-instance factor is ``t(alg) / t(baseline)``; the summary reports
+    min/max/avg per algorithm across instances.
+    """
+    factors: Dict[str, List[float]] = {name: [] for name in algorithms}
+    for instance in instances:
+        base = time_optimizer(baseline, instance, time_budget=time_budget)
+        for name in algorithms:
+            if name == baseline:
+                factors[name].append(1.0)
+                continue
+            timing = time_optimizer(name, instance, time_budget=time_budget)
+            factors[name].append(timing.average / base.average)
+    summaries = []
+    for name in algorithms:
+        values = factors[name]
+        summaries.append(
+            NormalizedSummary(
+                algorithm=name,
+                minimum=min(values),
+                maximum=max(values),
+                average=sum(values) / len(values),
+            )
+        )
+    return summaries

@@ -1,0 +1,214 @@
+"""Bitset representation of vertex (relation) sets.
+
+Throughout the library, a set of relations is represented as a plain Python
+``int`` used as a bit vector: bit ``i`` is set iff relation ``R_i`` is a
+member.  This mirrors the paper's remark that branch partitioning "only
+relies on set operations, which can be implemented easily and efficiently
+using bit vectors" (Fender & Moerkotte, Sec. V).
+
+Python ints are arbitrary precision, so there is no upper bound on the
+number of relations.  All helpers in this module are pure functions over
+ints; the empty set is ``0``.
+
+The subset enumeration helpers implement the "rapid subset enumeration"
+technique of Vance & Maier (SIGMOD 1996), which the paper's naive
+partitioner cites for iterating all subsets of a set in increasing
+integer order using only arithmetic on the bit vector.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+__all__ = [
+    "EMPTY",
+    "bit",
+    "set_of",
+    "is_subset",
+    "is_proper_subset",
+    "intersects",
+    "lowest_bit",
+    "lowest_index",
+    "highest_index",
+    "popcount",
+    "iter_bits",
+    "iter_indices",
+    "iter_subsets",
+    "iter_nonempty_subsets",
+    "iter_proper_nonempty_subsets",
+    "set_below",
+    "to_indices",
+    "from_indices",
+    "format_set",
+]
+
+#: The empty vertex set.
+EMPTY = 0
+
+
+def bit(index: int) -> int:
+    """Return the singleton set ``{index}``.
+
+    >>> bit(3)
+    8
+    """
+    return 1 << index
+
+
+def set_of(*indices: int) -> int:
+    """Return the set containing exactly the given vertex indices.
+
+    >>> set_of(0, 2) == 0b101
+    True
+    """
+    result = 0
+    for index in indices:
+        result |= 1 << index
+    return result
+
+
+def is_subset(subset: int, superset: int) -> bool:
+    """Return True iff ``subset`` is contained in ``superset`` (not strict)."""
+    return subset & ~superset == 0
+
+
+def is_proper_subset(subset: int, superset: int) -> bool:
+    """Return True iff ``subset`` is strictly contained in ``superset``."""
+    return subset != superset and subset & ~superset == 0
+
+
+def intersects(left: int, right: int) -> bool:
+    """Return True iff the two sets share at least one element."""
+    return left & right != 0
+
+
+def lowest_bit(vertex_set: int) -> int:
+    """Return the singleton set holding the lowest-index member.
+
+    The classic two's-complement trick ``s & -s`` isolates the least
+    significant set bit.  ``vertex_set`` must be non-empty.
+
+    >>> lowest_bit(0b1100)
+    4
+    """
+    if vertex_set == 0:
+        raise ValueError("lowest_bit of the empty set is undefined")
+    return vertex_set & -vertex_set
+
+
+def lowest_index(vertex_set: int) -> int:
+    """Return the smallest vertex index in the (non-empty) set."""
+    if vertex_set == 0:
+        raise ValueError("lowest_index of the empty set is undefined")
+    return (vertex_set & -vertex_set).bit_length() - 1
+
+
+def highest_index(vertex_set: int) -> int:
+    """Return the largest vertex index in the (non-empty) set.
+
+    Used by the symmetric-pair convention: the paper keeps, of each
+    symmetric ccp, the pair whose *complement* contains the relation with
+    the highest index (``max_index(S1) <= max_index(S2)``).
+    """
+    if vertex_set == 0:
+        raise ValueError("highest_index of the empty set is undefined")
+    return vertex_set.bit_length() - 1
+
+
+def popcount(vertex_set: int) -> int:
+    """Return the number of members (population count)."""
+    return bin(vertex_set).count("1")
+
+
+def iter_bits(vertex_set: int) -> Iterator[int]:
+    """Yield each member of the set as a singleton bitset, ascending.
+
+    >>> list(iter_bits(0b1010))
+    [2, 8]
+    """
+    remaining = vertex_set
+    while remaining:
+        low = remaining & -remaining
+        yield low
+        remaining ^= low
+
+
+def iter_indices(vertex_set: int) -> Iterator[int]:
+    """Yield each member of the set as a vertex index, ascending.
+
+    >>> list(iter_indices(0b1010))
+    [1, 3]
+    """
+    remaining = vertex_set
+    while remaining:
+        low = remaining & -remaining
+        yield low.bit_length() - 1
+        remaining ^= low
+
+
+def iter_subsets(vertex_set: int) -> Iterator[int]:
+    """Yield every subset of ``vertex_set`` including 0 and the set itself.
+
+    Subsets are produced in increasing integer order by Vance & Maier's
+    enumeration: ``next = (current - set) & set`` walks all submasks.
+    """
+    subset = 0
+    while True:
+        yield subset
+        if subset == vertex_set:
+            return
+        subset = (subset - vertex_set) & vertex_set
+
+
+def iter_nonempty_subsets(vertex_set: int) -> Iterator[int]:
+    """Yield every non-empty subset of ``vertex_set`` (including itself)."""
+    if vertex_set == 0:
+        return
+    subset = vertex_set & -vertex_set  # smallest non-empty submask
+    while True:
+        yield subset
+        if subset == vertex_set:
+            return
+        subset = (subset - vertex_set) & vertex_set
+
+
+def iter_proper_nonempty_subsets(vertex_set: int) -> Iterator[int]:
+    """Yield every subset S with ``0 != S != vertex_set``.
+
+    This is exactly the ``2^|V| - 2`` iteration space of the paper's naive
+    partitioning algorithm (Fig. 3, line 1).
+    """
+    for subset in iter_nonempty_subsets(vertex_set):
+        if subset != vertex_set:
+            yield subset
+
+
+def set_below(index: int) -> int:
+    """Return ``B_index = {v_0, ..., v_index}`` as a bitset.
+
+    This is the prefix set used by DPccp's EnumerateCsg ("B_i" in
+    Moerkotte & Neumann, VLDB 2006).
+
+    >>> bin(set_below(2))
+    '0b111'
+    """
+    return (1 << (index + 1)) - 1
+
+
+def to_indices(vertex_set: int) -> List[int]:
+    """Return the members as a sorted list of vertex indices."""
+    return list(iter_indices(vertex_set))
+
+
+def from_indices(indices) -> int:
+    """Build a bitset from an iterable of vertex indices."""
+    result = 0
+    for index in indices:
+        result |= 1 << index
+    return result
+
+
+def format_set(vertex_set: int, prefix: str = "R") -> str:
+    """Render a bitset as ``{R0, R2, ...}`` for messages and debugging."""
+    members = ", ".join(f"{prefix}{i}" for i in iter_indices(vertex_set))
+    return "{" + members + "}"

@@ -1,0 +1,20 @@
+"""Catalog substrate: relations, join predicates, statistics, workloads."""
+
+from repro.catalog.statistics import Catalog, Relation
+from repro.catalog.workload import (
+    attach_random_statistics,
+    uniform_statistics,
+    QueryInstance,
+    WorkloadGenerator,
+    paper_workload,
+)
+
+__all__ = [
+    "Catalog",
+    "Relation",
+    "attach_random_statistics",
+    "uniform_statistics",
+    "QueryInstance",
+    "WorkloadGenerator",
+    "paper_workload",
+]

@@ -1,0 +1,60 @@
+"""Cross-product support for disconnected query graphs.
+
+The paper's search space excludes cross products and presumes a
+connected query graph (Sec. I).  Real workloads occasionally ship
+disconnected join graphs (missing predicates, constants, degenerate
+rewrites); the standard production remedy is to *connect* the graph with
+artificial cross-join edges of selectivity 1 — after which every
+enumerator in the library applies unchanged, and any "join" over an
+artificial edge is exactly a cross product.
+
+:func:`connect_components` performs that rewrite; ``optimize_query(...,
+allow_cross_products=True)`` calls it automatically.  Component stitching
+is by ascending component order through the lowest-index vertices, which
+keeps the added edge count minimal (``#components - 1``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import bitset
+from repro.catalog.statistics import Catalog
+from repro.graph.query_graph import QueryGraph
+
+__all__ = ["connect_components", "artificial_edges"]
+
+
+def artificial_edges(graph: QueryGraph) -> List[Tuple[int, int]]:
+    """Return the cross-join edges needed to connect the graph.
+
+    One edge per component boundary, linking each component's
+    lowest-index vertex to the next component's; empty for connected
+    graphs.
+    """
+    components = graph.connected_components(graph.all_vertices)
+    if len(components) <= 1:
+        return []
+    anchors = sorted(bitset.lowest_index(c) for c in components)
+    return [
+        (anchors[i], anchors[i + 1]) for i in range(len(anchors) - 1)
+    ]
+
+
+def connect_components(catalog: Catalog) -> Catalog:
+    """Return a catalog whose graph is connected via selectivity-1 edges.
+
+    A no-op (returns the input object) when the graph is already
+    connected.  The artificial edges change neither any cardinality
+    estimate (selectivity 1) nor the validity of existing plans; they
+    only admit cross products where no real predicate exists.
+    """
+    graph = catalog.graph
+    extra = artificial_edges(graph)
+    if not extra:
+        return catalog
+    edges = list(graph.edges) + extra
+    connected_graph = QueryGraph(graph.n_vertices, edges)
+    selectivities = {edge: catalog.selectivity(*edge) for edge in graph.edges}
+    selectivities.update({edge: 1.0 for edge in extra})
+    return Catalog(connected_graph, catalog.relations, selectivities)

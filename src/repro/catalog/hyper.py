@@ -1,0 +1,141 @@
+"""Statistics for hypergraph queries.
+
+A :class:`HyperCatalog` mirrors :class:`~repro.catalog.statistics.Catalog`
+for hypergraphs.  Selectivities attach to hyperedges and apply when the
+edge's full scope is first covered by a join's output — predicates whose
+scope straddles a split (neither operand covers it, the union does) are
+applied at that join too, keeping ``card(S)`` split-invariant::
+
+    card(S) = prod(card(R) for R in S)
+            * prod(sel(e) for hyperedges e with scope(e) ⊆ S)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro import bitset
+from repro.catalog.statistics import Relation
+from repro.errors import CatalogError
+from repro.graph.hypergraph import Hyperedge, Hypergraph
+
+__all__ = ["HyperCatalog"]
+
+
+class HyperCatalog:
+    """Cardinalities per relation + one selectivity per hyperedge."""
+
+    __slots__ = ("hypergraph", "relations", "_selectivity")
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        relations: Iterable[Relation],
+        selectivities: Dict[Hyperedge, float],
+    ):
+        self.hypergraph = hypergraph
+        self.relations: Tuple[Relation, ...] = tuple(relations)
+        if len(self.relations) != hypergraph.n_vertices:
+            raise CatalogError(
+                f"expected {hypergraph.n_vertices} relations, "
+                f"got {len(self.relations)}"
+            )
+        self._selectivity: List[Tuple[Hyperedge, float]] = []
+        known = set(hypergraph.edges)
+        covered = set()
+        for hyperedge, sel in selectivities.items():
+            if hyperedge not in known:
+                raise CatalogError(f"selectivity for unknown edge {hyperedge!r}")
+            if not 0.0 < sel <= 1.0:
+                raise CatalogError(
+                    f"selectivity for {hyperedge!r} must be in (0, 1], got {sel}"
+                )
+            self._selectivity.append((hyperedge, sel))
+            covered.add(hyperedge)
+        missing = known - covered
+        if missing:
+            raise CatalogError(f"edges without selectivity: {sorted(map(repr, missing))}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> Hypergraph:
+        """Alias so PlanBuilder-style code can treat this like a Catalog."""
+        return self.hypergraph
+
+    def cardinality(self, vertex: int) -> float:
+        return self.relations[vertex].cardinality
+
+    def selectivity_between(self, left: int, right: int) -> float:
+        """Product of selectivities of edges completed by ``left ⋈ right``.
+
+        An edge is completed when its scope fits in the union but in
+        neither operand alone — the standard apply-once rule, which keeps
+        the incremental estimate split-order independent.
+        """
+        union = left | right
+        product = 1.0
+        for hyperedge, sel in self._selectivity:
+            scope = hyperedge.u | hyperedge.v
+            if (
+                bitset.is_subset(scope, union)
+                and not bitset.is_subset(scope, left)
+                and not bitset.is_subset(scope, right)
+            ):
+                product *= sel
+        return product
+
+    def estimate(self, vertex_set: int) -> float:
+        """Reference (non-incremental) cardinality of a relation set."""
+        card = 1.0
+        for vertex in bitset.iter_indices(vertex_set):
+            card *= self.relations[vertex].cardinality
+        for hyperedge, sel in self._selectivity:
+            if bitset.is_subset(hyperedge.u | hyperedge.v, vertex_set):
+                card *= sel
+        return card
+
+    def relation_names(self) -> List[str]:
+        return [relation.name for relation in self.relations]
+
+    def __repr__(self) -> str:
+        return (
+            f"HyperCatalog(n_relations={len(self.relations)}, "
+            f"n_edges={len(self._selectivity)})"
+        )
+
+
+def uniform_hyper_statistics(
+    hypergraph: Hypergraph,
+    cardinality: float = 1000.0,
+    selectivity: float = 0.01,
+) -> HyperCatalog:
+    """Identical statistics everywhere (test/demo fixture)."""
+    relations = [
+        Relation(name=f"R{v}", cardinality=cardinality)
+        for v in range(hypergraph.n_vertices)
+    ]
+    selectivities = {edge: selectivity for edge in hypergraph.edges}
+    return HyperCatalog(hypergraph, relations, selectivities)
+
+
+def attach_random_hyper_statistics(
+    hypergraph: Hypergraph, seed: int = 0
+) -> HyperCatalog:
+    """Gaussian statistics as in the plain-graph workload generator."""
+    import random
+
+    rng = random.Random(seed)
+    relations = []
+    for vertex in range(hypergraph.n_vertices):
+        log_card = rng.gauss(4.0, 1.0)
+        card = min(max(10.0 ** log_card, 10.0), 1.0e7)
+        relations.append(Relation(name=f"R{vertex}", cardinality=round(card)))
+    selectivities = {}
+    for edge in hypergraph.edges:
+        sel = rng.gauss(0.1, 0.1)
+        selectivities[edge] = min(max(sel, 1.0e-4), 1.0)
+    return HyperCatalog(hypergraph, relations, selectivities)
+
+
+__all__ += ["uniform_hyper_statistics", "attach_random_hyper_statistics"]

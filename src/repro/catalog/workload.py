@@ -1,0 +1,203 @@
+"""Workload generation: query graphs with attached random statistics.
+
+Reproduces the paper's generic query graph generator (Sec. IV-A): fixed
+shapes plus random acyclic/cyclic graphs, with "cardinalities and
+selectivities ... attached using a random generator with a Gaussian
+distribution".  Since the paper ignores pruning, these numbers do not
+influence the search space — but they do exercise the cost path, so the
+benchmark remains an end-to-end plan generation measurement as in the
+paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.catalog.statistics import Catalog, Relation
+from repro.errors import GraphError
+from repro.graph.query_graph import QueryGraph
+from repro.graph.random import random_acyclic_graph, random_cyclic_graph
+from repro.graph.shapes import make_shape
+
+__all__ = [
+    "attach_random_statistics",
+    "uniform_statistics",
+    "QueryInstance",
+    "WorkloadGenerator",
+    "paper_workload",
+]
+
+#: Gaussian parameters for base-10 log-cardinalities: mean 10^4 rows, one
+#: order of magnitude standard deviation, clamped to [10, 10^7].
+_LOG10_CARD_MEAN = 4.0
+_LOG10_CARD_STDDEV = 1.0
+_CARD_MIN = 10.0
+_CARD_MAX = 1.0e7
+
+#: Gaussian parameters for selectivities, clamped into (0, 1].
+_SEL_MEAN = 0.1
+_SEL_STDDEV = 0.1
+_SEL_MIN = 1.0e-4
+_SEL_MAX = 1.0
+
+
+def attach_random_statistics(
+    graph: QueryGraph,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Catalog:
+    """Attach Gaussian-distributed cardinalities and selectivities.
+
+    Cardinalities are log-normal (Gaussian in log10-space) to span several
+    orders of magnitude like real base tables; selectivities are Gaussian
+    around a selective mean, clamped into ``(0, 1]``.
+    """
+    generator = rng if rng is not None else random.Random(seed)
+    relations = []
+    for vertex in range(graph.n_vertices):
+        log_card = generator.gauss(_LOG10_CARD_MEAN, _LOG10_CARD_STDDEV)
+        card = min(max(10.0 ** log_card, _CARD_MIN), _CARD_MAX)
+        relations.append(Relation(name=f"R{vertex}", cardinality=round(card)))
+    selectivities = {}
+    for edge in graph.edges:
+        sel = generator.gauss(_SEL_MEAN, _SEL_STDDEV)
+        selectivities[edge] = min(max(sel, _SEL_MIN), _SEL_MAX)
+    return Catalog(graph, relations, selectivities)
+
+
+def uniform_statistics(
+    graph: QueryGraph, cardinality: float = 1000.0, selectivity: float = 0.01
+) -> Catalog:
+    """Attach identical statistics everywhere (deterministic test fixture)."""
+    relations = [
+        Relation(name=f"R{v}", cardinality=cardinality)
+        for v in range(graph.n_vertices)
+    ]
+    selectivities = {edge: selectivity for edge in graph.edges}
+    return Catalog(graph, relations, selectivities)
+
+
+@dataclass
+class QueryInstance:
+    """One benchmark query: a graph, its statistics, and provenance labels."""
+
+    graph: QueryGraph
+    catalog: Catalog
+    shape: str
+    seed: Optional[int] = None
+
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.n_edges
+
+
+@dataclass
+class WorkloadGenerator:
+    """Seeded factory for the paper's workload families.
+
+    Every generated instance is reproducible from ``(seed, parameters)``;
+    the generator hands out independent child seeds so instances do not
+    share RNG state.
+    """
+
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def _child_seed(self) -> int:
+        return self._rng.randrange(2 ** 62)
+
+    def fixed_shape(self, shape: str, n_vertices: int) -> QueryInstance:
+        """Generate a chain/star/cycle/clique query with random statistics."""
+        child = self._child_seed()
+        graph = make_shape(shape, n_vertices)
+        catalog = attach_random_statistics(graph, seed=child)
+        return QueryInstance(graph=graph, catalog=catalog, shape=shape, seed=child)
+
+    def random_acyclic(
+        self, n_vertices: int, exclude_chain_and_star: bool = True
+    ) -> QueryInstance:
+        """Generate a random tree query (Fig. 12 workload)."""
+        child = self._child_seed()
+        # Trees on fewer than 5 vertices are always chains or stars, so
+        # the exclusion only applies from n = 5 upward.
+        graph = random_acyclic_graph(
+            n_vertices,
+            seed=child,
+            exclude_chain_and_star=exclude_chain_and_star and n_vertices >= 5,
+        )
+        catalog = attach_random_statistics(graph, seed=child)
+        return QueryInstance(graph=graph, catalog=catalog, shape="acyclic", seed=child)
+
+    def random_cyclic(self, n_vertices: int, n_edges: int) -> QueryInstance:
+        """Generate a random cyclic query (Figs. 15-17 workload)."""
+        child = self._child_seed()
+        graph = random_cyclic_graph(n_vertices, n_edges, seed=child)
+        catalog = attach_random_statistics(graph, seed=child)
+        return QueryInstance(graph=graph, catalog=catalog, shape="cyclic", seed=child)
+
+    def random_cyclic_uniform_edges(self, n_vertices: int) -> QueryInstance:
+        """Generate a random cyclic query with a uniform random edge count.
+
+        Matches Sec. IV-A: "The number of vertices and edges for our random
+        cyclic queries are uniformly distributed."
+        """
+        min_edges = n_vertices  # at least one cycle
+        max_edges = n_vertices * (n_vertices - 1) // 2
+        if min_edges > max_edges:
+            raise GraphError(f"{n_vertices} vertices cannot form a cyclic graph")
+        n_edges = self._rng.randint(min_edges, max_edges)
+        return self.random_cyclic(n_vertices, n_edges)
+
+    def series(
+        self, shape: str, sizes: Sequence[int], per_size: int = 1
+    ) -> Iterator[QueryInstance]:
+        """Yield ``per_size`` instances of the given shape for every size."""
+        for n_vertices in sizes:
+            for _ in range(per_size):
+                if shape in ("chain", "star", "cycle", "clique"):
+                    yield self.fixed_shape(shape, n_vertices)
+                elif shape == "acyclic":
+                    yield self.random_acyclic(n_vertices)
+                elif shape == "cyclic":
+                    yield self.random_cyclic_uniform_edges(n_vertices)
+                else:
+                    raise GraphError(f"unknown workload shape {shape!r}")
+
+
+def paper_workload(
+    seed: int = 0,
+    max_vertices: int = 12,
+    per_class: int = 4,
+) -> List["QueryInstance"]:
+    """Build a mixed suite in the style of the paper's 25,500-graph workload.
+
+    Sec. IV-A: chains, stars, cycles and cliques at every size, plus
+    random acyclic and random cyclic graphs with uniformly distributed
+    vertex and edge counts — all with Gaussian statistics.  Sizes are
+    scaled to laptop budgets (``max_vertices``, ``per_class`` instances
+    per shape and size); the returned list is fully determined by
+    ``seed``.
+    """
+    generator = WorkloadGenerator(seed=seed)
+    instances: List[QueryInstance] = []
+    for n in range(4, max_vertices + 1):
+        for shape in ("chain", "star", "cycle", "clique"):
+            if shape == "clique" and n > min(max_vertices, 10):
+                continue  # clique cost grows 3^n; cap like the paper's 100 s limit
+            if shape == "star" and n > min(max_vertices, 11):
+                continue
+            instances.append(generator.fixed_shape(shape, n))
+        for _ in range(per_class):
+            instances.append(generator.random_acyclic(n))
+            if n >= 4:
+                instances.append(generator.random_cyclic_uniform_edges(n))
+    return instances

@@ -1,0 +1,193 @@
+"""Command-line interface: optimize ad-hoc queries from the shell.
+
+Examples::
+
+    repro-optimize --shape chain --n 8
+    repro-optimize --shape clique --n 7 --algorithm dpccp --seed 3
+    repro-optimize --edges "0-1,1-2,2-0" --cards "100,2000,50" \
+        --sels "0-1:0.1,1-2:0.05,2-0:0.5" --cost-model physical
+    repro-optimize --shape star --n 9 --compare
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.catalog.statistics import Catalog, Relation
+from repro.catalog.workload import WorkloadGenerator, attach_random_statistics
+from repro.cost.cout import CoutCostModel
+from repro.cost.physical import PhysicalCostModel
+from repro.errors import ReproError
+from repro.graph.query_graph import QueryGraph
+from repro.optimizer.api import ALGORITHMS, optimize_query
+
+__all__ = ["main"]
+
+
+def _parse_edges(spec: str) -> List[tuple]:
+    """Parse ``"0-1,1-2"`` into [(0, 1), (1, 2)]."""
+    edges = []
+    for chunk in spec.split(","):
+        left, _, right = chunk.partition("-")
+        edges.append((int(left), int(right)))
+    return edges
+
+
+def _build_catalog(args) -> Catalog:
+    if args.workload:
+        family, _, query = args.workload.partition(":")
+        builders = {}
+        from repro.workloads import job_query, ssb_query, tpch_query
+
+        builders = {"tpch": tpch_query, "ssb": ssb_query, "job": job_query}
+        if family not in builders:
+            raise ReproError(
+                f"unknown workload family {family!r}; expected one of "
+                f"{sorted(builders)} (e.g. tpch:q5)"
+            )
+        if not query:
+            raise ReproError(
+                f"workload spec needs a query name, e.g. {family}:q5"
+            )
+        return builders[family](query, scale_factor=args.scale_factor)
+    if args.edges:
+        edges = _parse_edges(args.edges)
+        n = max(max(e) for e in edges) + 1
+        graph = QueryGraph(n, edges)
+        if args.cards:
+            cards = [float(c) for c in args.cards.split(",")]
+            relations = [
+                Relation(f"R{i}", card) for i, card in enumerate(cards)
+            ]
+        else:
+            return attach_random_statistics(graph, seed=args.seed)
+        selectivities = {}
+        if args.sels:
+            for chunk in args.sels.split(","):
+                edge_spec, _, value = chunk.partition(":")
+                u, _, v = edge_spec.partition("-")
+                selectivities[(int(u), int(v))] = float(value)
+        else:
+            selectivities = {e: 0.1 for e in graph.edges}
+        return Catalog(graph, relations, selectivities)
+    generator = WorkloadGenerator(seed=args.seed)
+    if args.shape == "cyclic":
+        return generator.random_cyclic_uniform_edges(args.n).catalog
+    if args.shape == "acyclic":
+        return generator.random_acyclic(args.n).catalog
+    return generator.fixed_shape(args.shape, args.n).catalog
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-optimize",
+        description="Join-order optimization with top-down enumeration "
+        "(Fender & Moerkotte, ICDE 2011).",
+    )
+    source = parser.add_argument_group("query source")
+    source.add_argument(
+        "--shape",
+        choices=["chain", "star", "cycle", "clique", "acyclic", "cyclic"],
+        default="chain",
+        help="generated query graph shape",
+    )
+    source.add_argument("--n", type=int, default=6, help="number of relations")
+    source.add_argument(
+        "--edges",
+        help='explicit edge list, e.g. "0-1,1-2,2-0" (overrides --shape)',
+    )
+    source.add_argument(
+        "--cards", help='explicit cardinalities, e.g. "100,2000,50"'
+    )
+    source.add_argument(
+        "--sels", help='explicit selectivities, e.g. "0-1:0.1,1-2:0.05"'
+    )
+    source.add_argument("--seed", type=int, default=0, help="statistics seed")
+    source.add_argument(
+        "--workload",
+        help='benchmark query, e.g. "tpch:q5", "ssb:q4.1", "job:j12" '
+        "(overrides --shape/--edges)",
+    )
+    source.add_argument(
+        "--scale-factor",
+        type=float,
+        default=1.0,
+        help="scale factor for --workload schemas",
+    )
+
+    run = parser.add_argument_group("optimization")
+    run.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="tdmincutbranch",
+    )
+    run.add_argument(
+        "--cost-model", choices=["cout", "physical"], default="cout"
+    )
+    run.add_argument(
+        "--pruning", action="store_true", help="enable branch-and-bound pruning"
+    )
+    run.add_argument(
+        "--compare",
+        action="store_true",
+        help="run every algorithm and report each runtime",
+    )
+    run.add_argument(
+        "--explain",
+        action="store_true",
+        help="print a full EXPLAIN report (search space, counters, plan)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        catalog = _build_catalog(args)
+        cost_model = (
+            PhysicalCostModel() if args.cost_model == "physical" else CoutCostModel()
+        )
+        if args.explain:
+            from repro.analysis.explain import explain
+
+            print(
+                explain(
+                    catalog,
+                    algorithm=args.algorithm,
+                    cost_model=cost_model,
+                    enable_pruning=args.pruning,
+                )
+            )
+            return 0
+        if args.compare:
+            print(
+                f"query: {catalog.graph.n_vertices} relations, "
+                f"{catalog.graph.n_edges} join edges "
+                f"({catalog.graph.shape_name()})"
+            )
+            for name in sorted(ALGORITHMS):
+                try:
+                    result = optimize_query(
+                        catalog, algorithm=name, cost_model=cost_model
+                    )
+                except ReproError as exc:
+                    print(f"  {name:18s} failed: {exc}")
+                    continue
+                print(f"  {result.summary()}")
+            return 0
+        result = optimize_query(
+            catalog,
+            algorithm=args.algorithm,
+            cost_model=cost_model,
+            enable_pruning=args.pruning,
+        )
+        print(result.summary())
+        print()
+        print(result.plan.pretty())
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Cost models and cardinality estimation."""
+
+from repro.cost.base import CostModel, JoinImplementation
+from repro.cost.cout import CoutCostModel
+from repro.cost.physical import (
+    PhysicalCostModel,
+    NestedLoopJoin,
+    HashJoin,
+    SortMergeJoin,
+)
+from repro.cost.cardinality import CardinalityEstimator
+
+__all__ = [
+    "CostModel",
+    "JoinImplementation",
+    "CoutCostModel",
+    "PhysicalCostModel",
+    "NestedLoopJoin",
+    "HashJoin",
+    "SortMergeJoin",
+    "CardinalityEstimator",
+]

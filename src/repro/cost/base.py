@@ -1,0 +1,65 @@
+"""Cost model interface.
+
+A cost model prices one two-way join given the input and output
+cardinalities; plan costs accumulate bottom-up (cost of a tree = cost of
+its root join + costs of both subtrees).  The interface returns the name of
+the chosen join implementation together with the cost so ``CreateTree``
+can record the cheapest physical alternative, as the paper's Fig. 2
+commentary requires ("If different join implementations have to be
+considered, among all alternatives the cheapest join tree has to be built").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["CostModel", "JoinImplementation"]
+
+
+@dataclass(frozen=True)
+class JoinImplementation:
+    """A physical join operator with a simple two-parameter linear cost.
+
+    ``cost = left_coefficient * |L| + right_coefficient * |R| + output_weight * |out|``
+    plus optional ``log``-factors handled by subclass overrides.  This is the
+    "few arithmetic operations" family of Haas et al. the paper cites for
+    join cost functions.
+    """
+
+    name: str
+
+    def cost(
+        self, left_card: float, right_card: float, output_card: float
+    ) -> float:
+        """Return the local cost of joining (left as build/outer side)."""
+        raise NotImplementedError
+
+
+class CostModel(abc.ABC):
+    """Prices a single join; implementations must be deterministic."""
+
+    #: Human-readable model name for reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def join_cost(
+        self, left_card: float, right_card: float, output_card: float
+    ) -> Tuple[float, str]:
+        """Return ``(cost, implementation_name)`` for the cheapest join.
+
+        ``left_card``/``right_card`` are the input cardinalities in the
+        orientation being priced (callers price both orientations, per
+        BuildTree in Fig. 2); ``output_card`` is the join result size.
+        The returned cost is the *local* cost of this join only.
+        """
+
+    def is_symmetric(self) -> bool:
+        """True iff ``join_cost(a, b, o) == join_cost(b, a, o)`` always.
+
+        Symmetric models (like C_out) make the two trees of a symmetric
+        ccp equally expensive; the generic driver still prices both, as
+        the paper's BuildTree does, to keep algorithms comparable.
+        """
+        return False

@@ -1,0 +1,39 @@
+"""csg-cmp-pair (ccp) enumeration: partitioning strategies for top-down
+join enumeration, plus counting utilities for the search space."""
+
+from repro.enumeration.base import PartitioningStrategy, PartitionStats
+from repro.enumeration.naive import NaivePartitioning
+from repro.enumeration.conservative import ConservativePartitioning
+from repro.enumeration.mincutbranch import MinCutBranch
+from repro.enumeration.mincutlazy import MinCutLazy
+from repro.enumeration.trace import TracedMinCutBranch, TraceEvent
+from repro.enumeration.trace_lazy import LazyTraceEvent, TracedMinCutLazy
+from repro.enumeration.hyper_partition import (
+    HyperConservativePartitioning,
+    HyperNaivePartitioning,
+)
+from repro.enumeration.counting import (
+    count_connected_subgraphs,
+    count_ccps,
+    count_ngt_subsets,
+    enumerate_connected_subgraphs,
+)
+
+__all__ = [
+    "PartitioningStrategy",
+    "PartitionStats",
+    "NaivePartitioning",
+    "ConservativePartitioning",
+    "MinCutBranch",
+    "MinCutLazy",
+    "HyperNaivePartitioning",
+    "HyperConservativePartitioning",
+    "TracedMinCutBranch",
+    "TraceEvent",
+    "TracedMinCutLazy",
+    "LazyTraceEvent",
+    "count_connected_subgraphs",
+    "count_ccps",
+    "count_ngt_subsets",
+    "enumerate_connected_subgraphs",
+]

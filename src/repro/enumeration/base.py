@@ -1,0 +1,100 @@
+"""Partitioning strategy interface.
+
+A partitioning strategy computes, for a connected vertex set ``S``, the
+set ``P_ccp_sym(S)`` of csg-cmp-pairs for ``S`` with each symmetric pair
+emitted exactly once (Def. 2.2).  The generic top-down driver
+(:mod:`repro.optimizer.topdown`) is instantiated with one of these
+strategies; per the paper, "depending on the choice of the partitioning
+strategy, the overall performance of TDPLANGEN can vary by orders of
+magnitude".
+
+Every strategy carries a :class:`PartitionStats` counter block so the
+benchmarks can verify the paper's complexity analysis (numbers of loop
+iterations, Reachable calls, biconnection tree builds, ...) against the
+closed forms in Sec. III-F and Appendix B.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+from repro.graph.query_graph import QueryGraph
+
+__all__ = ["PartitionStats", "PartitioningStrategy"]
+
+
+@dataclass
+class PartitionStats:
+    """Work counters accumulated across all ``partitions`` calls.
+
+    Only the counters relevant to a given strategy are incremented; the
+    others stay zero.  Fields mirror the quantities of the paper's
+    complexity analyses:
+
+    * ``emitted`` — ccps emitted (|P_ccp_sym| summed over all calls).
+    * ``calls`` — invocations of the strategy's recursive core.
+    * ``loop_iterations`` — MinCutBranch's ``i`` (Sec. III-F).
+    * ``reachable_calls`` — MinCutBranch's ``r``.
+    * ``reachable_iterations`` — MinCutBranch's ``l``.
+    * ``tree_builds`` / ``tree_build_cost`` — MinCutLazy's biconnection
+      tree constructions and their summed elementary cost (Appendix B).
+    * ``usability_tests`` / ``usability_hits`` — MinCutLazy's IsUsable.
+    * ``subsets_generated`` — naive partitioning's enumerated subsets
+      (the #ngt quantity of Table I).
+    * ``connectivity_tests`` — explicit connectivity checks performed.
+    """
+
+    emitted: int = 0
+    calls: int = 0
+    loop_iterations: int = 0
+    reachable_calls: int = 0
+    reachable_iterations: int = 0
+    tree_builds: int = 0
+    tree_build_cost: int = 0
+    usability_tests: int = 0
+    usability_hits: int = 0
+    subsets_generated: int = 0
+    connectivity_tests: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+
+class PartitioningStrategy(abc.ABC):
+    """Base class for ccp enumerators over one query graph."""
+
+    #: Registry/report name, overridden by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, graph: QueryGraph):
+        self.graph = graph
+        self.stats = PartitionStats()
+
+    @abc.abstractmethod
+    def partitions(self, vertex_set: int) -> Iterator[Tuple[int, int]]:
+        """Yield every ccp for ``vertex_set``, symmetric pairs once.
+
+        ``vertex_set`` must induce a connected subgraph with at least two
+        vertices.  The orientation of each emitted pair is
+        strategy-specific; callers that need canonical orientation
+        normalize via :func:`canonical_pair`.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(graph={self.graph!r})"
+
+
+def canonical_pair(left: int, right: int) -> Tuple[int, int]:
+    """Normalize a symmetric ccp to (smaller-max-index side first).
+
+    Matches the paper's convention for ``P_ccp_sym`` membership:
+    ``max_index(S1) <= max_index(S2)``, i.e. the side containing the
+    highest-indexed relation goes second.
+    """
+    if left.bit_length() <= right.bit_length():
+        return (left, right)
+    return (right, left)

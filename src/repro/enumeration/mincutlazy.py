@@ -1,0 +1,144 @@
+"""MinCutLazy: DeHaan & Tompa's lazy minimal cut partitioning (Appendix A).
+
+The previously best top-down partitioner.  It grows a connected set ``C``
+by whole *subtrees* of a biconnection tree of the complement, which keeps
+the complement connected by construction; duplicates are suppressed by a
+restriction set ``X`` enlarged with the *ancestors* of each processed
+pivot.  Rebuilding the biconnection tree whenever the reuse test
+``IsUsable`` fails is what drives the algorithm to ``O(|S|^2)`` per ccp on
+cliques (Appendix B) — the cost the paper's MinCutBranch eliminates.
+
+Implementation notes:
+
+* ``X`` starts as ``{t}`` (Fig. 18's initial call passes ``{t}``), which
+  pins the start vertex in the complement and thereby selects one
+  representative of every symmetric pair.
+* ``N(∅)`` is defined as ``S \\ {t}`` (the figure's footnote), so the root
+  invocation can pivot on any non-start vertex that satisfies the
+  canonical-subtree condition.
+* The reuse test is conservative (false negatives allowed), exactly as
+  the paper assumes for its complexity accounting; see
+  :meth:`repro.graph.bcctree.BiconnectionTree.is_usable`.
+* ``use_reuse_test=False`` disables IsUsable entirely (tree rebuilt every
+  call) for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro import bitset
+from repro.enumeration.base import PartitioningStrategy
+from repro.graph.bcctree import BiconnectionTree
+
+__all__ = ["MinCutLazy"]
+
+
+class MinCutLazy(PartitioningStrategy):
+    """Lazy minimal cut partitioning (PARTITION_MinCutLazy, Fig. 18)."""
+
+    name = "mincutlazy"
+
+    def __init__(self, graph, use_reuse_test: bool = True):
+        super().__init__(graph)
+        self.use_reuse_test = use_reuse_test
+
+    # ------------------------------------------------------------------
+
+    def partitions(self, vertex_set: int) -> Iterator[Tuple[int, int]]:
+        """Return an iterator over ``P_ccp_sym(S)``.
+
+        Pairs come out as ``(C, S \\ C)``.  As with MinCutBranch, the
+        recursion emits through a callback into a list to avoid CPython's
+        per-item ``yield from`` delegation cost.
+        """
+        if bitset.popcount(vertex_set) < 2:
+            return iter(())
+        emitted = []
+        start_bit = vertex_set & -vertex_set
+        start = start_bit.bit_length() - 1
+        self._mincut_lazy(
+            vertex_set, 0, 0, start_bit, None, start, 0, emitted.append
+        )
+        self.stats.emitted += len(emitted)
+        return iter(emitted)
+
+    # ------------------------------------------------------------------
+
+    def _mincut_lazy(
+        self,
+        s_set: int,
+        c_set: int,
+        c_diff: int,
+        x_set: int,
+        tree: Optional[BiconnectionTree],
+        start: int,
+        c_neighbors: int,
+        emit,
+    ) -> None:
+        """MINCUTLAZY (Fig. 18).
+
+        ``c_neighbors`` is the caller-maintained ``(N(C) ∩ S) \\ C``
+        (zero at the root where ``C = ∅``); like MinCutBranch, the
+        neighborhood grows incrementally with ``C`` instead of being
+        recomputed, matching the paper's per-vertex neighbor arrays.
+        """
+        graph = self.graph
+        stats = self.stats
+        stats.calls += 1
+        complement = s_set & ~c_set
+
+        if c_set:                                           # lines 1-2
+            emit((c_set, complement))
+            frontier = c_neighbors
+        else:
+            frontier = s_set & ~(1 << start)                # N(∅) = S \ {t}
+        if frontier & ~x_set == 0:                          # lines 3-4
+            return
+
+        if tree is not None and self.use_reuse_test:        # lines 5-7
+            stats.usability_tests += 1
+            if tree.is_usable(c_diff, complement):
+                stats.usability_hits += 1
+            else:
+                tree = None
+        else:
+            tree = None
+        if tree is None:
+            tree = BiconnectionTree(graph, complement, start)
+            stats.tree_builds += 1
+            stats.tree_build_cost += tree.build_cost
+
+        # Pivot set (line 8, with the Appendix B refinement P ⊆ N(C) \ X):
+        # v qualifies when its complement-masked subtree touches the
+        # frontier only at v itself, so moving the whole subtree into C
+        # is the canonical way to absorb it.
+        pivots = []
+        for v in bitset.iter_indices(frontier & ~x_set):
+            stats.loop_iterations += 1
+            if tree.descendants(v, complement) & frontier == 1 << v:
+                pivots.append(v)
+
+        x_prime = x_set                                     # line 9
+        for v in pivots:                                    # lines 10-12
+            subtree = tree.descendants(v, complement)
+            child_c = c_set | subtree
+            child_neighbors = (
+                c_neighbors | (graph.neighborhood(subtree) & s_set)
+            ) & ~child_c
+            self._mincut_lazy(
+                s_set,
+                child_c,
+                subtree,
+                x_prime,
+                tree,
+                start,
+                child_neighbors,
+                emit,
+            )
+            x_prime |= tree.ancestors(v, complement)
+
+
+def partition_mincut_lazy(graph, vertex_set: int):
+    """Convenience wrapper: one-shot iterator over ``P_ccp_sym(S)``."""
+    return MinCutLazy(graph).partitions(vertex_set)

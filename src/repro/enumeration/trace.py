@@ -1,0 +1,262 @@
+"""Execution tracing for MinCutBranch — the paper's Tables II and III.
+
+The paper illustrates branch partitioning with two step-by-step
+execution tables: the chain of Fig. 7 and the cyclic graph of Fig. 8,
+listing for every invocation the recursion level, the case that caused
+it, and the sets ``C``, ``L``, ``X``, ``N_L``, ``N_X``, ``N_B``, plus
+return/emission events.  :class:`TracedMinCutBranch` records exactly
+those rows, which gives the test suite a line-level fidelity check
+against the published tables and gives users a teaching tool::
+
+    trace = TracedMinCutBranch(graph)
+    list(trace.partitions(graph.all_vertices))
+    print(trace.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro import bitset
+from repro.enumeration.base import PartitioningStrategy
+
+__all__ = ["TraceEvent", "TracedMinCutBranch"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One row of the execution table.
+
+    ``kind`` is ``"call"`` (a MinCutBranch invocation), ``"return"``
+    (an invocation returning its region, possibly emitting), or
+    ``"reachable"`` (a case-3 Reachable call, possibly emitting).
+    """
+
+    kind: str
+    level: int
+    case: Optional[int] = None          # 1, 2 or 3; None for the root
+    c_set: int = 0
+    l_set: int = 0
+    x_set: int = 0
+    n_l: int = 0
+    n_x: int = 0
+    n_b: int = 0
+    returned: int = 0
+    emitted: Optional[Tuple[int, int]] = None
+
+    def render(self) -> str:
+        fmt = bitset.format_set
+        if self.kind == "call":
+            case = "-" if self.case is None else str(self.case)
+            return (
+                f"level={self.level} case={case} C={fmt(self.c_set)} "
+                f"L={fmt(self.l_set)} X={fmt(self.x_set)} "
+                f"NL={fmt(self.n_l)} NX={fmt(self.n_x)} NB={fmt(self.n_b)}"
+            )
+        emitted = ""
+        if self.emitted is not None:
+            emitted = (
+                f" -> emitting ({fmt(self.emitted[0])}, "
+                f"{fmt(self.emitted[1])})"
+            )
+        source = "REACHABLE" if self.kind == "reachable" else "MCB"
+        # The paper labels return rows with the *receiving* frame's level.
+        shown_level = self.level if self.kind == "reachable" else max(
+            0, self.level - 1
+        )
+        return (
+            f"level={shown_level} {source} returns "
+            f"{fmt(self.returned)}{emitted}"
+        )
+
+
+class TracedMinCutBranch(PartitioningStrategy):
+    """MinCutBranch with a full execution trace (paper Tables II/III).
+
+    Functionally identical to
+    :class:`~repro.enumeration.mincutbranch.MinCutBranch` (the optimized
+    variant); every invocation, return, Reachable call and emission is
+    appended to :attr:`events`.  Tracing costs time — use the plain
+    class for anything but inspection.
+
+    Like the paper's tables, invocations whose neighbor sets are all
+    empty (they return immediately) are *recorded* with their empty sets
+    so the structural tests can choose to skip them, mirroring the
+    tables' "omitted" rows.
+    """
+
+    name = "mincutbranch-traced"
+
+    def __init__(self, graph):
+        super().__init__(graph)
+        self.events: List[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+
+    def partitions(self, vertex_set: int) -> Iterator[Tuple[int, int]]:
+        if bitset.popcount(vertex_set) < 2:
+            return iter(())
+        self.events = []
+        emitted: List[Tuple[int, int]] = []
+        start = vertex_set & -vertex_set
+        self._mcb(vertex_set, start, 0, start, 0, None, emitted)
+        self.stats.emitted += len(emitted)
+        return iter(emitted)
+
+    # ------------------------------------------------------------------
+
+    def _mcb(
+        self,
+        s_set: int,
+        c_set: int,
+        x_set: int,
+        l_set: int,
+        level: int,
+        case: Optional[int],
+        emitted: List[Tuple[int, int]],
+    ) -> int:
+        graph = self.graph
+        stats = self.stats
+        stats.calls += 1
+
+        neighbors_of_l = (
+            graph.neighbors_of_vertex(l_set.bit_length() - 1)
+            & s_set
+            & ~c_set
+        )
+        n_l = neighbors_of_l & ~x_set
+        n_x = neighbors_of_l & x_set
+        n_b = (graph.neighborhood(c_set) & s_set) & ~n_l & ~x_set
+
+        self.events.append(
+            TraceEvent(
+                kind="call",
+                level=level,
+                case=case,
+                c_set=c_set,
+                l_set=l_set,
+                x_set=x_set,
+                n_l=n_l,
+                n_x=n_x,
+                n_b=n_b,
+            )
+        )
+
+        r_set = 0
+        r_tmp = 0
+        x_prime = x_set
+        while n_l or n_x or (n_b & r_tmp):
+            stats.loop_iterations += 1
+            in_region = (n_b | n_l) & r_tmp
+            if in_region:
+                v_bit = in_region & -in_region
+                self._mcb(
+                    s_set, c_set | v_bit, x_prime, v_bit, level + 1, 1, emitted
+                )
+                n_l &= ~v_bit
+                n_b &= ~v_bit
+            else:
+                x_prime = x_set
+                if n_l:
+                    v_bit = n_l & -n_l
+                    r_tmp = self._mcb(
+                        s_set,
+                        c_set | v_bit,
+                        x_prime,
+                        v_bit,
+                        level + 1,
+                        2,
+                        emitted,
+                    )
+                    n_l &= ~v_bit
+                else:
+                    v_bit = n_x & -n_x
+                    r_tmp = self._reachable(s_set, c_set | v_bit, v_bit)
+                    # The paper labels Reachable rows with the calling
+                    # frame's level (it emits the result).
+                    self.events.append(
+                        TraceEvent(
+                            kind="reachable",
+                            level=level,
+                            case=3,
+                            returned=r_tmp,
+                        )
+                    )
+                n_x &= ~r_tmp
+                if r_tmp & x_set:
+                    n_x |= n_l & ~r_tmp
+                    n_l &= r_tmp
+                    n_b &= r_tmp
+                if (s_set & ~r_tmp) & x_set:
+                    n_l &= ~r_tmp
+                    n_b &= ~r_tmp
+                else:
+                    pair = (s_set & ~r_tmp, r_tmp)
+                    emitted.append(pair)
+                    # Attach the emission to the event that produced the
+                    # region: a Reachable row for case 3, else the
+                    # just-returned MCB child (mirrors the tables).
+                    last = self.events[-1]
+                    if last.kind in ("reachable", "return") and (
+                        last.returned == r_tmp
+                    ):
+                        self.events[-1] = TraceEvent(
+                            kind=last.kind,
+                            level=last.level,
+                            case=last.case,
+                            returned=last.returned,
+                            emitted=pair,
+                        )
+                r_set |= r_tmp
+            x_prime |= v_bit
+        region = r_set | l_set
+        self.events.append(
+            TraceEvent(kind="return", level=level, returned=region)
+        )
+        return region
+
+    def _reachable(self, s_set: int, c_set: int, l_set: int) -> int:
+        graph = self.graph
+        self.stats.reachable_calls += 1
+        region = l_set
+        frontier = (
+            graph.neighbors_of_vertex(l_set.bit_length() - 1) & s_set & ~c_set
+        )
+        while frontier:
+            self.stats.reachable_iterations += 1
+            region |= frontier
+            frontier = graph.neighborhood(frontier) & s_set & ~c_set & ~region
+        return region
+
+    # ------------------------------------------------------------------
+
+    def render(self, skip_trivial: bool = True) -> str:
+        """Render the trace like the paper's Tables II/III.
+
+        ``skip_trivial`` drops invocations with all-empty neighbor sets,
+        which the paper omits "due to the lack of space".
+        """
+        lines = []
+        skipped_levels: List[int] = []
+        for event in self.events:
+            if (
+                skip_trivial
+                and event.kind == "call"
+                and event.n_l == 0
+                and event.n_x == 0
+                and event.n_b == 0
+            ):
+                skipped_levels.append(event.level)
+                continue
+            if (
+                skip_trivial
+                and event.kind == "return"
+                and skipped_levels
+                and skipped_levels[-1] == event.level
+                and event.emitted is None
+            ):
+                skipped_levels.pop()
+                continue
+            lines.append(event.render())
+        return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Execution tracing for MinCutLazy.
+
+The companion of :mod:`repro.enumeration.trace` for DeHaan & Tompa's
+algorithm: every invocation records its ``C``, ``X``, the pivot set it
+computed, and — the quantity the paper's Appendix B is about — whether
+the biconnection tree was *reused* or *rebuilt* (and at what cost).
+Rendering a clique trace makes the O(n²)-per-ccp failure mode visible:
+every second row is a rebuild.
+
+::
+
+    trace = TracedMinCutLazy(graph)
+    list(trace.partitions(graph.all_vertices))
+    print(trace.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro import bitset
+from repro.enumeration.base import PartitioningStrategy
+from repro.graph.bcctree import BiconnectionTree
+
+__all__ = ["LazyTraceEvent", "TracedMinCutLazy"]
+
+
+@dataclass(frozen=True)
+class LazyTraceEvent:
+    """One trace row: an invocation, a tree decision, or an emission."""
+
+    kind: str  # "call" | "tree" | "emit" | "early-exit"
+    level: int
+    c_set: int = 0
+    x_set: int = 0
+    pivots: Tuple[int, ...] = ()
+    reused: bool = False
+    build_cost: int = 0
+    emitted: Optional[Tuple[int, int]] = None
+
+    def render(self) -> str:
+        fmt = bitset.format_set
+        if self.kind == "call":
+            return (
+                f"level={self.level} call C={fmt(self.c_set)} "
+                f"X={fmt(self.x_set)}"
+            )
+        if self.kind == "tree":
+            action = "reuse tree" if self.reused else (
+                f"REBUILD tree (cost {self.build_cost})"
+            )
+            pivots = ", ".join(f"R{v}" for v in self.pivots)
+            return f"level={self.level} {action}; pivots=[{pivots}]"
+        if self.kind == "early-exit":
+            return f"level={self.level} early exit (N(C) ⊆ X)"
+        return (
+            f"level={self.level} emit ({fmt(self.emitted[0])}, "
+            f"{fmt(self.emitted[1])})"
+        )
+
+
+class TracedMinCutLazy(PartitioningStrategy):
+    """MinCutLazy with a full execution trace.
+
+    Functionally identical to
+    :class:`~repro.enumeration.mincutlazy.MinCutLazy`; every invocation,
+    tree reuse/rebuild decision, pivot set, and emission is recorded in
+    :attr:`events`.
+    """
+
+    name = "mincutlazy-traced"
+
+    def __init__(self, graph):
+        super().__init__(graph)
+        self.events: List[LazyTraceEvent] = []
+
+    # ------------------------------------------------------------------
+
+    def partitions(self, vertex_set: int) -> Iterator[Tuple[int, int]]:
+        if bitset.popcount(vertex_set) < 2:
+            return iter(())
+        self.events = []
+        emitted: List[Tuple[int, int]] = []
+        start_bit = vertex_set & -vertex_set
+        start = start_bit.bit_length() - 1
+        self._mcl(vertex_set, 0, 0, start_bit, None, start, 0, 0, emitted)
+        self.stats.emitted += len(emitted)
+        return iter(emitted)
+
+    # ------------------------------------------------------------------
+
+    def _mcl(
+        self,
+        s_set: int,
+        c_set: int,
+        c_diff: int,
+        x_set: int,
+        tree: Optional[BiconnectionTree],
+        start: int,
+        c_neighbors: int,
+        level: int,
+        emitted: List[Tuple[int, int]],
+    ) -> None:
+        graph = self.graph
+        stats = self.stats
+        stats.calls += 1
+        complement = s_set & ~c_set
+
+        self.events.append(
+            LazyTraceEvent(kind="call", level=level, c_set=c_set, x_set=x_set)
+        )
+        if c_set:
+            pair = (c_set, complement)
+            emitted.append(pair)
+            self.events.append(
+                LazyTraceEvent(kind="emit", level=level, emitted=pair)
+            )
+            frontier = c_neighbors
+        else:
+            frontier = s_set & ~(1 << start)
+        if frontier & ~x_set == 0:
+            self.events.append(
+                LazyTraceEvent(kind="early-exit", level=level)
+            )
+            return
+
+        reused = False
+        if tree is not None:
+            stats.usability_tests += 1
+            if tree.is_usable(c_diff, complement):
+                stats.usability_hits += 1
+                reused = True
+            else:
+                tree = None
+        if tree is None:
+            tree = BiconnectionTree(graph, complement, start)
+            stats.tree_builds += 1
+            stats.tree_build_cost += tree.build_cost
+
+        pivots = []
+        for v in bitset.iter_indices(frontier & ~x_set):
+            stats.loop_iterations += 1
+            if tree.descendants(v, complement) & frontier == 1 << v:
+                pivots.append(v)
+        self.events.append(
+            LazyTraceEvent(
+                kind="tree",
+                level=level,
+                reused=reused,
+                build_cost=0 if reused else tree.build_cost,
+                pivots=tuple(pivots),
+            )
+        )
+
+        x_prime = x_set
+        for v in pivots:
+            subtree = tree.descendants(v, complement)
+            child_c = c_set | subtree
+            child_neighbors = (
+                c_neighbors | (graph.neighborhood(subtree) & s_set)
+            ) & ~child_c
+            self._mcl(
+                s_set,
+                child_c,
+                subtree,
+                x_prime,
+                tree,
+                start,
+                child_neighbors,
+                level + 1,
+                emitted,
+            )
+            x_prime |= tree.ancestors(v, complement)
+
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Render the recorded events, one per line."""
+        return "\n".join(event.render() for event in self.events)
+
+    def rebuild_ratio(self) -> float:
+        """Fraction of tree decisions that were rebuilds (1.0 = always)."""
+        decisions = [e for e in self.events if e.kind == "tree"]
+        if not decisions:
+            return 0.0
+        rebuilds = sum(1 for e in decisions if not e.reused)
+        return rebuilds / len(decisions)

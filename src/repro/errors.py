@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class at the API boundary.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "DisconnectedGraphError",
+    "CatalogError",
+    "OptimizationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed query graphs (bad vertices, edges, or sets)."""
+
+
+class DisconnectedGraphError(GraphError):
+    """Raised when an operation requires a connected (sub)graph.
+
+    The paper's well-accepted heuristic excludes cross products, which
+    presumes the query graph is connected (Sec. I); optimizing a
+    disconnected graph without cross products has no solution.
+    """
+
+
+class CatalogError(ReproError):
+    """Raised for inconsistent statistics (cardinalities, selectivities)."""
+
+
+class OptimizationError(ReproError):
+    """Raised when plan generation cannot complete."""

@@ -1,0 +1,27 @@
+"""Developer-facing schema and query-building layer.
+
+Downstream users rarely hold bitsets and selectivity dicts; they hold a
+schema and a query.  This package maps that world onto the optimizer
+substrate:
+
+* :class:`~repro.frontend.schema.Database` / `Table` / `ForeignKey` —
+  a catalog of base tables with row counts and join keys,
+* :class:`~repro.frontend.query.QueryBuilder` — accumulate the tables a
+  query touches and the predicates between them ("t1.a = t2.b" strings
+  or explicit selectivities), then hand a ready
+  :class:`~repro.catalog.statistics.Catalog` to any optimizer.
+"""
+
+from repro.frontend.schema import Column, Database, ForeignKey, Table
+from repro.frontend.query import QueryBuilder
+from repro.frontend.sql import SqlError, parse_select
+
+__all__ = [
+    "Column",
+    "Database",
+    "ForeignKey",
+    "Table",
+    "QueryBuilder",
+    "parse_select",
+    "SqlError",
+]

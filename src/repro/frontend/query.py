@@ -1,0 +1,172 @@
+"""Query building: from schema-level joins to an optimizable Catalog.
+
+``QueryBuilder`` collects the tables a query references and the join
+predicates between them, written as ``"alias1.col = alias2.col"``
+strings (or with explicit selectivities), then produces:
+
+* a :class:`~repro.catalog.statistics.Catalog` bound to the induced
+  query graph, ready for any optimizer in the library, and
+* an :meth:`optimize` shortcut returning the optimizer result with
+  relation names mapped back to the query's aliases.
+
+Example::
+
+    db = Database("shop")
+    db.add_table("sales", 5_000_000, {"date_id": 2_555})
+    db.add_table("date_dim", 2_555)
+    db.add_foreign_key("sales", "date_id", "date_dim", "date_id")
+
+    result = (
+        db.query()
+        .table("sales")
+        .table("date_dim")
+        .join("sales.date_id = date_dim.date_id")
+        .optimize()
+    )
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.catalog.statistics import Catalog, Relation
+from repro.cost.base import CostModel
+from repro.errors import CatalogError
+from repro.graph.query_graph import QueryGraph
+from repro.optimizer.api import OptimizationResult, optimize_query
+
+__all__ = ["QueryBuilder"]
+
+_PREDICATE = re.compile(
+    r"^\s*(\w+)\.(\w+)\s*=\s*(\w+)\.(\w+)\s*$"
+)
+
+
+class QueryBuilder:
+    """Accumulates tables and join predicates; builds Catalogs."""
+
+    def __init__(self, database):
+        self._database = database
+        self._aliases: List[str] = []
+        self._alias_table: Dict[str, str] = {}
+        self._joins: List[Tuple[str, str, float]] = []
+        self._filters: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def table(self, name: str, alias: Optional[str] = None) -> "QueryBuilder":
+        """Reference a table, optionally under an alias (self-joins)."""
+        self._database.table(name)  # existence check
+        alias = alias or name
+        if alias in self._alias_table:
+            raise CatalogError(f"duplicate alias {alias!r} in query")
+        self._aliases.append(alias)
+        self._alias_table[alias] = name
+        return self
+
+    def join(
+        self, predicate: str, selectivity: Optional[float] = None
+    ) -> "QueryBuilder":
+        """Add an equi-join predicate ``"a.x = b.y"``.
+
+        ``selectivity`` overrides the schema-derived estimate.
+        """
+        match = _PREDICATE.match(predicate)
+        if not match:
+            raise CatalogError(
+                f"cannot parse join predicate {predicate!r}; expected "
+                "'alias.column = alias.column'"
+            )
+        alias_a, column_a, alias_b, column_b = match.groups()
+        for alias in (alias_a, alias_b):
+            if alias not in self._alias_table:
+                raise CatalogError(
+                    f"alias {alias!r} not referenced by the query; call "
+                    f".table({alias!r}) first"
+                )
+        if alias_a == alias_b:
+            raise CatalogError("join predicate must span two different aliases")
+        if selectivity is None:
+            selectivity = self._database.join_selectivity(
+                self._alias_table[alias_a],
+                column_a,
+                self._alias_table[alias_b],
+                column_b,
+            )
+        self._joins.append((alias_a, alias_b, selectivity))
+        return self
+
+    def filter(self, alias: str, selectivity: float) -> "QueryBuilder":
+        """Apply a local selection on one referenced table.
+
+        Selections execute below the join tree, so they simply scale the
+        base cardinality the optimizer sees for that alias; multiple
+        filters on the same alias multiply.
+        """
+        if alias not in self._alias_table:
+            raise CatalogError(
+                f"alias {alias!r} not referenced by the query"
+            )
+        if not 0.0 < selectivity <= 1.0:
+            raise CatalogError(
+                f"filter selectivity must be in (0, 1], got {selectivity}"
+            )
+        self._filters[alias] = self._filters.get(alias, 1.0) * selectivity
+        return self
+
+    def filter_equals(self, alias: str, column: str) -> "QueryBuilder":
+        """Equality selection ``alias.column = <constant>``.
+
+        Uses the textbook estimate ``1 / ndv(column)``.
+        """
+        if alias not in self._alias_table:
+            raise CatalogError(f"alias {alias!r} not referenced by the query")
+        table = self._database.table(self._alias_table[alias])
+        return self.filter(alias, 1.0 / table.column(column).distinct_values)
+
+    # ------------------------------------------------------------------
+
+    def build_catalog(self) -> Catalog:
+        """Materialize the query as a graph + statistics Catalog."""
+        if not self._aliases:
+            raise CatalogError("query references no tables")
+        index_of = {alias: i for i, alias in enumerate(self._aliases)}
+        edges = []
+        selectivities: Dict[Tuple[int, int], float] = {}
+        for alias_a, alias_b, selectivity in self._joins:
+            u, v = index_of[alias_a], index_of[alias_b]
+            key = (min(u, v), max(u, v))
+            if key in selectivities:
+                # Conjunctive predicates between the same pair multiply.
+                selectivities[key] *= selectivity
+            else:
+                edges.append(key)
+                selectivities[key] = selectivity
+        graph = QueryGraph(len(self._aliases), edges)
+        relations = []
+        for alias in self._aliases:
+            rows = self._database.table(self._alias_table[alias]).rows
+            rows *= self._filters.get(alias, 1.0)
+            relations.append(Relation(alias, max(rows, 1.0)))
+        return Catalog(graph, relations, selectivities)
+
+    def optimize(
+        self,
+        algorithm: str = "tdmincutbranch",
+        cost_model: Optional[CostModel] = None,
+        enable_pruning: bool = False,
+    ) -> OptimizationResult:
+        """Build the catalog and optimize in one call."""
+        return optimize_query(
+            self.build_catalog(),
+            algorithm=algorithm,
+            cost_model=cost_model,
+            enable_pruning=enable_pruning,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryBuilder(tables={self._aliases!r}, "
+            f"joins={len(self._joins)})"
+        )

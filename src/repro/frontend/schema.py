@@ -1,0 +1,165 @@
+"""Schema objects: tables, columns, foreign keys, a database catalog.
+
+A :class:`Database` is the persistent-world counterpart of a per-query
+:class:`~repro.catalog.statistics.Catalog`: tables with row counts and
+per-column distinct counts, plus declared foreign keys.  Join
+selectivities derive from the textbook rules:
+
+* foreign key join ``fact.fk = dim.pk``: selectivity ``1 / |dim|``,
+* generic equi-join ``a.x = b.y``: ``1 / max(ndv(x), ndv(y))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CatalogError
+
+__all__ = ["Column", "Table", "ForeignKey", "Database"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column with an (estimated) number of distinct values."""
+
+    name: str
+    distinct_values: float
+
+    def __post_init__(self) -> None:
+        if self.distinct_values <= 0:
+            raise CatalogError(
+                f"column {self.name!r} needs positive distinct count"
+            )
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared FK: ``table.column`` references ``ref_table``'s key."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+class Table:
+    """A base table: name, row count, columns."""
+
+    __slots__ = ("name", "rows", "_columns")
+
+    def __init__(self, name: str, rows: float, columns: Optional[List[Column]] = None):
+        if rows <= 0:
+            raise CatalogError(f"table {name!r} needs a positive row count")
+        self.name = name
+        self.rows = float(rows)
+        self._columns: Dict[str, Column] = {}
+        for column in columns or []:
+            self.add_column(column)
+
+    def add_column(self, column: Column) -> None:
+        if column.name in self._columns:
+            raise CatalogError(
+                f"duplicate column {column.name!r} on table {self.name!r}"
+            )
+        self._columns[column.name] = column
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            # Unknown columns default to "key-like": as many distinct
+            # values as rows.  Real systems fall back the same way.
+            return Column(name=name, distinct_values=self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={self.rows:g})"
+
+
+class Database:
+    """A named collection of tables and foreign keys."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self._foreign_keys: List[ForeignKey] = []
+
+    # ------------------------------------------------------------------
+
+    def add_table(
+        self,
+        name: str,
+        rows: float,
+        columns: Optional[Dict[str, float]] = None,
+    ) -> Table:
+        """Register a table; ``columns`` maps column name -> distinct count."""
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(
+            name,
+            rows,
+            [Column(c, ndv) for c, ndv in (columns or {}).items()],
+        )
+        self._tables[name] = table
+        return table
+
+    def add_foreign_key(
+        self, table: str, column: str, ref_table: str, ref_column: str = ""
+    ) -> ForeignKey:
+        """Declare ``table.column`` -> ``ref_table.ref_column`` (FK)."""
+        self.table(table)
+        self.table(ref_table)
+        fk = ForeignKey(table, column, ref_table, ref_column or column)
+        self._foreign_keys.append(fk)
+        return fk
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    @property
+    def tables(self) -> Tuple[Table, ...]:
+        return tuple(self._tables.values())
+
+    def is_foreign_key(
+        self, table_a: str, column_a: str, table_b: str, column_b: str
+    ) -> Optional[str]:
+        """Return the referenced table's name if the pair is a declared FK."""
+        for fk in self._foreign_keys:
+            if (
+                fk.table == table_a
+                and fk.column == column_a
+                and fk.ref_table == table_b
+                and fk.ref_column == column_b
+            ):
+                return table_b
+            if (
+                fk.table == table_b
+                and fk.column == column_b
+                and fk.ref_table == table_a
+                and fk.ref_column == column_a
+            ):
+                return table_a
+        return None
+
+    def join_selectivity(
+        self, table_a: str, column_a: str, table_b: str, column_b: str
+    ) -> float:
+        """Textbook equi-join selectivity for ``a.x = b.y``."""
+        referenced = self.is_foreign_key(table_a, column_a, table_b, column_b)
+        if referenced is not None:
+            return 1.0 / self.table(referenced).rows
+        ndv_a = self.table(table_a).column(column_a).distinct_values
+        ndv_b = self.table(table_b).column(column_b).distinct_values
+        return 1.0 / max(ndv_a, ndv_b)
+
+    def query(self) -> "QueryBuilder":
+        """Start building a query over this database."""
+        from repro.frontend.query import QueryBuilder
+
+        return QueryBuilder(self)
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={len(self._tables)})"

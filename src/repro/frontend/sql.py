@@ -1,0 +1,212 @@
+"""A small SQL front end: SELECT text → optimizable query.
+
+Parses the join-ordering-relevant subset of SQL —
+
+::
+
+    SELECT <anything>
+    FROM table [AS] alias, table [AS] alias, ...
+    [WHERE predicate AND predicate AND ...]
+
+with predicates of three shapes:
+
+* ``a.x = b.y``     — an equi-join between two referenced tables,
+* ``a.x = <const>`` — an equality selection (selectivity ``1/ndv``),
+* ``a.x <op> <const>`` for ``<``, ``<=``, ``>``, ``>=``, ``<>`` —
+  a range/inequality selection with the textbook default selectivities
+  (1/3 for ranges, ``1 - 1/ndv`` for ``<>``).
+
+The SELECT list is not interpreted (join ordering does not depend on
+it); ``OR``, subqueries, and non-equi joins between tables are rejected
+with a clear error rather than silently mis-modelled.
+
+Example::
+
+    catalog = parse_select(db, \"\"\"
+        SELECT * FROM orders o, customer c, nation n
+        WHERE o.cust_id = c.cust_id
+          AND c.nation_id = n.nation_id
+          AND n.name = 'GERMANY'
+    \"\"\").build_catalog()
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.errors import CatalogError
+from repro.frontend.query import QueryBuilder
+from repro.frontend.schema import Database
+
+__all__ = ["parse_select", "SqlError"]
+
+
+class SqlError(CatalogError):
+    """Raised for SQL text the front end cannot model."""
+
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        (?P<string>'[^']*')
+      | (?P<number>\d+(\.\d+)?)
+      | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|<>|!=|=|<|>)
+      | (?P<punct>[.,()*])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_RANGE_SELECTIVITY = 1.0 / 3.0  # the System-R default for inequalities
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if not match:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise SqlError(f"cannot tokenize SQL near {remainder[:25]!r}")
+        tokens.append(match.group(1).strip())
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, database: Database, tokens: List[str]):
+        self.database = database
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers --------------------------------------------------
+
+    def peek(self) -> str:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return ""
+
+    def next(self) -> str:
+        token = self.peek()
+        if not token:
+            raise SqlError("unexpected end of SQL text")
+        self.position += 1
+        return token
+
+    def expect_keyword(self, keyword: str) -> None:
+        token = self.next()
+        if token.upper() != keyword:
+            raise SqlError(f"expected {keyword}, found {token!r}")
+
+    def at_keyword(self, keyword: str) -> bool:
+        return self.peek().upper() == keyword
+
+    # -- grammar --------------------------------------------------------
+
+    def parse(self) -> QueryBuilder:
+        self.expect_keyword("SELECT")
+        self._skip_select_list()
+        self.expect_keyword("FROM")
+        builder = self.database.query()
+        self._parse_from(builder)
+        if self.at_keyword("WHERE"):
+            self.next()
+            self._parse_where(builder)
+        if self.peek():
+            raise SqlError(f"unsupported trailing SQL at {self.peek()!r}")
+        return builder
+
+    def _skip_select_list(self) -> None:
+        # The projection list is irrelevant to join ordering: skip tokens
+        # up to FROM, rejecting an empty list.
+        skipped = 0
+        while self.peek() and not self.at_keyword("FROM"):
+            self.next()
+            skipped += 1
+        if skipped == 0:
+            raise SqlError("empty SELECT list")
+
+    def _parse_from(self, builder: QueryBuilder) -> None:
+        while True:
+            table = self.next()
+            alias = table
+            if self.at_keyword("AS"):
+                self.next()
+                alias = self.next()
+            elif self.peek() and self.peek() not in (",",) and not self.at_keyword(
+                "WHERE"
+            ):
+                alias = self.next()
+            builder.table(table, alias=alias)
+            if self.peek() == ",":
+                self.next()
+                continue
+            break
+
+    def _parse_where(self, builder: QueryBuilder) -> None:
+        while True:
+            self._parse_predicate(builder)
+            if self.at_keyword("AND"):
+                self.next()
+                continue
+            if self.at_keyword("OR"):
+                raise SqlError(
+                    "OR between predicates is not supported (it breaks the "
+                    "independent-conjunct selectivity model)"
+                )
+            break
+
+    def _parse_column_ref(self) -> Tuple[str, str]:
+        alias = self.next()
+        if self.next() != ".":
+            raise SqlError(f"expected alias.column, found bare {alias!r}")
+        column = self.next()
+        return alias, column
+
+    def _parse_predicate(self, builder: QueryBuilder) -> None:
+        alias, column = self._parse_column_ref()
+        operator = self.next()
+        if operator not in ("=", "<", "<=", ">", ">=", "<>", "!="):
+            raise SqlError(f"unsupported operator {operator!r}")
+        right = self.next()
+        is_column = (
+            re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", right)
+            and self.peek() == "."
+        )
+        if is_column:
+            self.next()  # consume '.'
+            right_column = self.next()
+            if operator != "=":
+                raise SqlError(
+                    f"non-equi join {alias}.{column} {operator} "
+                    f"{right}.{right_column} is not reorderable here"
+                )
+            builder.join(f"{alias}.{column} = {right}.{right_column}")
+            return
+        # Constant comparison: a local selection.
+        if operator == "=":
+            builder.filter_equals(alias, column)
+        elif operator in ("<>", "!="):
+            table = self.database.table(builder._alias_table[alias])
+            ndv = table.column(column).distinct_values
+            builder.filter(alias, max(1.0 - 1.0 / ndv, 1.0 / ndv))
+        else:
+            builder.filter(alias, _RANGE_SELECTIVITY)
+
+
+def parse_select(database: Database, sql: str) -> QueryBuilder:
+    """Parse a SELECT statement into a ready :class:`QueryBuilder`.
+
+    Raises :class:`SqlError` (a :class:`CatalogError`) for SQL outside
+    the supported subset.
+    """
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise SqlError("empty SQL text")
+    return _Parser(database, tokens).parse()

@@ -1,0 +1,37 @@
+"""Query graph substrate: graphs, shapes, random generation, BCC machinery."""
+
+from repro.graph.query_graph import QueryGraph
+from repro.graph.shapes import (
+    chain_graph,
+    star_graph,
+    cycle_graph,
+    clique_graph,
+    grid_graph,
+    make_shape,
+)
+from repro.graph.random import (
+    random_acyclic_graph,
+    random_cyclic_graph,
+    random_hypergraph,
+)
+from repro.graph.bcc import biconnected_components, articulation_vertices
+from repro.graph.bcctree import BiconnectionTree
+from repro.graph.hypergraph import Hyperedge, Hypergraph
+
+__all__ = [
+    "Hyperedge",
+    "Hypergraph",
+    "random_hypergraph",
+    "QueryGraph",
+    "chain_graph",
+    "star_graph",
+    "cycle_graph",
+    "clique_graph",
+    "grid_graph",
+    "make_shape",
+    "random_acyclic_graph",
+    "random_cyclic_graph",
+    "biconnected_components",
+    "articulation_vertices",
+    "BiconnectionTree",
+]

@@ -1,0 +1,109 @@
+"""Biconnected components and articulation vertices (Def. 2.4).
+
+This is the substrate that DeHaan & Tompa's MinCutLazy needs: the
+biconnection tree (see :mod:`repro.graph.bcctree`) is assembled from the
+biconnected components of the complement graph.
+
+The implementation is an iterative Hopcroft–Tarjan DFS (no recursion, so
+deep chains cannot hit Python's recursion limit) over the subgraph induced
+by an arbitrary vertex bitset.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro import bitset
+from repro.errors import GraphError
+from repro.graph.query_graph import QueryGraph
+
+__all__ = ["biconnected_components", "articulation_vertices"]
+
+
+def biconnected_components(
+    graph: QueryGraph, vertex_set: int
+) -> List[int]:
+    """Return the biconnected components of ``G|vertex_set`` as vertex bitsets.
+
+    Each returned bitset holds the vertices of one biconnected component.
+    A bridge (an edge on no cycle) forms a two-vertex component, per
+    Def. 2.4's degenerate case.  Isolated vertices within ``vertex_set``
+    (degree 0 in the induced subgraph) yield no component, matching the
+    definition, which is edge-based.
+
+    The induced subgraph may be disconnected; components of every connected
+    part are returned.
+    """
+    if vertex_set == 0:
+        return []
+    if vertex_set & ~graph.all_vertices:
+        raise GraphError("vertex_set contains vertices outside the graph")
+
+    vertices = bitset.to_indices(vertex_set)
+    index_of = {v: None for v in vertices}  # DFS discovery numbers
+    low = {}
+    components: List[int] = []
+    edge_stack: List[Tuple[int, int]] = []
+    counter = 0
+
+    for root in vertices:
+        if index_of[root] is not None:
+            continue
+        # Iterative DFS.  Each frame is [vertex, parent, iterator-state],
+        # where iterator-state is the bitmask of unvisited neighbors.
+        index_of[root] = counter
+        low[root] = counter
+        counter += 1
+        stack = [[root, -1, graph.neighbors_of_vertex(root) & vertex_set]]
+        while stack:
+            v, parent, pending = stack[-1]
+            if pending:
+                w_bit = pending & -pending
+                stack[-1][2] = pending ^ w_bit
+                w = w_bit.bit_length() - 1
+                if index_of[w] is None:
+                    edge_stack.append((v, w))
+                    index_of[w] = counter
+                    low[w] = counter
+                    counter += 1
+                    stack.append(
+                        [w, v, graph.neighbors_of_vertex(w) & vertex_set]
+                    )
+                elif w != parent and index_of[w] < index_of[v]:
+                    # Back edge to an ancestor.
+                    edge_stack.append((v, w))
+                    low[v] = min(low[v], index_of[w])
+            else:
+                stack.pop()
+                if not stack:
+                    continue
+                u = stack[-1][0]
+                low[u] = min(low[u], low[v])
+                if low[v] >= index_of[u]:
+                    # u separates the subtree rooted at v from the rest:
+                    # pop one biconnected component off the edge stack,
+                    # up to and including the tree edge (u, v).
+                    component = 0
+                    while edge_stack:
+                        a, b = edge_stack.pop()
+                        component |= (1 << a) | (1 << b)
+                        if (a, b) == (u, v):
+                            break
+                    components.append(component)
+    return components
+
+
+def articulation_vertices(graph: QueryGraph, vertex_set: int) -> int:
+    """Return the articulation (cut) vertices of ``G|vertex_set`` as a bitset.
+
+    A vertex is an articulation vertex iff it belongs to more than one
+    biconnected component, or it is the root of a DFS tree with more than
+    one child component.  We derive it directly from the component list:
+    any vertex appearing in two or more components is articulation.
+    """
+    seen_once = 0
+    seen_twice = 0
+    for component in biconnected_components(graph, vertex_set):
+        seen_twice |= seen_once & component
+        seen_once |= component
+    return seen_twice

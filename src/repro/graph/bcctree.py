@@ -1,0 +1,220 @@
+"""Biconnection trees (Def. 2.5) for DeHaan & Tompa's MinCutLazy.
+
+A biconnection tree of a connected graph ``G|W`` rooted at vertex ``t`` is
+the bipartite block tree whose nodes are the vertices of ``W`` ("vertex
+nodes") plus one "set node" per biconnected component, with an edge from a
+set node to every vertex of its component.  Because an articulation vertex
+belongs to several components and every other vertex to exactly one, this
+structure is a tree.
+
+MinCutLazy consults two derived quantities (DeHaan & Tompa, SIGMOD 2007):
+
+* ``descendants(v)`` — all graph vertices in the subtree rooted at vertex
+  node ``v`` (including ``v``),
+* ``ancestors(v)`` — all vertex nodes on the path from the root ``t`` down
+  to ``v`` (including both endpoints),
+
+and a reuse test ``is_usable``: after the partitioner moves a full subtree
+``D_T(v)`` out of the complement, the existing tree remains a valid
+biconnection tree of the shrunk complement iff the component linking ``v``
+to its tree parent is a simple bridge (two live vertices).  The test is
+deliberately conservative — false negatives merely force a rebuild, which
+the paper's complexity analysis accounts for (Appendix B).
+
+Rather than physically pruning, the tree is immutable and all queries take
+a ``live`` bitset (the current complement ``S \\ C``); masking by ``live``
+is equivalent to pruning whenever ``is_usable`` approved every removal
+since the build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro import bitset
+from repro.errors import DisconnectedGraphError, GraphError
+from repro.graph.bcc import biconnected_components
+from repro.graph.query_graph import QueryGraph
+
+__all__ = ["BiconnectionTree"]
+
+
+class BiconnectionTree:
+    """Biconnection tree of ``G|vertex_set`` rooted at ``root``.
+
+    Parameters
+    ----------
+    graph:
+        The underlying query graph.
+    vertex_set:
+        Bitset of the vertices the tree covers; must induce a connected
+        subgraph.
+    root:
+        Vertex index of the root ``t``; must be a member of ``vertex_set``.
+    """
+
+    __slots__ = (
+        "graph",
+        "vertex_set",
+        "root",
+        "_bcc_vertices",
+        "_parent_bcc",
+        "_children_bccs",
+        "_descendants",
+        "_ancestors",
+        "_depth",
+        "build_cost",
+    )
+
+    def __init__(self, graph: QueryGraph, vertex_set: int, root: int):
+        if not vertex_set >> root & 1:
+            raise GraphError(f"root {root} is not a member of the vertex set")
+        if not graph.is_connected(vertex_set):
+            raise DisconnectedGraphError(
+                "biconnection tree requires a connected induced subgraph"
+            )
+        self.graph = graph
+        self.vertex_set = vertex_set
+        self.root = root
+
+        components = biconnected_components(graph, vertex_set)
+        self._bcc_vertices: List[int] = components
+        # Map each vertex to the set-node indices of the components holding it.
+        bccs_of_vertex: Dict[int, List[int]] = {
+            v: [] for v in bitset.iter_indices(vertex_set)
+        }
+        for index, component in enumerate(components):
+            for v in bitset.iter_indices(component):
+                bccs_of_vertex[v].append(index)
+
+        n = graph.n_vertices
+        self._parent_bcc: List[Optional[int]] = [None] * n
+        self._children_bccs: List[List[int]] = [[] for _ in range(n)]
+        self._descendants: List[int] = [0] * n
+        self._ancestors: List[int] = [0] * n
+        self._depth: List[int] = [0] * n
+
+        # DFS from the root through the bipartite tree.  Frames carry the
+        # vertex, its ancestor-path bitset, and the set node it was reached
+        # through (to avoid walking back up).
+        order: List[int] = []  # vertices in discovery order
+        visited_bcc = [False] * len(components)
+        stack: List[int] = [root]
+        self._ancestors[root] = 1 << root
+        self._depth[root] = 0
+        seen = 1 << root
+        while stack:
+            v = stack.pop()
+            order.append(v)
+            for bcc_index in bccs_of_vertex[v]:
+                if visited_bcc[bcc_index]:
+                    continue
+                visited_bcc[bcc_index] = True
+                self._children_bccs[v].append(bcc_index)
+                for w in bitset.iter_indices(components[bcc_index] & ~seen):
+                    seen |= 1 << w
+                    self._parent_bcc[w] = bcc_index
+                    self._ancestors[w] = self._ancestors[v] | (1 << w)
+                    self._depth[w] = self._depth[v] + 1
+                    stack.append(w)
+        if seen != vertex_set:
+            raise GraphError("internal error: biconnection tree did not cover set")
+
+        # Subtree vertex sets, computed bottom-up in reverse discovery order.
+        parent_vertex: List[Optional[int]] = [None] * n
+        for v in order:
+            for bcc_index in self._children_bccs[v]:
+                for w in bitset.iter_indices(components[bcc_index]):
+                    if w != v and self._parent_bcc[w] == bcc_index:
+                        parent_vertex[w] = v
+        for v in reversed(order):
+            self._descendants[v] |= 1 << v
+            parent = parent_vertex[v]
+            if parent is not None:
+                self._descendants[parent] |= self._descendants[v]
+
+        # Cost accounting used by the complexity benchmarks: the paper
+        # counts |E| + 2|S| - 2 + |A| elementary steps per build.
+        n_live = bitset.popcount(vertex_set)
+        n_edges = len(graph.induced_edges(vertex_set))
+        n_articulation = sum(
+            1 for v in bitset.iter_indices(vertex_set)
+            if len(bccs_of_vertex[v]) > 1
+        )
+        self.build_cost = n_edges + 2 * n_live - 2 + n_articulation
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def descendants(self, vertex: int, live: Optional[int] = None) -> int:
+        """Return ``D_T(v)``: the subtree vertex set of ``v`` (incl. ``v``).
+
+        ``live`` restricts the answer to the still-live complement; pass the
+        current ``S \\ C`` when the tree is being reused across removals.
+        """
+        result = self._descendants[vertex]
+        if live is not None:
+            result &= live
+        return result
+
+    def ancestors(self, vertex: int, live: Optional[int] = None) -> int:
+        """Return ``A_T(v)``: vertex nodes on the root-to-``v`` path.
+
+        Includes both the root and ``v`` itself.  Ancestors of a live
+        vertex are always live (a subtree removal cannot remove a vertex's
+        ancestor while keeping the vertex), so masking is a no-op in valid
+        reuse sequences; it is applied anyway for defensive symmetry.
+        """
+        result = self._ancestors[vertex]
+        if live is not None:
+            result &= live
+        return result
+
+    def depth(self, vertex: int) -> int:
+        """Return the number of vertex nodes above ``vertex`` on its root path."""
+        return self._depth[vertex]
+
+    def parent_component(self, vertex: int) -> Optional[int]:
+        """Return the vertex set of the component joining ``vertex`` upward.
+
+        ``None`` for the root, which has no parent set node.
+        """
+        bcc_index = self._parent_bcc[vertex]
+        if bcc_index is None:
+            return None
+        return self._bcc_vertices[bcc_index]
+
+    def is_usable(self, removed: int, live: int) -> bool:
+        """Return True iff the tree stays valid after removing ``removed``.
+
+        ``removed`` must be the (mask-adjusted) subtree ``D_T(v)`` chosen by
+        the partitioner and ``live`` the complement *after* the removal.
+        The tree remains a correct biconnection tree of ``live`` iff the
+        removed part is a complete subtree whose root hangs off a bridge
+        (a two-vertex biconnected component) — removing a vertex from any
+        larger component would split that component and change the block
+        structure of the remainder.
+        """
+        if removed == 0:
+            return True
+        if removed & ~self.vertex_set or removed & live:
+            return False
+        # The subtree root is the unique removed vertex of minimal depth.
+        subtree_root = min(
+            bitset.iter_indices(removed), key=self._depth.__getitem__
+        )
+        before = live | removed
+        if self.descendants(subtree_root, before) != removed:
+            return False
+        parent = self.parent_component(subtree_root)
+        if parent is None:
+            return False  # removing the root's subtree removes everything
+        return bitset.popcount(parent & before) == 2
+
+    def __repr__(self) -> str:
+        return (
+            f"BiconnectionTree(root={self.root}, "
+            f"vertices={bitset.format_set(self.vertex_set)}, "
+            f"components={len(self._bcc_vertices)})"
+        )

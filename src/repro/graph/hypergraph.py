@@ -1,0 +1,293 @@
+"""Hypergraphs: the paper's first named piece of future work.
+
+Sec. V: "The first [major challenge for future work] is to extend our
+new algorithm to hypergraphs.  This is important, since not all queries
+have an equivalent query graph.  Some need hypergraphs."  Complex join
+predicates (e.g. ``R1.a + R2.b = R3.c``) and non-inner-join
+reorderability constraints produce *hyperedges* ``(u, v)``: two disjoint
+relation sets that must both be complete before the predicate applies.
+
+This module supplies the hypergraph substrate in the style of Moerkotte
+& Neumann's DPhyp (SIGMOD 2008), which
+:mod:`repro.optimizer.dphyp` builds on:
+
+* hyperedges with bitset endpoint sets (simple edges are the
+  ``|u| = |v| = 1`` special case),
+* the DPhyp *restricted neighborhood* ``N(S, X)`` of min-element
+  representatives,
+* recursive hypergraph connectivity (a set is connected only if it can
+  be assembled by cross-product-free joins), computed by a memoized
+  subset DP — the reference semantics the enumerators must agree with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro import bitset
+from repro.errors import GraphError
+from repro.graph.query_graph import QueryGraph
+
+__all__ = ["Hyperedge", "Hypergraph"]
+
+
+class Hyperedge:
+    """An undirected hyperedge ``(u, v)``: two disjoint vertex bitsets.
+
+    The predicate it models references all relations in ``u | v`` and
+    becomes a join opportunity exactly when one operand covers ``u`` and
+    the other covers ``v``.
+    """
+
+    __slots__ = ("u", "v")
+
+    def __init__(self, u: int, v: int):
+        if u == 0 or v == 0:
+            raise GraphError("hyperedge endpoints must be non-empty")
+        if u & v:
+            raise GraphError(
+                f"hyperedge endpoints must be disjoint: "
+                f"{bitset.format_set(u)} vs {bitset.format_set(v)}"
+            )
+        # Canonical orientation: lower minimum index first.
+        if bitset.lowest_index(u) > bitset.lowest_index(v):
+            u, v = v, u
+        self.u = u
+        self.v = v
+
+    @property
+    def scope(self) -> int:
+        """All vertices the underlying predicate references."""
+        return self.u | self.v
+
+    @property
+    def is_simple(self) -> bool:
+        """True iff both endpoints are single vertices (a graph edge)."""
+        return (
+            self.u & (self.u - 1) == 0
+            and self.v & (self.v - 1) == 0
+        )
+
+    def connects(self, left: int, right: int) -> bool:
+        """True iff the edge joins ``left`` to ``right`` (either way)."""
+        return (
+            (bitset.is_subset(self.u, left) and bitset.is_subset(self.v, right))
+            or (bitset.is_subset(self.u, right) and bitset.is_subset(self.v, left))
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hyperedge):
+            return NotImplemented
+        return self.u == other.u and self.v == other.v
+
+    def __hash__(self) -> int:
+        return hash((self.u, self.v))
+
+    def __repr__(self) -> str:
+        return (
+            f"Hyperedge({bitset.format_set(self.u)}, "
+            f"{bitset.format_set(self.v)})"
+        )
+
+
+class Hypergraph:
+    """A join hypergraph over vertices ``{0, ..., n-1}``.
+
+    Parameters
+    ----------
+    n_vertices:
+        Number of relations.
+    edges:
+        Iterable of ``(u, v)`` pairs, each a bitset or an iterable of
+        vertex indices; or :class:`Hyperedge` instances.
+    """
+
+    __slots__ = (
+        "_n",
+        "_edges",
+        "_all_vertices",
+        "_simple_adjacency",
+        "_complex_edges",
+        "_connected_cache",
+    )
+
+    def __init__(self, n_vertices: int, edges: Iterable):
+        if n_vertices <= 0:
+            raise GraphError(f"need at least one vertex, got {n_vertices}")
+        self._n = n_vertices
+        self._all_vertices = (1 << n_vertices) - 1
+        normalized: List[Hyperedge] = []
+        seen = set()
+        for edge in edges:
+            if isinstance(edge, Hyperedge):
+                hyperedge = edge
+            else:
+                u, v = edge
+                hyperedge = Hyperedge(self._as_bitset(u), self._as_bitset(v))
+            if hyperedge.scope & ~self._all_vertices:
+                raise GraphError(f"{hyperedge!r} references unknown vertices")
+            if hyperedge in seen:
+                continue
+            seen.add(hyperedge)
+            normalized.append(hyperedge)
+        self._edges: Tuple[Hyperedge, ...] = tuple(normalized)
+        # Simple edges become per-vertex adjacency masks (fast path);
+        # complex edges are scanned.
+        self._simple_adjacency = [0] * n_vertices
+        self._complex_edges: List[Hyperedge] = []
+        for hyperedge in self._edges:
+            if hyperedge.is_simple:
+                u_index = bitset.lowest_index(hyperedge.u)
+                v_index = bitset.lowest_index(hyperedge.v)
+                self._simple_adjacency[u_index] |= hyperedge.v
+                self._simple_adjacency[v_index] |= hyperedge.u
+            else:
+                self._complex_edges.append(hyperedge)
+        self._connected_cache: Dict[int, bool] = {}
+
+    @staticmethod
+    def _as_bitset(value) -> int:
+        if isinstance(value, int):
+            return value
+        return bitset.from_indices(value)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        return self._n
+
+    @property
+    def all_vertices(self) -> int:
+        return self._all_vertices
+
+    @property
+    def edges(self) -> Tuple[Hyperedge, ...]:
+        return self._edges
+
+    @property
+    def complex_edges(self) -> Sequence[Hyperedge]:
+        """The hyperedges with a multi-vertex endpoint."""
+        return tuple(self._complex_edges)
+
+    @property
+    def is_plain_graph(self) -> bool:
+        """True iff every edge is simple (an ordinary query graph)."""
+        return not self._complex_edges
+
+    @classmethod
+    def from_query_graph(cls, graph: QueryGraph) -> "Hypergraph":
+        """Lift an ordinary query graph into a hypergraph."""
+        return cls(
+            graph.n_vertices,
+            [(1 << u, 1 << v) for (u, v) in graph.edges],
+        )
+
+    # ------------------------------------------------------------------
+    # Neighborhoods (DPhyp)
+    # ------------------------------------------------------------------
+
+    def simple_neighborhood(self, vertex_set: int) -> int:
+        """Neighbors via simple edges only, outside the set."""
+        result = 0
+        remaining = vertex_set
+        adjacency = self._simple_adjacency
+        while remaining:
+            low = remaining & -remaining
+            result |= adjacency[low.bit_length() - 1]
+            remaining ^= low
+        return result & ~vertex_set
+
+    def neighborhood(self, vertex_set: int, excluded: int) -> int:
+        """DPhyp's restricted neighborhood ``N(S, X)``.
+
+        Simple edges contribute their far endpoint; a complex hyperedge
+        ``(u, v)`` with ``u ⊆ S`` and ``v`` untouched by ``S ∪ X``
+        contributes only ``min(v)`` — the representative through which
+        DPhyp later reassembles the full endpoint.  The result excludes
+        ``S`` and ``X``.
+        """
+        forbidden = vertex_set | excluded
+        result = self.simple_neighborhood(vertex_set) & ~forbidden
+        for hyperedge in self._complex_edges:
+            if (
+                bitset.is_subset(hyperedge.u, vertex_set)
+                and hyperedge.v & forbidden == 0
+            ):
+                result |= hyperedge.v & -hyperedge.v
+            elif (
+                bitset.is_subset(hyperedge.v, vertex_set)
+                and hyperedge.u & forbidden == 0
+            ):
+                result |= hyperedge.u & -hyperedge.u
+        return result
+
+    def has_cross_edge(self, left: int, right: int) -> bool:
+        """True iff some hyperedge connects ``left`` to ``right``."""
+        # Simple-edge fast path.
+        if self.simple_neighborhood(left) & right:
+            return True
+        for hyperedge in self._complex_edges:
+            if hyperedge.connects(left, right):
+                return True
+        return False
+
+    def edges_within(self, vertex_set: int) -> List[Hyperedge]:
+        """Hyperedges whose full scope lies inside the set."""
+        return [
+            e for e in self._edges if bitset.is_subset(e.scope, vertex_set)
+        ]
+
+    # ------------------------------------------------------------------
+    # Connectivity (recursive hypergraph semantics)
+    # ------------------------------------------------------------------
+
+    def is_connected(self, vertex_set: int) -> bool:
+        """True iff ``S`` can be built by cross-product-free joins.
+
+        Recursive definition: a singleton is connected; a larger set is
+        connected iff it splits into two connected halves joined by a
+        hyperedge with one endpoint in each half.  (A plain reachability
+        fixpoint over-approximates this for complex hyperedges whose far
+        endpoint is internally disconnected.)  Memoized per instance.
+        """
+        if vertex_set == 0:
+            return False
+        if vertex_set & (vertex_set - 1) == 0:
+            return True
+        cached = self._connected_cache.get(vertex_set)
+        if cached is not None:
+            return cached
+        result = False
+        lowest = vertex_set & -vertex_set
+        rest = vertex_set ^ lowest
+        for sub in bitset.iter_subsets(rest):
+            left = lowest | sub
+            if left == vertex_set:
+                continue
+            right = vertex_set ^ left
+            if (
+                self.is_connected(left)
+                and self.is_connected(right)
+                and self.has_cross_edge(left, right)
+            ):
+                result = True
+                break
+        self._connected_cache[vertex_set] = result
+        return result
+
+    def connected_subsets(self) -> List[int]:
+        """All connected subsets, ascending (exponential; small n only)."""
+        return [
+            s
+            for s in range(1, self._all_vertices + 1)
+            if bitset.is_subset(s, self._all_vertices) and self.is_connected(s)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(n_vertices={self._n}, n_edges={len(self._edges)}, "
+            f"n_complex={len(self._complex_edges)})"
+        )

@@ -1,0 +1,108 @@
+"""Fixed-shape query graph builders.
+
+These are the four canonical shapes of the paper's workload (chain, star,
+cycle, clique; Sec. IV-A) plus a grid shape as an additional moderately
+cyclic workload.  Each builder returns a :class:`~repro.graph.query_graph.QueryGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import GraphError
+from repro.graph.query_graph import QueryGraph
+
+__all__ = [
+    "chain_graph",
+    "star_graph",
+    "cycle_graph",
+    "clique_graph",
+    "grid_graph",
+    "make_shape",
+    "SHAPE_BUILDERS",
+]
+
+
+def chain_graph(n_vertices: int) -> QueryGraph:
+    """Build a chain ``R0 - R1 - ... - R(n-1)``.
+
+    >>> chain_graph(3).edges
+    ((0, 1), (1, 2))
+    """
+    if n_vertices < 1:
+        raise GraphError("chain needs at least 1 vertex")
+    return QueryGraph(n_vertices, [(i, i + 1) for i in range(n_vertices - 1)])
+
+
+def star_graph(n_vertices: int, hub: int = 0) -> QueryGraph:
+    """Build a star with the given hub joined to every other relation.
+
+    The hub models the fact table of a star schema; the satellites are the
+    dimension tables.
+    """
+    if n_vertices < 1:
+        raise GraphError("star needs at least 1 vertex")
+    if not 0 <= hub < n_vertices:
+        raise GraphError(f"hub {hub} out of range")
+    return QueryGraph(
+        n_vertices, [(hub, i) for i in range(n_vertices) if i != hub]
+    )
+
+
+def cycle_graph(n_vertices: int) -> QueryGraph:
+    """Build a cycle ``R0 - R1 - ... - R(n-1) - R0``.
+
+    Requires at least 3 vertices (a 2-cycle would be a parallel edge).
+    """
+    if n_vertices < 3:
+        raise GraphError("cycle needs at least 3 vertices")
+    edges = [(i, i + 1) for i in range(n_vertices - 1)]
+    edges.append((n_vertices - 1, 0))
+    return QueryGraph(n_vertices, edges)
+
+
+def clique_graph(n_vertices: int) -> QueryGraph:
+    """Build a complete graph: every pair of relations is joined."""
+    if n_vertices < 1:
+        raise GraphError("clique needs at least 1 vertex")
+    edges = [
+        (u, v) for u in range(n_vertices) for v in range(u + 1, n_vertices)
+    ]
+    return QueryGraph(n_vertices, edges)
+
+
+def grid_graph(rows: int, cols: int) -> QueryGraph:
+    """Build a ``rows x cols`` grid (moderately cyclic benchmark shape)."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid needs positive dimensions")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return QueryGraph(rows * cols, edges)
+
+
+SHAPE_BUILDERS: Dict[str, Callable[[int], QueryGraph]] = {
+    "chain": chain_graph,
+    "star": star_graph,
+    "cycle": cycle_graph,
+    "clique": clique_graph,
+}
+
+
+def make_shape(shape: str, n_vertices: int) -> QueryGraph:
+    """Build one of the paper's fixed shapes by name.
+
+    ``shape`` is one of ``chain``, ``star``, ``cycle``, ``clique``.
+    """
+    try:
+        builder = SHAPE_BUILDERS[shape]
+    except KeyError:
+        raise GraphError(
+            f"unknown shape {shape!r}; expected one of {sorted(SHAPE_BUILDERS)}"
+        ) from None
+    return builder(n_vertices)

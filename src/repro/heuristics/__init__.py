@@ -1,0 +1,29 @@
+"""Restricted plan spaces and classic join-ordering heuristics.
+
+The paper searches the full bushy, cross-product-free space
+exhaustively.  This package supplies the classic comparison points from
+the join-ordering literature the paper builds on:
+
+* :func:`optimal_left_deep` — exact DP over the *left-deep* subspace
+  (Ioannidis & Kang's strategy-space comparison, the paper's ref. [1]),
+* :class:`IKKBZ` — the polynomial-time optimal left-deep algorithm for
+  acyclic queries under ASI cost functions,
+* :func:`greedy_operator_ordering` — GOO, the standard bushy greedy
+  heuristic.
+
+They quantify what exhaustive bushy enumeration buys: the examples and
+benches compare their plan quality against the optimizers' optimum.
+"""
+
+from repro.heuristics.leftdeep import optimal_left_deep
+from repro.heuristics.goo import greedy_operator_ordering
+from repro.heuristics.hyper_goo import greedy_hyper_ordering
+from repro.heuristics.ikkbz import IKKBZ, ikkbz_optimal_left_deep
+
+__all__ = [
+    "optimal_left_deep",
+    "greedy_operator_ordering",
+    "greedy_hyper_ordering",
+    "IKKBZ",
+    "ikkbz_optimal_left_deep",
+]

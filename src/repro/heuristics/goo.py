@@ -1,0 +1,83 @@
+"""GOO — Greedy Operator Ordering (Fegaras).
+
+A polynomial-time bushy heuristic: keep a forest of partial join trees,
+repeatedly join the *adjacent* pair whose result cardinality is
+smallest, until one tree remains.  Cross products are excluded (only
+pairs connected by a join edge qualify), matching the paper's search
+space; quality is typically within a small factor of the optimum and
+sometimes far off — which the comparison example quantifies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.catalog.statistics import Catalog
+from repro.errors import OptimizationError
+from repro.plan.jointree import JoinTree
+
+__all__ = ["greedy_operator_ordering"]
+
+
+def greedy_operator_ordering(catalog: Catalog) -> JoinTree:
+    """Build a bushy plan greedily by smallest intermediate result (C_out)."""
+    graph = catalog.graph
+    if not graph.is_connected(graph.all_vertices):
+        raise OptimizationError("query graph is disconnected")
+
+    trees: List[JoinTree] = [
+        JoinTree(
+            vertex_set=1 << v,
+            cardinality=catalog.cardinality(v),
+            cost=0.0,
+            relation=catalog.relations[v].name,
+        )
+        for v in range(graph.n_vertices)
+    ]
+    cards: Dict[int, float] = {}
+
+    def union_card(left: JoinTree, right: JoinTree) -> float:
+        union = left.vertex_set | right.vertex_set
+        value = cards.get(union)
+        if value is None:
+            value = (
+                left.cardinality
+                * right.cardinality
+                * catalog.selectivity_between(left.vertex_set, right.vertex_set)
+            )
+            cards[union] = value
+        return value
+
+    while len(trees) > 1:
+        best = None
+        best_card = math.inf
+        for i in range(len(trees)):
+            for j in range(i + 1, len(trees)):
+                left, right = trees[i], trees[j]
+                if not graph.are_connected_sets(
+                    left.vertex_set, right.vertex_set
+                ):
+                    continue
+                card = union_card(left, right)
+                if card < best_card:
+                    best_card = card
+                    best = (i, j)
+        if best is None:
+            raise OptimizationError(
+                "no adjacent pair left to join (graph bug?)"
+            )
+        i, j = best
+        left, right = trees[i], trees[j]
+        joined = JoinTree(
+            vertex_set=left.vertex_set | right.vertex_set,
+            cardinality=best_card,
+            cost=best_card + left.cost + right.cost,
+            left=left,
+            right=right,
+            implementation="join",
+        )
+        trees = [
+            t for k, t in enumerate(trees) if k not in (i, j)
+        ] + [joined]
+    return trees[0]

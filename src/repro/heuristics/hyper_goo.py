@@ -1,0 +1,89 @@
+"""GOO for hypergraphs: the greedy baseline for complex predicates.
+
+Identical strategy to :mod:`repro.heuristics.goo` under hypergraph
+semantics: a pair of partial trees is joinable only when some hyperedge
+has one endpoint set covered by each side, and a completed predicate's
+selectivity applies the first time its full scope is covered (the
+``HyperCatalog`` apply-once rule).  Serves as the polynomial-time
+comparison point for DPhyp, exactly as plain GOO does for DPccp.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.catalog.hyper import HyperCatalog
+from repro.errors import OptimizationError
+from repro.plan.jointree import JoinTree
+
+__all__ = ["greedy_hyper_ordering"]
+
+
+def greedy_hyper_ordering(catalog: HyperCatalog) -> JoinTree:
+    """Build a bushy hypergraph plan greedily (smallest result first)."""
+    hypergraph = catalog.hypergraph
+    if not hypergraph.is_connected(hypergraph.all_vertices):
+        raise OptimizationError(
+            "query hypergraph is not connected under cross-product-free "
+            "join semantics"
+        )
+
+    trees: List[JoinTree] = [
+        JoinTree(
+            vertex_set=1 << v,
+            cardinality=catalog.cardinality(v),
+            cost=0.0,
+            relation=catalog.relations[v].name,
+        )
+        for v in range(hypergraph.n_vertices)
+    ]
+    cards: Dict[int, float] = {}
+
+    def union_card(left: JoinTree, right: JoinTree) -> float:
+        union = left.vertex_set | right.vertex_set
+        value = cards.get(union)
+        if value is None:
+            value = (
+                left.cardinality
+                * right.cardinality
+                * catalog.selectivity_between(left.vertex_set, right.vertex_set)
+            )
+            cards[union] = value
+        return value
+
+    while len(trees) > 1:
+        best = None
+        best_card = math.inf
+        for i in range(len(trees)):
+            for j in range(i + 1, len(trees)):
+                left, right = trees[i], trees[j]
+                if not hypergraph.has_cross_edge(
+                    left.vertex_set, right.vertex_set
+                ):
+                    continue
+                card = union_card(left, right)
+                if card < best_card:
+                    best_card = card
+                    best = (i, j)
+        if best is None:
+            # Unlike plain graphs, greedy merging over hypergraphs can in
+            # principle strand itself: a complex predicate's endpoint may
+            # be split across subtrees that can no longer combine.  Fail
+            # loudly; the exhaustive optimizers handle such queries.
+            raise OptimizationError(
+                "greedy ordering stranded: no hyperedge joins any pair of "
+                "remaining subtrees (use DPhyp/TopDownHyp instead)"
+            )
+        i, j = best
+        left, right = trees[i], trees[j]
+        joined = JoinTree(
+            vertex_set=left.vertex_set | right.vertex_set,
+            cardinality=best_card,
+            cost=best_card + left.cost + right.cost,
+            left=left,
+            right=right,
+            implementation="join",
+        )
+        trees = [t for k, t in enumerate(trees) if k not in (i, j)] + [joined]
+    return trees[0]

@@ -1,0 +1,183 @@
+"""IKKBZ: polynomial-time optimal left-deep ordering for acyclic queries.
+
+The classic algorithm of Ibaraki & Kameda and Krishnamurthy, Boral &
+Zaniolo: for tree-shaped query graphs and cost functions with the
+*adjacent sequence interchange* (ASI) property — C_out has it — the
+optimal left-deep, cross-product-free join order can be found in
+O(n^2 log n) by sorting precedence-tree *modules* by rank.
+
+For each candidate starting relation the query tree is rooted there,
+every subtree is flattened into a rank-ascending chain (merging modules
+whose ranks would otherwise violate the precedence order), and the best
+root wins.  Ranks use the standard recurrences::
+
+    T(module) = prod(s_v * n_v)          (root contributes n_root, C=0)
+    C(AB)     = C(A) + T(A) * C(B)
+    rank(m)   = (T(m) - 1) / C(m)
+
+The result provably equals the exponential left-deep DP
+(:func:`repro.heuristics.leftdeep.optimal_left_deep`) on acyclic
+graphs — a property the test suite checks on random trees.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro import bitset
+from repro.catalog.statistics import Catalog
+from repro.errors import OptimizationError
+from repro.plan.jointree import JoinTree
+
+__all__ = ["IKKBZ", "ikkbz_optimal_left_deep"]
+
+
+class _Module:
+    """A merged run of relations with aggregated T/C and fixed order."""
+
+    __slots__ = ("vertices", "t_value", "c_value")
+
+    def __init__(self, vertices: List[int], t_value: float, c_value: float):
+        self.vertices = vertices
+        self.t_value = t_value
+        self.c_value = c_value
+
+    @property
+    def rank(self) -> float:
+        if self.c_value == 0:
+            return -math.inf
+        return (self.t_value - 1.0) / self.c_value
+
+    def merged_with(self, other: "_Module") -> "_Module":
+        return _Module(
+            self.vertices + other.vertices,
+            self.t_value * other.t_value,
+            self.c_value + self.t_value * other.c_value,
+        )
+
+
+class IKKBZ:
+    """Optimal left-deep join ordering for acyclic query graphs."""
+
+    name = "ikkbz"
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.graph = catalog.graph
+        if not self.graph.is_connected(self.graph.all_vertices):
+            raise OptimizationError("query graph is disconnected")
+        if not self.graph.is_acyclic():
+            raise OptimizationError(
+                "IKKBZ requires an acyclic (tree-shaped) query graph"
+            )
+
+    # ------------------------------------------------------------------
+
+    def best_sequence(self) -> Tuple[List[int], float]:
+        """Return (relation order, C_out cost), minimized over all roots."""
+        best_order: List[int] = []
+        best_cost = math.inf
+        for root in range(self.graph.n_vertices):
+            order, cost = self._solve_for_root(root)
+            if cost < best_cost:
+                best_cost = cost
+                best_order = order
+        return best_order, best_cost
+
+    def optimize(self) -> JoinTree:
+        """Return the optimal left-deep plan as a :class:`JoinTree`."""
+        order, _ = self.best_sequence()
+        return _sequence_to_plan(self.catalog, order)
+
+    # ------------------------------------------------------------------
+
+    def _solve_for_root(self, root: int) -> Tuple[List[int], float]:
+        graph = self.graph
+        n = graph.n_vertices
+        if n == 1:
+            return [0], 0.0
+        parent = [-1] * n
+        children: List[List[int]] = [[] for _ in range(n)]
+        order = [root]
+        seen = 1 << root
+        frontier = [root]
+        while frontier:
+            v = frontier.pop()
+            for w in bitset.iter_indices(
+                graph.neighbors_of_vertex(v) & ~seen
+            ):
+                seen |= 1 << w
+                parent[w] = v
+                children[v].append(w)
+                order.append(w)
+                frontier.append(w)
+
+        def leaf_module(v: int) -> _Module:
+            selectivity = self.catalog.selectivity(parent[v], v)
+            t_value = selectivity * self.catalog.cardinality(v)
+            return _Module([v], t_value, t_value)
+
+        def chainify(v: int) -> List[_Module]:
+            """Flatten the subtree at v into a rank-ascending module chain."""
+            merged_children: List[_Module] = self._merge_by_rank(
+                [chainify(c) for c in children[v]]
+            )
+            chain = [leaf_module(v)] + merged_children
+            # The tail is rank-ascending; only the head can violate the
+            # precedence order.  Merge forward until it no longer does.
+            while len(chain) > 1 and chain[0].rank > chain[1].rank:
+                chain[0] = chain[0].merged_with(chain[1])
+                del chain[1]
+            return chain
+
+        tail = self._merge_by_rank([chainify(c) for c in children[root]])
+        root_module = _Module([root], self.catalog.cardinality(root), 0.0)
+        sequence = root_module
+        for module in tail:
+            sequence = sequence.merged_with(module)
+        return sequence.vertices, sequence.c_value
+
+    @staticmethod
+    def _merge_by_rank(chains: List[List[_Module]]) -> List[_Module]:
+        """Merge rank-ascending chains into one rank-ascending chain."""
+        modules = [module for chain in chains for module in chain]
+        # Precedence within each chain is preserved because Python's sort
+        # is stable and each input chain is already rank-ascending.
+        modules.sort(key=lambda m: m.rank)
+        return modules
+
+
+def _sequence_to_plan(catalog: Catalog, order: List[int]) -> JoinTree:
+    """Materialize a relation order as a left-deep JoinTree with C_out costs."""
+
+    def leaf(v: int) -> JoinTree:
+        return JoinTree(
+            vertex_set=1 << v,
+            cardinality=catalog.cardinality(v),
+            cost=0.0,
+            relation=catalog.relations[v].name,
+        )
+
+    tree = leaf(order[0])
+    for v in order[1:]:
+        right = leaf(v)
+        card = (
+            tree.cardinality
+            * right.cardinality
+            * catalog.selectivity_between(tree.vertex_set, 1 << v)
+        )
+        tree = JoinTree(
+            vertex_set=tree.vertex_set | right.vertex_set,
+            cardinality=card,
+            cost=tree.cost + card,
+            left=tree,
+            right=right,
+            implementation="join",
+        )
+    return tree
+
+
+def ikkbz_optimal_left_deep(catalog: Catalog) -> JoinTree:
+    """Convenience wrapper: IKKBZ plan for an acyclic catalog."""
+    return IKKBZ(catalog).optimize()

@@ -1,0 +1,106 @@
+"""Exact DP over the left-deep, cross-product-free plan space.
+
+A left-deep plan is a relation *sequence*: each join's right input is a
+base relation.  Without cross products, every prefix of the sequence
+must induce a connected subgraph.  The DP is over connected subsets:
+``best[S] = min over last relations v`` such that ``S \\ {v}`` stays
+connected and ``v`` is adjacent to it.
+
+Under C_out the cost of a sequence is the sum of its prefix
+cardinalities, so ``best[S] = card(S) + min_v best[S \\ {v}]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro import bitset
+from repro.catalog.statistics import Catalog
+from repro.errors import OptimizationError
+from repro.plan.jointree import JoinTree
+
+__all__ = ["optimal_left_deep"]
+
+
+def optimal_left_deep(catalog: Catalog) -> JoinTree:
+    """Return the optimal left-deep cross-product-free plan (C_out).
+
+    Exponential in the number of relations (it is still a DP over
+    connected subsets) but with only ``O(|S|)`` splits per set.
+    """
+    graph = catalog.graph
+    all_vertices = graph.all_vertices
+    if not graph.is_connected(all_vertices):
+        raise OptimizationError("query graph is disconnected")
+    n = graph.n_vertices
+    if n == 1:
+        return JoinTree(
+            vertex_set=1,
+            cardinality=catalog.cardinality(0),
+            cost=0.0,
+            relation=catalog.relations[0].name,
+        )
+
+    cards: Dict[int, float] = {}
+
+    def card(vertex_set: int) -> float:
+        value = cards.get(vertex_set)
+        if value is None:
+            value = catalog.estimate(vertex_set)
+            cards[vertex_set] = value
+        return value
+
+    best_cost: Dict[int, float] = {}
+    best_last: Dict[int, Optional[int]] = {}
+
+    def solve(vertex_set: int) -> float:
+        if vertex_set & (vertex_set - 1) == 0:
+            return 0.0
+        cached = best_cost.get(vertex_set)
+        if cached is not None:
+            return cached
+        result = math.inf
+        chosen = None
+        for last in bitset.iter_indices(vertex_set):
+            rest = vertex_set & ~(1 << last)
+            if not graph.is_connected(rest):
+                continue
+            if graph.neighborhood(rest) & (1 << last) == 0:
+                continue
+            cost = solve(rest)
+            if cost < result:
+                result = cost
+                chosen = last
+        result += card(vertex_set)
+        best_cost[vertex_set] = result
+        best_last[vertex_set] = chosen
+        return result
+
+    total = solve(all_vertices)
+    if not math.isfinite(total):
+        raise OptimizationError("no left-deep plan exists (graph bug?)")
+
+    def extract(vertex_set: int) -> JoinTree:
+        if vertex_set & (vertex_set - 1) == 0:
+            vertex = bitset.lowest_index(vertex_set)
+            return JoinTree(
+                vertex_set=vertex_set,
+                cardinality=catalog.cardinality(vertex),
+                cost=0.0,
+                relation=catalog.relations[vertex].name,
+            )
+        last = best_last[vertex_set]
+        rest = vertex_set & ~(1 << last)
+        left = extract(rest)
+        right = extract(1 << last)
+        return JoinTree(
+            vertex_set=vertex_set,
+            cardinality=card(vertex_set),
+            cost=best_cost[vertex_set],
+            left=left,
+            right=right,
+            implementation="join",
+        )
+
+    return extract(all_vertices)

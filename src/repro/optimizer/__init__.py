@@ -1,0 +1,32 @@
+"""Plan generators: the generic top-down driver and bottom-up baselines."""
+
+from repro.optimizer.topdown import TopDownPlanGenerator
+from repro.optimizer.dpccp import DPccp, enumerate_csg, enumerate_cmp
+from repro.optimizer.dpsub import DPsub
+from repro.optimizer.dpsize import DPsize
+from repro.optimizer.dphyp import DPhyp, HyperDPsub, TopDownHyp, TopDownHypBasic
+from repro.optimizer.api import (
+    ALGORITHMS,
+    choose_algorithm,
+    OptimizationResult,
+    make_optimizer,
+    optimize_query,
+)
+
+__all__ = [
+    "TopDownPlanGenerator",
+    "DPccp",
+    "DPsub",
+    "DPsize",
+    "DPhyp",
+    "HyperDPsub",
+    "TopDownHyp",
+    "TopDownHypBasic",
+    "enumerate_csg",
+    "enumerate_cmp",
+    "ALGORITHMS",
+    "choose_algorithm",
+    "OptimizationResult",
+    "make_optimizer",
+    "optimize_query",
+]

@@ -1,0 +1,232 @@
+"""Public optimization facade: algorithm registry and ``optimize_query``.
+
+The registry names match the paper's:
+
+============== ====================================================
+Name            Meaning
+============== ====================================================
+tdmincutbranch  TDMINCUTBRANCH — top-down driver + branch partitioning
+tdmincutlazy    TDMINCUTLAZY — top-down driver + lazy min-cut partitioning
+memoizationbasic MEMOIZATIONBASIC — top-down driver + naive partitioning
+tdconservative  top-down driver + connected-subset generate-and-test
+dpccp           DPccp — bottom-up csg-cmp-pair enumeration
+dpsub           DPsub — bottom-up subset enumeration (oracle)
+dpsize          DPsize — bottom-up size-driven enumeration
+============== ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+from repro.catalog.statistics import Catalog
+from repro.catalog.workload import QueryInstance, uniform_statistics
+from repro.cost.base import CostModel
+from repro.enumeration.mincutbranch import MinCutBranch
+from repro.enumeration.mincutlazy import MinCutLazy
+from repro.enumeration.conservative import ConservativePartitioning
+from repro.enumeration.naive import NaivePartitioning
+from repro.errors import OptimizationError
+from repro.graph.query_graph import QueryGraph
+from repro.optimizer.dpccp import DPccp
+from repro.optimizer.dpsize import DPsize
+from repro.optimizer.dpsub import DPsub
+from repro.optimizer.topdown import TopDownPlanGenerator
+from repro.plan.jointree import JoinTree
+
+__all__ = [
+    "ALGORITHMS",
+    "OptimizationResult",
+    "choose_algorithm",
+    "make_optimizer",
+    "optimize_query",
+]
+
+
+def _make_tdmincutbranch(catalog, cost_model=None, enable_pruning=False):
+    return TopDownPlanGenerator(
+        catalog, MinCutBranch, cost_model=cost_model, enable_pruning=enable_pruning
+    )
+
+
+def _make_tdmincutlazy(catalog, cost_model=None, enable_pruning=False):
+    return TopDownPlanGenerator(
+        catalog, MinCutLazy, cost_model=cost_model, enable_pruning=enable_pruning
+    )
+
+
+def _make_memoizationbasic(catalog, cost_model=None, enable_pruning=False):
+    return TopDownPlanGenerator(
+        catalog,
+        NaivePartitioning,
+        cost_model=cost_model,
+        enable_pruning=enable_pruning,
+    )
+
+
+def _make_tdconservative(catalog, cost_model=None, enable_pruning=False):
+    return TopDownPlanGenerator(
+        catalog,
+        ConservativePartitioning,
+        cost_model=cost_model,
+        enable_pruning=enable_pruning,
+    )
+
+
+def _make_dpccp(catalog, cost_model=None, enable_pruning=False):
+    if enable_pruning:
+        raise OptimizationError("bottom-up enumeration cannot prune easily (Sec. I)")
+    return DPccp(catalog, cost_model=cost_model)
+
+
+def _make_dpsub(catalog, cost_model=None, enable_pruning=False):
+    if enable_pruning:
+        raise OptimizationError("bottom-up enumeration cannot prune easily (Sec. I)")
+    return DPsub(catalog, cost_model=cost_model)
+
+
+def _make_dpsize(catalog, cost_model=None, enable_pruning=False):
+    if enable_pruning:
+        raise OptimizationError("bottom-up enumeration cannot prune easily (Sec. I)")
+    return DPsize(catalog, cost_model=cost_model)
+
+
+#: Name -> factory(catalog, cost_model=None, enable_pruning=False).
+ALGORITHMS: Dict[str, Callable] = {
+    "tdmincutbranch": _make_tdmincutbranch,
+    "tdmincutlazy": _make_tdmincutlazy,
+    "memoizationbasic": _make_memoizationbasic,
+    "tdconservative": _make_tdconservative,
+    "dpccp": _make_dpccp,
+    "dpsub": _make_dpsub,
+    "dpsize": _make_dpsize,
+}
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimization run with provenance and counters."""
+
+    plan: JoinTree
+    algorithm: str
+    elapsed_seconds: float
+    memo_entries: int
+    cost_evaluations: int
+    cardinality_estimations: int
+    details: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cost(self) -> float:
+        """Cost of the winning plan."""
+        return self.plan.cost
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.algorithm}: cost={self.plan.cost:.6g} "
+            f"joins={self.plan.n_joins()} memo={self.memo_entries} "
+            f"cost_evals={self.cost_evaluations} "
+            f"card_estimations={self.cardinality_estimations} "
+            f"time={self.elapsed_seconds * 1e3:.2f}ms"
+        )
+
+
+def choose_algorithm(catalog: Catalog, enable_pruning: bool = False) -> str:
+    """Pick a registry algorithm for a query ("auto" mode).
+
+    Rules of thumb distilled from the paper's Tables IV/V and this
+    library's own measurements:
+
+    * pruning requested → top-down is the only option → MinCutBranch;
+    * sparse or moderate graphs → TDMinCutBranch (at or below DPccp,
+      and it keeps the top-down pruning door open);
+    * large dense (clique-like) graphs → DPccp, whose tight submask
+      enumeration carries the smallest constant in this implementation.
+    """
+    graph = catalog.graph
+    if enable_pruning:
+        return "tdmincutbranch"
+    n = graph.n_vertices
+    max_edges = n * (n - 1) // 2
+    density = graph.n_edges / max_edges if max_edges else 0.0
+    if n >= 10 and density > 0.5:
+        return "dpccp"
+    return "tdmincutbranch"
+
+
+def make_optimizer(
+    algorithm: str,
+    catalog: Catalog,
+    cost_model: Optional[CostModel] = None,
+    enable_pruning: bool = False,
+):
+    """Instantiate a plan generator by registry name (or "auto")."""
+    if algorithm == "auto":
+        algorithm = choose_algorithm(catalog, enable_pruning=enable_pruning)
+    try:
+        factory = ALGORITHMS[algorithm]
+    except KeyError:
+        raise OptimizationError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    return factory(catalog, cost_model=cost_model, enable_pruning=enable_pruning)
+
+
+def optimize_query(
+    query: Union[Catalog, QueryInstance, QueryGraph],
+    algorithm: str = "tdmincutbranch",
+    cost_model: Optional[CostModel] = None,
+    enable_pruning: bool = False,
+    allow_cross_products: bool = False,
+) -> OptimizationResult:
+    """Optimize a query and return the plan with run statistics.
+
+    ``query`` may be a :class:`Catalog`, a :class:`QueryInstance`, or a
+    bare :class:`QueryGraph` (which gets uniform placeholder statistics —
+    handy for structural experiments where, as in the paper, the numbers
+    do not influence the search space).
+
+    ``allow_cross_products=True`` accepts disconnected query graphs by
+    stitching their components with artificial selectivity-1 edges (see
+    :mod:`repro.catalog.crossproduct`); the paper's search space itself
+    is cross-product-free.
+    """
+    if isinstance(query, QueryInstance):
+        catalog = query.catalog
+    elif isinstance(query, Catalog):
+        catalog = query
+    elif isinstance(query, QueryGraph):
+        catalog = uniform_statistics(query)
+    else:
+        raise OptimizationError(
+            f"cannot optimize object of type {type(query).__name__}"
+        )
+    if allow_cross_products:
+        from repro.catalog.crossproduct import connect_components
+
+        catalog = connect_components(catalog)
+    optimizer = make_optimizer(
+        algorithm, catalog, cost_model=cost_model, enable_pruning=enable_pruning
+    )
+    started = time.perf_counter()
+    plan = optimizer.optimize()
+    elapsed = time.perf_counter() - started
+    builder = optimizer.builder
+    details: Dict[str, int] = {}
+    partitioner = getattr(optimizer, "partitioner", None)
+    if partitioner is not None:
+        details["ccps_emitted"] = partitioner.stats.emitted
+        details["partitioner_calls"] = partitioner.stats.calls
+    if hasattr(optimizer, "pruned_sets"):
+        details["pruned_sets"] = optimizer.pruned_sets
+    return OptimizationResult(
+        plan=plan,
+        algorithm=algorithm,
+        elapsed_seconds=elapsed,
+        memo_entries=len(builder.memo),
+        cost_evaluations=builder.cost_evaluations,
+        cardinality_estimations=builder.estimator.estimations,
+        details=details,
+    )

@@ -1,0 +1,259 @@
+"""Join ordering on hypergraphs: DPhyp and companions.
+
+The paper names hypergraph support as its first piece of future work
+(Sec. V).  This module supplies it for the bottom-up side with
+**DPhyp** (Moerkotte & Neumann, SIGMOD 2008) — the hypergraph
+generalization of DPccp — plus two reference enumerators used for
+validation and as the top-down counterpart:
+
+* :class:`HyperDPsub` — bottom-up subset enumeration with explicit
+  recursive-connectivity tests (the trivially correct oracle),
+* :class:`TopDownHypBasic` — generic top-down memoization driven by
+  naive generate-and-test partitioning over hypergraph connectivity
+  (the MEMOIZATIONBASIC analogue; extending *branch partitioning* itself
+  to hypergraphs is the follow-up work the paper anticipates).
+
+All three share the PlanBuilder/memo infrastructure, so they are
+directly comparable the same way the paper's plain-graph enumerators
+are.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro import bitset
+from repro.catalog.hyper import HyperCatalog
+from repro.cost.base import CostModel
+from repro.cost.cout import CoutCostModel
+from repro.errors import OptimizationError
+from repro.graph.hypergraph import Hypergraph
+from repro.plan.builder import PlanBuilder
+from repro.plan.jointree import JoinTree
+
+__all__ = ["DPhyp", "HyperDPsub", "TopDownHyp", "TopDownHypBasic"]
+
+
+def _require_connected(hypergraph: Hypergraph) -> None:
+    if not hypergraph.is_connected(hypergraph.all_vertices):
+        raise OptimizationError(
+            "query hypergraph is not connected under cross-product-free "
+            "join semantics; no plan exists without cross products"
+        )
+
+
+class DPhyp:
+    """Bottom-up DP over hypergraph csg-cmp-pairs (Moerkotte & Neumann '08).
+
+    Structure mirrors DPccp: seeds are enumerated in descending index
+    order, connected subgraphs grow only through the restricted
+    neighborhood ``N(S, X)`` (complex hyperedges contribute the minimum
+    element of their far endpoint as representative), and complements are
+    grown the same way from single-vertex seeds above the csg's minimum.
+    Memo-presence checks replace explicit connectivity tests: a set has
+    an entry iff a cross-product-free plan was already built for it.
+    """
+
+    name = "dphyp"
+
+    def __init__(
+        self, catalog: HyperCatalog, cost_model: Optional[CostModel] = None
+    ):
+        self.catalog = catalog
+        self.hypergraph: Hypergraph = catalog.hypergraph
+        self.cost_model = cost_model if cost_model is not None else CoutCostModel()
+        self.builder = PlanBuilder(catalog, self.cost_model)
+        self.ccps_processed = 0
+
+    # ------------------------------------------------------------------
+
+    def optimize(self) -> JoinTree:
+        """Return an optimal bushy cross-product-free join tree."""
+        _require_connected(self.hypergraph)
+        n = self.hypergraph.n_vertices
+        for index in range(n - 1, -1, -1):
+            seed = 1 << index
+            self._emit_csg(seed)
+            self._enumerate_csg_rec(seed, bitset.set_below(index))
+        return self.builder.memo.extract_plan(self.hypergraph.all_vertices)
+
+    # ------------------------------------------------------------------
+
+    def _has_plan(self, vertex_set: int) -> bool:
+        return self.builder.memo.lookup(vertex_set) is not None
+
+    def _enumerate_csg_rec(self, s1: int, excluded: int) -> None:
+        """Grow ``s1`` through its restricted neighborhood (EnumerateCsgRec)."""
+        neighbors = self.hypergraph.neighborhood(s1, excluded)
+        if neighbors == 0:
+            return
+        for subset in bitset.iter_nonempty_subsets(neighbors):
+            merged = s1 | subset
+            if self._has_plan(merged):
+                self._emit_csg(merged)
+        blocked = excluded | neighbors
+        for subset in bitset.iter_nonempty_subsets(neighbors):
+            self._enumerate_csg_rec(s1 | subset, blocked)
+
+    def _emit_csg(self, s1: int) -> None:
+        """Find complement seeds for csg ``s1`` (EmitCsg)."""
+        lowest = s1 & -s1
+        excluded = s1 | (lowest | (lowest - 1))  # S1 ∪ B_min(S1)
+        neighbors = self.hypergraph.neighborhood(s1, excluded)
+        if neighbors == 0:
+            return
+        for index in reversed(bitset.to_indices(neighbors)):
+            s2 = 1 << index
+            if self.hypergraph.has_cross_edge(s1, s2):
+                self._emit_csg_cmp(s1, s2)
+            self._enumerate_cmp_rec(
+                s1, s2, excluded | (bitset.set_below(index) & neighbors)
+            )
+
+    def _enumerate_cmp_rec(self, s1: int, s2: int, excluded: int) -> None:
+        """Grow the complement ``s2`` (EnumerateCmpRec)."""
+        neighbors = self.hypergraph.neighborhood(s2, excluded)
+        if neighbors == 0:
+            return
+        for subset in bitset.iter_nonempty_subsets(neighbors):
+            merged = s2 | subset
+            if self._has_plan(merged) and self.hypergraph.has_cross_edge(
+                s1, merged
+            ):
+                self._emit_csg_cmp(s1, merged)
+        blocked = excluded | neighbors
+        for subset in bitset.iter_nonempty_subsets(neighbors):
+            self._enumerate_cmp_rec(s1, s2 | subset, blocked)
+
+    def _emit_csg_cmp(self, s1: int, s2: int) -> None:
+        self.ccps_processed += 1
+        self.builder.build_trees(s1 | s2, s1, s2)
+
+    def __repr__(self) -> str:
+        return f"DPhyp(n={self.hypergraph.n_vertices})"
+
+
+class HyperDPsub:
+    """Bottom-up subset enumeration over hypergraphs (correctness oracle).
+
+    Exponential per set like DPsub, with explicit recursive-connectivity
+    tests; only suitable for small queries, which is exactly its job in
+    the test suite.
+    """
+
+    name = "hyperdpsub"
+
+    def __init__(
+        self, catalog: HyperCatalog, cost_model: Optional[CostModel] = None
+    ):
+        self.catalog = catalog
+        self.hypergraph = catalog.hypergraph
+        self.cost_model = cost_model if cost_model is not None else CoutCostModel()
+        self.builder = PlanBuilder(catalog, self.cost_model)
+        self.subsets_considered = 0
+
+    def optimize(self) -> JoinTree:
+        _require_connected(self.hypergraph)
+        hypergraph = self.hypergraph
+        all_vertices = hypergraph.all_vertices
+        build = self.builder.build_trees
+        for vertex_set in range(3, all_vertices + 1):
+            if vertex_set & (vertex_set - 1) == 0:
+                continue
+            if not hypergraph.is_connected(vertex_set):
+                continue
+            lowest = vertex_set & -vertex_set
+            rest = vertex_set ^ lowest
+            for sub in bitset.iter_subsets(rest):
+                left = lowest | sub
+                if left == vertex_set:
+                    continue
+                self.subsets_considered += 1
+                right = vertex_set ^ left
+                if not hypergraph.is_connected(left):
+                    continue
+                if not hypergraph.is_connected(right):
+                    continue
+                if not hypergraph.has_cross_edge(left, right):
+                    continue
+                build(vertex_set, left, right)
+        return self.builder.memo.extract_plan(all_vertices)
+
+
+class TopDownHyp:
+    """Generic top-down memoization over hypergraphs.
+
+    The hypergraph analogue of TDPLANGEN: TDPGSub recursion driven by a
+    pluggable partitioning strategy from
+    :mod:`repro.enumeration.hyper_partition`:
+
+    * ``partitioning="naive"`` — generate-and-test over all subsets
+      (the MEMOIZATIONBASIC analogue),
+    * ``partitioning="conservative"`` — anchored candidates grown
+      through DPhyp neighborhoods, exponentially fewer on sparse
+      hypergraphs.
+
+    Generalizing *branch partitioning* itself to hypergraphs is the
+    future work the paper names; this driver is where such a strategy
+    would plug in.
+    """
+
+    name = "tdhyp"
+
+    def __init__(
+        self,
+        catalog: HyperCatalog,
+        cost_model: Optional[CostModel] = None,
+        partitioning: str = "naive",
+    ):
+        from repro.enumeration.hyper_partition import (
+            HyperConservativePartitioning,
+            HyperNaivePartitioning,
+        )
+
+        self.catalog = catalog
+        self.hypergraph = catalog.hypergraph
+        self.cost_model = cost_model if cost_model is not None else CoutCostModel()
+        self.builder = PlanBuilder(catalog, self.cost_model)
+        strategies = {
+            "naive": HyperNaivePartitioning,
+            "conservative": HyperConservativePartitioning,
+        }
+        try:
+            self.partitioner = strategies[partitioning](self.hypergraph)
+        except KeyError:
+            raise OptimizationError(
+                f"unknown hypergraph partitioning {partitioning!r}; "
+                f"choose from {sorted(strategies)}"
+            ) from None
+
+    @property
+    def partitions_emitted(self) -> int:
+        """ccps emitted by the partitioner so far."""
+        return self.partitioner.stats.emitted
+
+    def optimize(self) -> JoinTree:
+        _require_connected(self.hypergraph)
+        self._tdpg_sub(self.hypergraph.all_vertices)
+        return self.builder.memo.extract_plan(self.hypergraph.all_vertices)
+
+    def _tdpg_sub(self, vertex_set: int) -> None:
+        memo = self.builder.memo
+        entry = memo.get_or_create(vertex_set)
+        if entry.explored:
+            return
+        lookup = memo.lookup
+        for left, right in self.partitioner.partitions(vertex_set):
+            left_entry = lookup(left)
+            if left_entry is None or not left_entry.explored:
+                self._tdpg_sub(left)
+            right_entry = lookup(right)
+            if right_entry is None or not right_entry.explored:
+                self._tdpg_sub(right)
+            self.builder.build_trees(vertex_set, left, right)
+        entry.explored = True
+
+
+def TopDownHypBasic(catalog, cost_model=None):
+    """Backward-compatible constructor: TopDownHyp with naive partitioning."""
+    return TopDownHyp(catalog, cost_model=cost_model, partitioning="naive")

@@ -1,0 +1,75 @@
+"""DPsize: bottom-up dynamic programming by plan size.
+
+The System-R generalization to bushy trees: plans are built in increasing
+number of relations, pairing every plan of size ``k`` with every plan of
+size ``s - k``.  Most pairings fail the disjointness/adjacency tests,
+which is why DPccp dominates it; it is included as the second classic
+bottom-up baseline (Moerkotte & Neumann analyze all three of DPsize,
+DPsub, DPccp).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro import bitset
+from repro.catalog.statistics import Catalog
+from repro.cost.base import CostModel
+from repro.cost.cout import CoutCostModel
+from repro.errors import OptimizationError
+from repro.plan.builder import PlanBuilder
+from repro.plan.jointree import JoinTree
+
+__all__ = ["DPsize"]
+
+
+class DPsize:
+    """Bottom-up plan generation by increasing plan size."""
+
+    name = "dpsize"
+
+    def __init__(self, catalog: Catalog, cost_model: Optional[CostModel] = None):
+        self.catalog = catalog
+        self.graph = catalog.graph
+        self.cost_model = cost_model if cost_model is not None else CoutCostModel()
+        self.builder = PlanBuilder(catalog, self.cost_model)
+        self.pairs_considered = 0
+
+    def optimize(self) -> JoinTree:
+        """Return an optimal bushy, cross-product-free join tree for G."""
+        graph = self.graph
+        n = graph.n_vertices
+        all_vertices = graph.all_vertices
+        if not graph.is_connected(all_vertices):
+            raise OptimizationError(
+                "query graph is disconnected; the cross-product-free search "
+                "space has no solution"
+            )
+        build = self.builder.build_trees
+        # sets_by_size[k] lists the connected sets of size k that have plans.
+        sets_by_size: Dict[int, List[int]] = {
+            1: [1 << v for v in range(n)]
+        }
+        for size in range(2, n + 1):
+            discovered: Dict[int, bool] = {}
+            for left_size in range(1, size // 2 + 1):
+                right_size = size - left_size
+                left_sets = sets_by_size.get(left_size, ())
+                right_sets = sets_by_size.get(right_size, ())
+                for left_set in left_sets:
+                    for right_set in right_sets:
+                        self.pairs_considered += 1
+                        if left_set & right_set:
+                            continue
+                        if left_size == right_size and left_set > right_set:
+                            continue  # symmetric duplicate within equal sizes
+                        if graph.neighborhood(left_set) & right_set == 0:
+                            continue  # cross product
+                        union_set = left_set | right_set
+                        build(union_set, left_set, right_set)
+                        discovered[union_set] = True
+            sets_by_size[size] = list(discovered)
+        return self.builder.memo.extract_plan(all_vertices)
+
+    def __repr__(self) -> str:
+        return f"DPsize(n={self.graph.n_vertices}, cost_model={self.cost_model.name})"

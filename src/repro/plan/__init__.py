@@ -1,0 +1,15 @@
+"""Plan representation: join trees, the memo table, and BuildTree."""
+
+from repro.plan.jointree import JoinTree
+from repro.plan.memo import MemoEntry, MemoTable
+from repro.plan.builder import PlanBuilder
+from repro.plan.validation import PlanViolation, validate_plan
+
+__all__ = [
+    "JoinTree",
+    "MemoEntry",
+    "MemoTable",
+    "PlanBuilder",
+    "validate_plan",
+    "PlanViolation",
+]

@@ -1,0 +1,102 @@
+"""BuildTree / CreateTree: pricing both orientations of a ccp (Fig. 2).
+
+``PlanBuilder`` is the piece of the shared optimizer infrastructure that
+turns an emitted csg-cmp-pair into (up to) two candidate join trees and
+keeps the cheaper one in the memo table.  Because symmetric pairs are
+emitted only once, both argument orders are priced per Fig. 2, and — per
+the paper's efficiency note — both costs are derived from one cardinality
+estimation for the output set.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.statistics import Catalog
+from repro.cost.base import CostModel
+from repro.cost.cardinality import CardinalityEstimator
+from repro.plan.memo import MemoEntry, MemoTable
+
+__all__ = ["PlanBuilder"]
+
+
+class PlanBuilder:
+    """Shared plan-class maintenance for every enumerator.
+
+    Parameters
+    ----------
+    catalog:
+        Statistics for the query being optimized.
+    cost_model:
+        Prices a single join; see :mod:`repro.cost`.
+
+    Attributes
+    ----------
+    memo:
+        The memo table being filled.
+    cost_evaluations:
+        Number of join cost function evaluations performed (two per ccp);
+        benchmarks use it to cross-check #ccp counts.
+    """
+
+    __slots__ = ("catalog", "cost_model", "estimator", "memo", "cost_evaluations")
+
+    def __init__(self, catalog: Catalog, cost_model: CostModel):
+        self.catalog = catalog
+        self.cost_model = cost_model
+        self.estimator = CardinalityEstimator(catalog)
+        self.memo = MemoTable(catalog)
+        self.cost_evaluations = 0
+
+    # ------------------------------------------------------------------
+
+    def entry_cardinality(
+        self, entry: MemoEntry, left: MemoEntry, right: MemoEntry
+    ) -> float:
+        """Return the entry's cardinality, estimating once if unknown.
+
+        The incremental estimate uses any ccp of the set — all ccps of a
+        set produce the same estimate under the independence assumption
+        (a property tested in the suite).
+        """
+        if entry.cardinality is None:
+            entry.cardinality = self.estimator.combine(
+                left.vertex_set,
+                left.cardinality,
+                right.vertex_set,
+                right.cardinality,
+            )
+        return entry.cardinality
+
+    def build_trees(self, union_set: int, left_set: int, right_set: int) -> None:
+        """BuildTree (Fig. 2): price ``L ⋈ R`` and ``R ⋈ L``, keep the best.
+
+        Both operand entries must already hold finished plans (the
+        enumeration algorithms guarantee this by construction).
+        """
+        memo = self.memo
+        target = memo.get_or_create(union_set)
+        left = memo[left_set]
+        right = memo[right_set]
+        output_card = self.entry_cardinality(target, left, right)
+        subtree_cost = left.cost + right.cost
+
+        cost_lr, impl_lr = self.cost_model.join_cost(
+            left.cardinality, right.cardinality, output_card
+        )
+        self.cost_evaluations += 1
+        total_lr = cost_lr + subtree_cost
+        if total_lr < target.cost:
+            target.cost = total_lr
+            target.best_left = left_set
+            target.best_right = right_set
+            target.implementation = impl_lr
+
+        cost_rl, impl_rl = self.cost_model.join_cost(
+            right.cardinality, left.cardinality, output_card
+        )
+        self.cost_evaluations += 1
+        total_rl = cost_rl + subtree_cost
+        if total_rl < target.cost:
+            target.cost = total_rl
+            target.best_left = right_set
+            target.best_right = left_set
+            target.implementation = impl_rl

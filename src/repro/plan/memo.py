@@ -1,0 +1,159 @@
+"""The memo table ("memotable") shared by all plan generators.
+
+Per Sec. IV-A of the paper, all enumerators — top-down and bottom-up —
+share one optimizer infrastructure: "the common functions to instantiate,
+fill, and lookup the memotable, initialize and use plan classes, estimate
+cardinalities, calculate costs, and compare plans.  Thus, the different
+plan generators differ only in those parts of the code responsible for
+enumerating csg-cmp-pairs."  This module is that shared infrastructure.
+
+A :class:`MemoEntry` is a *plan class*: the best plan found so far for one
+connected relation set, stored compactly (best split + implementation
+name) so the search never allocates tree nodes; the winning
+:class:`~repro.plan.jointree.JoinTree` is reconstructed afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Optional
+
+from repro import bitset
+from repro.catalog.statistics import Catalog
+from repro.errors import OptimizationError
+from repro.plan.jointree import JoinTree
+
+__all__ = ["MemoEntry", "MemoTable"]
+
+
+class MemoEntry:
+    """Best-known plan for one relation set (a "plan class").
+
+    Attributes
+    ----------
+    vertex_set:
+        The relation set this entry describes.
+    cardinality:
+        Estimated result cardinality; estimated exactly once, on first use.
+    cost:
+        Accumulated cost of the best plan (``inf`` until one is found;
+        ``0`` for base relations under accumulating cost models).
+    best_left / best_right:
+        Bitsets of the winning split (0 for leaves).
+    implementation:
+        Name of the winning join implementation (None for leaves).
+    explored:
+        Top-down bookkeeping: True once all ccps for the set have been
+        enumerated (prevents re-partitioning, Fig. 1 line 1).
+    """
+
+    __slots__ = (
+        "vertex_set",
+        "cardinality",
+        "cost",
+        "best_left",
+        "best_right",
+        "implementation",
+        "explored",
+    )
+
+    def __init__(self, vertex_set: int):
+        self.vertex_set = vertex_set
+        self.cardinality: Optional[float] = None
+        self.cost = math.inf
+        self.best_left = 0
+        self.best_right = 0
+        self.implementation: Optional[str] = None
+        self.explored = False
+
+    @property
+    def is_leaf(self) -> bool:
+        """True iff the entry describes a single base relation."""
+        return self.best_left == 0 and bitset.popcount(self.vertex_set) == 1
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoEntry({bitset.format_set(self.vertex_set)}, "
+            f"card={self.cardinality}, cost={self.cost})"
+        )
+
+
+class MemoTable:
+    """Associative store of :class:`MemoEntry` keyed by relation bitset.
+
+    Also owns leaf initialization (Fig. 1 lines 1-2: ``BestTree({R_i}) <- R_i``)
+    and final plan extraction.
+    """
+
+    __slots__ = ("catalog", "_entries", "_leaf_cost")
+
+    def __init__(self, catalog: Catalog, leaf_cost: float = 0.0):
+        self.catalog = catalog
+        self._entries: Dict[int, MemoEntry] = {}
+        self._leaf_cost = leaf_cost
+        for vertex in range(catalog.graph.n_vertices):
+            entry = MemoEntry(1 << vertex)
+            entry.cardinality = catalog.cardinality(vertex)
+            entry.cost = leaf_cost
+            entry.explored = True  # leaves need no partitioning (Fig. 1 l.1-2)
+            self._entries[1 << vertex] = entry
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, vertex_set: int) -> Optional[MemoEntry]:
+        """Return the entry for the set, or None if absent (Fig. 1 line 1)."""
+        return self._entries.get(vertex_set)
+
+    def get_or_create(self, vertex_set: int) -> MemoEntry:
+        """Return the entry for the set, creating an unexplored one if needed."""
+        entry = self._entries.get(vertex_set)
+        if entry is None:
+            entry = MemoEntry(vertex_set)
+            self._entries[vertex_set] = entry
+        return entry
+
+    def __getitem__(self, vertex_set: int) -> MemoEntry:
+        try:
+            return self._entries[vertex_set]
+        except KeyError:
+            raise OptimizationError(
+                f"no memo entry for {bitset.format_set(vertex_set)}"
+            ) from None
+
+    def __contains__(self, vertex_set: int) -> bool:
+        return vertex_set in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[MemoEntry]:
+        """Yield all entries (order unspecified)."""
+        return iter(self._entries.values())
+
+    # ------------------------------------------------------------------
+
+    def extract_plan(self, vertex_set: int) -> JoinTree:
+        """Materialize the winning :class:`JoinTree` for a relation set."""
+        entry = self[vertex_set]
+        if entry.cost == math.inf:
+            raise OptimizationError(
+                f"no plan was found for {bitset.format_set(vertex_set)}"
+            )
+        if bitset.popcount(vertex_set) == 1:
+            vertex = bitset.lowest_index(vertex_set)
+            return JoinTree(
+                vertex_set=vertex_set,
+                cardinality=entry.cardinality,
+                cost=entry.cost,
+                relation=self.catalog.relations[vertex].name,
+            )
+        left = self.extract_plan(entry.best_left)
+        right = self.extract_plan(entry.best_right)
+        return JoinTree(
+            vertex_set=vertex_set,
+            cardinality=entry.cardinality,
+            cost=entry.cost,
+            left=left,
+            right=right,
+            implementation=entry.implementation,
+        )

@@ -1,0 +1,148 @@
+"""Semantic plan validation against a catalog.
+
+``JoinTree.validate()`` checks *structural* invariants (children
+partition parents).  This module checks a plan against the *query*:
+deserialized plans, hand-built plans, and plans produced by external
+tools can all be audited before being trusted:
+
+* every referenced relation exists and leaf names/cardinalities match
+  the catalog,
+* no join is a cross product (unless explicitly allowed),
+* every node's cardinality matches the estimator's value for its set,
+* accumulated costs are consistent under a given cost model.
+
+:func:`validate_plan` collects *all* violations (rather than stopping at
+the first) so a report can show everything wrong with a plan at once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro import bitset
+from repro.catalog.statistics import Catalog
+from repro.cost.base import CostModel
+from repro.plan.jointree import JoinTree
+
+__all__ = ["validate_plan", "PlanViolation"]
+
+
+class PlanViolation:
+    """One inconsistency between a plan and its catalog."""
+
+    __slots__ = ("node_set", "kind", "message")
+
+    def __init__(self, node_set: int, kind: str, message: str):
+        self.node_set = node_set
+        self.kind = kind
+        self.message = message
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanViolation({bitset.format_set(self.node_set)}, "
+            f"{self.kind}: {self.message})"
+        )
+
+
+def validate_plan(
+    plan: JoinTree,
+    catalog: Catalog,
+    cost_model: Optional[CostModel] = None,
+    allow_cross_products: bool = False,
+    rel_tol: float = 1e-6,
+) -> List[PlanViolation]:
+    """Return every semantic violation of ``plan`` w.r.t. ``catalog``.
+
+    An empty list means the plan is a faithful, cross-product-free
+    (unless allowed) plan over the catalog with consistent cardinalities;
+    with ``cost_model`` given, costs are checked too.
+    """
+    graph = catalog.graph
+    violations: List[PlanViolation] = []
+    names = {relation.name: v for v, relation in enumerate(catalog.relations)}
+
+    def record(node_set: int, kind: str, message: str) -> None:
+        violations.append(PlanViolation(node_set, kind, message))
+
+    def walk(node: JoinTree) -> None:
+        if node.is_leaf:
+            vertex = names.get(node.relation)
+            if vertex is None:
+                record(
+                    node.vertex_set,
+                    "unknown-relation",
+                    f"leaf {node.relation!r} is not in the catalog",
+                )
+                return
+            if node.vertex_set != 1 << vertex:
+                record(
+                    node.vertex_set,
+                    "leaf-set-mismatch",
+                    f"leaf {node.relation!r} carries set "
+                    f"{bitset.format_set(node.vertex_set)}, expected "
+                    f"{{R{vertex}}}",
+                )
+            expected = catalog.cardinality(vertex)
+            if not math.isclose(node.cardinality, expected, rel_tol=rel_tol):
+                record(
+                    node.vertex_set,
+                    "leaf-cardinality",
+                    f"{node.cardinality} != base cardinality {expected}",
+                )
+            return
+        if node.left.vertex_set & node.right.vertex_set:
+            record(node.vertex_set, "overlap", "children overlap")
+        if node.left.vertex_set | node.right.vertex_set != node.vertex_set:
+            record(node.vertex_set, "coverage", "children do not cover node")
+        if not allow_cross_products and not graph.are_connected_sets(
+            node.left.vertex_set, node.right.vertex_set
+        ):
+            record(
+                node.vertex_set,
+                "cross-product",
+                f"no join edge between "
+                f"{bitset.format_set(node.left.vertex_set)} and "
+                f"{bitset.format_set(node.right.vertex_set)}",
+            )
+        expected_card = catalog.estimate(node.vertex_set)
+        if not math.isclose(node.cardinality, expected_card, rel_tol=rel_tol):
+            record(
+                node.vertex_set,
+                "cardinality",
+                f"{node.cardinality} != estimated {expected_card}",
+            )
+        if cost_model is not None:
+            local, _ = cost_model.join_cost(
+                node.left.cardinality,
+                node.right.cardinality,
+                expected_card,
+            )
+            reversed_local, _ = cost_model.join_cost(
+                node.right.cardinality,
+                node.left.cardinality,
+                expected_card,
+            )
+            expected_cost_a = local + node.left.cost + node.right.cost
+            expected_cost_b = reversed_local + node.left.cost + node.right.cost
+            if not (
+                math.isclose(node.cost, expected_cost_a, rel_tol=rel_tol)
+                or math.isclose(node.cost, expected_cost_b, rel_tol=rel_tol)
+            ):
+                record(
+                    node.vertex_set,
+                    "cost",
+                    f"{node.cost} matches neither orientation "
+                    f"({expected_cost_a} / {expected_cost_b})",
+                )
+        walk(node.left)
+        walk(node.right)
+
+    walk(plan)
+    if plan.vertex_set != graph.all_vertices:
+        record(
+            plan.vertex_set,
+            "incomplete",
+            "plan does not cover every relation of the query",
+        )
+    return violations

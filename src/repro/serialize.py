@@ -1,0 +1,196 @@
+"""JSON-friendly serialization of query graphs, catalogs, and plans.
+
+A downstream system needs to persist optimizer inputs and outputs: test
+fixtures, regression corpora, plan caches.  This module round-trips the
+library's core objects through plain dicts (``json.dumps``-able, no
+custom encoder needed):
+
+* :func:`graph_to_dict` / :func:`graph_from_dict`
+* :func:`catalog_to_dict` / :func:`catalog_from_dict`
+* :func:`plan_to_dict` / :func:`plan_from_dict`
+* :func:`hypergraph_to_dict` / :func:`hypergraph_from_dict`
+
+All ``*_from_dict`` functions validate through the ordinary constructors,
+so a corrupted document raises the library's usual typed errors rather
+than producing a half-built object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro import bitset
+from repro.catalog.statistics import Catalog, Relation
+from repro.errors import ReproError
+from repro.graph.hypergraph import Hyperedge, Hypergraph
+from repro.graph.query_graph import QueryGraph
+from repro.plan.jointree import JoinTree
+
+__all__ = [
+    "graph_to_dict",
+    "graph_from_dict",
+    "catalog_to_dict",
+    "catalog_from_dict",
+    "plan_to_dict",
+    "plan_from_dict",
+    "hypergraph_to_dict",
+    "hypergraph_from_dict",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _check_kind(document: Dict[str, Any], kind: str) -> None:
+    if not isinstance(document, dict):
+        raise ReproError(f"expected a dict for {kind}, got {type(document).__name__}")
+    found = document.get("kind")
+    if found != kind:
+        raise ReproError(f"expected kind={kind!r}, found {found!r}")
+
+
+# ----------------------------------------------------------------------
+# Query graphs
+# ----------------------------------------------------------------------
+
+def graph_to_dict(graph: QueryGraph) -> Dict[str, Any]:
+    """Serialize a query graph."""
+    return {
+        "kind": "query_graph",
+        "version": _FORMAT_VERSION,
+        "n_vertices": graph.n_vertices,
+        "edges": [list(edge) for edge in graph.edges],
+    }
+
+
+def graph_from_dict(document: Dict[str, Any]) -> QueryGraph:
+    """Deserialize a query graph."""
+    _check_kind(document, "query_graph")
+    return QueryGraph(
+        document["n_vertices"],
+        [tuple(edge) for edge in document["edges"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# Catalogs
+# ----------------------------------------------------------------------
+
+def catalog_to_dict(catalog: Catalog) -> Dict[str, Any]:
+    """Serialize a catalog (graph + relations + selectivities)."""
+    return {
+        "kind": "catalog",
+        "version": _FORMAT_VERSION,
+        "graph": graph_to_dict(catalog.graph),
+        "relations": [
+            {"name": r.name, "cardinality": r.cardinality}
+            for r in catalog.relations
+        ],
+        "selectivities": [
+            {"edge": [u, v], "selectivity": catalog.selectivity(u, v)}
+            for (u, v) in catalog.graph.edges
+        ],
+    }
+
+
+def catalog_from_dict(document: Dict[str, Any]) -> Catalog:
+    """Deserialize a catalog."""
+    _check_kind(document, "catalog")
+    graph = graph_from_dict(document["graph"])
+    relations = [
+        Relation(name=r["name"], cardinality=r["cardinality"])
+        for r in document["relations"]
+    ]
+    selectivities = {
+        tuple(item["edge"]): item["selectivity"]
+        for item in document["selectivities"]
+    }
+    return Catalog(graph, relations, selectivities)
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+
+def plan_to_dict(plan: JoinTree) -> Dict[str, Any]:
+    """Serialize a join tree (recursively)."""
+
+    def encode(node: JoinTree) -> Dict[str, Any]:
+        if node.is_leaf:
+            return {
+                "relation": node.relation,
+                "vertex_set": node.vertex_set,
+                "cardinality": node.cardinality,
+                "cost": node.cost,
+            }
+        return {
+            "implementation": node.implementation,
+            "vertex_set": node.vertex_set,
+            "cardinality": node.cardinality,
+            "cost": node.cost,
+            "left": encode(node.left),
+            "right": encode(node.right),
+        }
+
+    return {
+        "kind": "join_tree",
+        "version": _FORMAT_VERSION,
+        "root": encode(plan),
+    }
+
+
+def plan_from_dict(document: Dict[str, Any]) -> JoinTree:
+    """Deserialize a join tree; structural invariants are re-validated."""
+    _check_kind(document, "join_tree")
+
+    def decode(node: Dict[str, Any]) -> JoinTree:
+        if "relation" in node:
+            return JoinTree(
+                vertex_set=node["vertex_set"],
+                cardinality=node["cardinality"],
+                cost=node["cost"],
+                relation=node["relation"],
+            )
+        return JoinTree(
+            vertex_set=node["vertex_set"],
+            cardinality=node["cardinality"],
+            cost=node["cost"],
+            left=decode(node["left"]),
+            right=decode(node["right"]),
+            implementation=node.get("implementation"),
+        )
+
+    plan = decode(document["root"])
+    plan.validate()
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Hypergraphs
+# ----------------------------------------------------------------------
+
+def hypergraph_to_dict(hypergraph: Hypergraph) -> Dict[str, Any]:
+    """Serialize a hypergraph; endpoint sets as index lists."""
+    return {
+        "kind": "hypergraph",
+        "version": _FORMAT_VERSION,
+        "n_vertices": hypergraph.n_vertices,
+        "edges": [
+            {
+                "u": bitset.to_indices(edge.u),
+                "v": bitset.to_indices(edge.v),
+            }
+            for edge in hypergraph.edges
+        ],
+    }
+
+
+def hypergraph_from_dict(document: Dict[str, Any]) -> Hypergraph:
+    """Deserialize a hypergraph."""
+    _check_kind(document, "hypergraph")
+    edges: List[Hyperedge] = [
+        Hyperedge(
+            bitset.from_indices(item["u"]), bitset.from_indices(item["v"])
+        )
+        for item in document["edges"]
+    ]
+    return Hypergraph(document["n_vertices"], edges)

@@ -1,0 +1,35 @@
+"""Realistic benchmark workloads built on the schema front end."""
+
+from repro.workloads.joblite import (
+    JOB_QUERIES,
+    job_database,
+    job_query,
+    job_query_names,
+)
+from repro.workloads.ssb import (
+    SSB_QUERIES,
+    ssb_database,
+    ssb_query,
+    ssb_query_names,
+)
+from repro.workloads.tpch import (
+    TPCH_QUERIES,
+    tpch_database,
+    tpch_query,
+    tpch_query_names,
+)
+
+__all__ = [
+    "tpch_database",
+    "tpch_query",
+    "tpch_query_names",
+    "TPCH_QUERIES",
+    "ssb_database",
+    "ssb_query",
+    "ssb_query_names",
+    "SSB_QUERIES",
+    "job_database",
+    "job_query",
+    "job_query_names",
+    "JOB_QUERIES",
+]

@@ -1,0 +1,183 @@
+"""JOB-lite: Join-Order-Benchmark-shaped queries over a movie schema.
+
+The Join Order Benchmark (Leis et al., "How Good Are Query Optimizers,
+Really?", VLDB 2015) stresses optimizers with 8-17-relation joins over
+the IMDB schema — snowflakes around a large fact-like table with long
+dimension chains and occasional closing edges.  This module models that
+*shape* family (the real IMDB statistics are proprietary-ish and huge;
+per DESIGN.md's substitution rule we keep the published row-count
+magnitudes and FK structure, which is what join enumeration sees).
+
+Queries are chosen to exercise sizes above TPC-H's: 8, 10, 12 and 14
+relations, including self-joins of the edge tables and one cyclic
+variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.catalog.statistics import Catalog
+from repro.errors import CatalogError
+from repro.frontend.schema import Database
+from repro.frontend.sql import parse_select
+
+__all__ = ["job_database", "job_query", "job_query_names", "JOB_QUERIES"]
+
+
+def job_database(scale_factor: float = 1.0) -> Database:
+    """An IMDB-shaped schema with JOB-magnitude row counts."""
+    if scale_factor <= 0:
+        raise CatalogError("scale factor must be positive")
+    sf = scale_factor
+    db = Database(f"joblite-sf{scale_factor:g}")
+    db.add_table("title", 2_500_000 * sf, {
+        "id": 2_500_000 * sf, "kind_id": 7, "production_year": 133,
+    })
+    db.add_table("movie_companies", 2_600_000 * sf, {
+        "movie_id": 2_500_000 * sf, "company_id": 235_000 * sf,
+        "company_type_id": 4,
+    })
+    db.add_table("company_name", 235_000 * sf, {
+        "id": 235_000 * sf, "country_code": 225,
+    })
+    db.add_table("company_type", 4, {"id": 4})
+    db.add_table("movie_info", 14_800_000 * sf, {
+        "movie_id": 2_500_000 * sf, "info_type_id": 113,
+    })
+    db.add_table("info_type", 113, {"id": 113})
+    db.add_table("movie_keyword", 4_500_000 * sf, {
+        "movie_id": 2_500_000 * sf, "keyword_id": 134_000 * sf,
+    })
+    db.add_table("keyword", 134_000 * sf, {"id": 134_000 * sf})
+    db.add_table("cast_info", 36_000_000 * sf, {
+        "movie_id": 2_500_000 * sf, "person_id": 4_000_000 * sf,
+        "role_id": 12,
+    })
+    db.add_table("name", 4_000_000 * sf, {"id": 4_000_000 * sf,
+                                          "gender": 3})
+    db.add_table("role_type", 12, {"id": 12})
+    db.add_table("kind_type", 7, {"id": 7})
+    db.add_table("movie_link", 30_000 * sf, {
+        "movie_id": 2_500_000 * sf, "linked_movie_id": 2_500_000 * sf,
+        "link_type_id": 18,
+    })
+    db.add_table("link_type", 18, {"id": 18})
+
+    for table, column in (
+        ("movie_companies", "movie_id"),
+        ("movie_info", "movie_id"),
+        ("movie_keyword", "movie_id"),
+        ("cast_info", "movie_id"),
+        ("movie_link", "movie_id"),
+    ):
+        db.add_foreign_key(table, column, "title", "id")
+    db.add_foreign_key("movie_companies", "company_id", "company_name", "id")
+    db.add_foreign_key("movie_companies", "company_type_id", "company_type", "id")
+    db.add_foreign_key("movie_info", "info_type_id", "info_type", "id")
+    db.add_foreign_key("movie_keyword", "keyword_id", "keyword", "id")
+    db.add_foreign_key("cast_info", "person_id", "name", "id")
+    db.add_foreign_key("cast_info", "role_id", "role_type", "id")
+    db.add_foreign_key("title", "kind_id", "kind_type", "id")
+    db.add_foreign_key("movie_link", "link_type_id", "link_type", "id")
+    return db
+
+
+JOB_QUERIES: Dict[str, str] = {
+    # ~JOB 1a family: 8 relations, snowflake around title.
+    "j8": """
+        SELECT * FROM title t, movie_companies mc, company_name cn,
+                      company_type ct, movie_info mi, info_type it,
+                      movie_keyword mk, keyword k
+        WHERE mc.movie_id = t.id
+          AND mi.movie_id = t.id
+          AND mk.movie_id = t.id
+          AND mc.company_id = cn.id
+          AND mc.company_type_id = ct.id
+          AND mi.info_type_id = it.id
+          AND mk.keyword_id = k.id
+          AND cn.country_code = 100
+          AND t.production_year > 2000
+    """,
+    # 10 relations: add the cast chain.
+    "j10": """
+        SELECT * FROM title t, movie_companies mc, company_name cn,
+                      movie_info mi, info_type it, movie_keyword mk,
+                      keyword k, cast_info ci, name n, role_type rt
+        WHERE mc.movie_id = t.id
+          AND mi.movie_id = t.id
+          AND mk.movie_id = t.id
+          AND ci.movie_id = t.id
+          AND mc.company_id = cn.id
+          AND mi.info_type_id = it.id
+          AND mk.keyword_id = k.id
+          AND ci.person_id = n.id
+          AND ci.role_id = rt.id
+          AND n.gender = 1
+          AND t.production_year > 1990
+    """,
+    # 12 relations: two movie_info aliases (self-join of the edge table).
+    "j12": """
+        SELECT * FROM title t, kind_type kt, movie_companies mc,
+                      company_name cn, company_type ct,
+                      movie_info mi1, movie_info mi2,
+                      info_type it1, info_type it2,
+                      movie_keyword mk, keyword k, cast_info ci
+        WHERE t.kind_id = kt.id
+          AND mc.movie_id = t.id
+          AND mi1.movie_id = t.id
+          AND mi2.movie_id = t.id
+          AND mk.movie_id = t.id
+          AND ci.movie_id = t.id
+          AND mc.company_id = cn.id
+          AND mc.company_type_id = ct.id
+          AND mi1.info_type_id = it1.id
+          AND mi2.info_type_id = it2.id
+          AND mk.keyword_id = k.id
+          AND it1.id = 8
+          AND it2.id = 16
+          AND kt.id = 1
+    """,
+    # 14 relations with the movie_link loop: title joined twice through
+    # movie_link (t and the linked t2), a genuinely cyclic JOB shape.
+    "j14": """
+        SELECT * FROM title t, title t2, movie_link ml, link_type lt,
+                      kind_type kt, movie_companies mc, company_name cn,
+                      movie_info mi, info_type it, movie_keyword mk,
+                      keyword k, cast_info ci, name n, role_type rt
+        WHERE ml.movie_id = t.id
+          AND ml.linked_movie_id = t2.id
+          AND ml.link_type_id = lt.id
+          AND t.kind_id = kt.id
+          AND t2.kind_id = kt.id
+          AND mc.movie_id = t.id
+          AND mc.company_id = cn.id
+          AND mi.movie_id = t.id
+          AND mi.info_type_id = it.id
+          AND mk.movie_id = t2.id
+          AND mk.keyword_id = k.id
+          AND ci.movie_id = t2.id
+          AND ci.person_id = n.id
+          AND ci.role_id = rt.id
+          AND lt.id = 3
+    """,
+}
+
+
+def job_query_names() -> List[str]:
+    """Names of the modelled JOB-lite queries, sorted by size."""
+    return sorted(JOB_QUERIES, key=lambda n: int(n[1:]))
+
+
+def job_query(
+    name: str, scale_factor: float = 1.0, database: Database = None
+) -> Catalog:
+    """Build the catalog for one JOB-lite query."""
+    try:
+        sql = JOB_QUERIES[name]
+    except KeyError:
+        raise CatalogError(
+            f"unknown JOB-lite query {name!r}; choose from {job_query_names()}"
+        ) from None
+    db = database if database is not None else job_database(scale_factor)
+    return parse_select(db, sql).build_catalog()

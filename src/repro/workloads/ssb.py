@@ -1,0 +1,188 @@
+"""The Star Schema Benchmark (SSB) workload.
+
+O'Neil et al.'s simplification of TPC-H into a pure star schema: one
+``lineorder`` fact table joined to four dimensions (date, customer,
+supplier, part).  Every SSB query flight is a star query — the shape for
+which the paper's Fig. 11 measures plan generation, and for which the
+intro's "Fortunate Observation" matters most (stars have the largest
+#ccp-to-#csg ratio among acyclic graphs).
+
+Flights differ in how many dimensions they touch and how selective the
+dimension filters are; all thirteen canonical queries are modelled
+through the SQL front end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.catalog.statistics import Catalog
+from repro.errors import CatalogError
+from repro.frontend.schema import Database
+from repro.frontend.sql import parse_select
+
+__all__ = ["ssb_database", "ssb_query", "ssb_query_names", "SSB_QUERIES"]
+
+
+def ssb_database(scale_factor: float = 1.0) -> Database:
+    """The SSB schema at the given scale factor."""
+    if scale_factor <= 0:
+        raise CatalogError("scale factor must be positive")
+    sf = scale_factor
+    db = Database(f"ssb-sf{scale_factor:g}")
+    db.add_table(
+        "lineorder",
+        6_000_000 * sf,
+        {
+            "lo_orderdate": 2_556,
+            "lo_custkey": 30_000 * sf,
+            "lo_suppkey": 2_000 * sf,
+            "lo_partkey": 200_000 * sf,
+            "lo_discount": 11,
+            "lo_quantity": 50,
+        },
+    )
+    db.add_table(
+        "date_dim",
+        2_556,
+        {"d_datekey": 2_556, "d_year": 7, "d_yearmonth": 84, "d_weeknuminyear": 53},
+    )
+    db.add_table(
+        "customer",
+        30_000 * sf,
+        {"c_custkey": 30_000 * sf, "c_region": 5, "c_nation": 25, "c_city": 250},
+    )
+    db.add_table(
+        "supplier",
+        2_000 * sf,
+        {"s_suppkey": 2_000 * sf, "s_region": 5, "s_nation": 25, "s_city": 250},
+    )
+    db.add_table(
+        "part",
+        200_000 * sf,
+        {"p_partkey": 200_000 * sf, "p_category": 25, "p_brand": 1_000,
+         "p_mfgr": 5},
+    )
+    db.add_foreign_key("lineorder", "lo_orderdate", "date_dim", "d_datekey")
+    db.add_foreign_key("lineorder", "lo_custkey", "customer", "c_custkey")
+    db.add_foreign_key("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+    db.add_foreign_key("lineorder", "lo_partkey", "part", "p_partkey")
+    return db
+
+
+#: The thirteen canonical SSB queries (join subgraphs + filters).
+SSB_QUERIES: Dict[str, str] = {
+    # Flight 1: lineorder x date, varying date/discount/quantity filters.
+    "q1.1": """
+        SELECT * FROM lineorder lo, date_dim d
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND d.d_year = 1993 AND lo.lo_discount > 0 AND lo.lo_quantity < 25
+    """,
+    "q1.2": """
+        SELECT * FROM lineorder lo, date_dim d
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND d.d_yearmonth = 199401 AND lo.lo_discount > 3
+    """,
+    "q1.3": """
+        SELECT * FROM lineorder lo, date_dim d
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND d.d_weeknuminyear = 6 AND d.d_year = 1994
+    """,
+    # Flight 2: lineorder x date x part x supplier.
+    "q2.1": """
+        SELECT * FROM lineorder lo, date_dim d, part p, supplier s
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND lo.lo_partkey = p.p_partkey
+          AND lo.lo_suppkey = s.s_suppkey
+          AND p.p_category = 12 AND s.s_region = 1
+    """,
+    "q2.2": """
+        SELECT * FROM lineorder lo, date_dim d, part p, supplier s
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND lo.lo_partkey = p.p_partkey
+          AND lo.lo_suppkey = s.s_suppkey
+          AND p.p_brand > 2220 AND s.s_region = 2
+    """,
+    "q2.3": """
+        SELECT * FROM lineorder lo, date_dim d, part p, supplier s
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND lo.lo_partkey = p.p_partkey
+          AND lo.lo_suppkey = s.s_suppkey
+          AND p.p_brand = 2239 AND s.s_region = 3
+    """,
+    # Flight 3: lineorder x date x customer x supplier.
+    "q3.1": """
+        SELECT * FROM lineorder lo, date_dim d, customer c, supplier s
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND lo.lo_custkey = c.c_custkey
+          AND lo.lo_suppkey = s.s_suppkey
+          AND c.c_region = 2 AND s.s_region = 2 AND d.d_year < 1998
+    """,
+    "q3.2": """
+        SELECT * FROM lineorder lo, date_dim d, customer c, supplier s
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND lo.lo_custkey = c.c_custkey
+          AND lo.lo_suppkey = s.s_suppkey
+          AND c.c_nation = 7 AND s.s_nation = 7 AND d.d_year < 1998
+    """,
+    "q3.3": """
+        SELECT * FROM lineorder lo, date_dim d, customer c, supplier s
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND lo.lo_custkey = c.c_custkey
+          AND lo.lo_suppkey = s.s_suppkey
+          AND c.c_city = 181 AND s.s_city = 181 AND d.d_year < 1998
+    """,
+    "q3.4": """
+        SELECT * FROM lineorder lo, date_dim d, customer c, supplier s
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND lo.lo_custkey = c.c_custkey
+          AND lo.lo_suppkey = s.s_suppkey
+          AND c.c_city = 181 AND s.s_city = 181 AND d.d_yearmonth = 199712
+    """,
+    # Flight 4: the full star — all four dimensions.
+    "q4.1": """
+        SELECT * FROM lineorder lo, date_dim d, customer c, supplier s, part p
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND lo.lo_custkey = c.c_custkey
+          AND lo.lo_suppkey = s.s_suppkey
+          AND lo.lo_partkey = p.p_partkey
+          AND c.c_region = 1 AND s.s_region = 1 AND p.p_mfgr = 1
+    """,
+    "q4.2": """
+        SELECT * FROM lineorder lo, date_dim d, customer c, supplier s, part p
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND lo.lo_custkey = c.c_custkey
+          AND lo.lo_suppkey = s.s_suppkey
+          AND lo.lo_partkey = p.p_partkey
+          AND c.c_region = 1 AND s.s_region = 1 AND d.d_year > 1996
+          AND p.p_mfgr = 1
+    """,
+    "q4.3": """
+        SELECT * FROM lineorder lo, date_dim d, customer c, supplier s, part p
+        WHERE lo.lo_orderdate = d.d_datekey
+          AND lo.lo_custkey = c.c_custkey
+          AND lo.lo_suppkey = s.s_suppkey
+          AND lo.lo_partkey = p.p_partkey
+          AND c.c_region = 1 AND s.s_nation = 24 AND d.d_year > 1996
+          AND p.p_category = 3
+    """,
+}
+
+
+def ssb_query_names() -> List[str]:
+    """Names of the modelled SSB queries, sorted by flight."""
+    return sorted(SSB_QUERIES)
+
+
+def ssb_query(
+    name: str, scale_factor: float = 1.0, database: Database = None
+) -> Catalog:
+    """Build the catalog for one SSB query."""
+    try:
+        sql = SSB_QUERIES[name]
+    except KeyError:
+        raise CatalogError(
+            f"unknown SSB query {name!r}; choose from {ssb_query_names()}"
+        ) from None
+    db = database if database is not None else ssb_database(scale_factor)
+    return parse_select(db, sql).build_catalog()

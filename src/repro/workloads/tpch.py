@@ -1,0 +1,204 @@
+"""A TPC-H-shaped analytic workload.
+
+The eight-table TPC-H schema with its published scale-factor row counts,
+plus the *join subgraphs* of the benchmark's multi-join queries
+expressed through the SQL front end.  Only what join ordering sees is
+modelled — join predicates, FK selectivities, and representative local
+filters — not aggregation or projection.
+
+Query-graph shapes covered (the reason this workload is interesting for
+the paper's algorithms):
+
+* Q2, Q3, Q10, Q11 — chains (the FK paths of the schema),
+* Q7, Q8 — trees (branching at lineitem/customer),
+* Q5 — **cyclic** (the customer/supplier shared-nation edge closes a
+  4-cycle),
+* Q9 — densely **cyclic** once the transitively implied equality-class
+  edges are written out — the territory where the paper separates
+  enumerators hardest.
+
+Use :func:`tpch_database` for the schema and :func:`tpch_query` for a
+ready-to-optimize :class:`~repro.catalog.statistics.Catalog`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.catalog.statistics import Catalog
+from repro.errors import CatalogError
+from repro.frontend.schema import Database
+from repro.frontend.sql import parse_select
+
+__all__ = ["tpch_database", "tpch_query", "tpch_query_names", "TPCH_QUERIES"]
+
+
+def tpch_database(scale_factor: float = 1.0) -> Database:
+    """The TPC-H schema with row counts at the given scale factor."""
+    if scale_factor <= 0:
+        raise CatalogError("scale factor must be positive")
+    sf = scale_factor
+    db = Database(f"tpch-sf{scale_factor:g}")
+    db.add_table("region", 5, {"r_regionkey": 5})
+    db.add_table("nation", 25, {"n_nationkey": 25, "n_regionkey": 5})
+    db.add_table(
+        "supplier",
+        10_000 * sf,
+        {"s_suppkey": 10_000 * sf, "s_nationkey": 25},
+    )
+    db.add_table(
+        "customer",
+        150_000 * sf,
+        {"c_custkey": 150_000 * sf, "c_nationkey": 25, "c_mktsegment": 5},
+    )
+    db.add_table(
+        "part",
+        200_000 * sf,
+        {"p_partkey": 200_000 * sf, "p_type": 150, "p_size": 50},
+    )
+    db.add_table(
+        "partsupp",
+        800_000 * sf,
+        {"ps_partkey": 200_000 * sf, "ps_suppkey": 10_000 * sf},
+    )
+    db.add_table(
+        "orders",
+        1_500_000 * sf,
+        {"o_orderkey": 1_500_000 * sf, "o_custkey": 150_000 * sf,
+         "o_orderdate": 2_406},
+    )
+    db.add_table(
+        "lineitem",
+        6_000_000 * sf,
+        {
+            "l_orderkey": 1_500_000 * sf,
+            "l_partkey": 200_000 * sf,
+            "l_suppkey": 10_000 * sf,
+            "l_shipdate": 2_526,
+        },
+    )
+    db.add_foreign_key("nation", "n_regionkey", "region", "r_regionkey")
+    db.add_foreign_key("supplier", "s_nationkey", "nation", "n_nationkey")
+    db.add_foreign_key("customer", "c_nationkey", "nation", "n_nationkey")
+    db.add_foreign_key("partsupp", "ps_partkey", "part", "p_partkey")
+    db.add_foreign_key("partsupp", "ps_suppkey", "supplier", "s_suppkey")
+    db.add_foreign_key("orders", "o_custkey", "customer", "c_custkey")
+    db.add_foreign_key("lineitem", "l_orderkey", "orders", "o_orderkey")
+    db.add_foreign_key("lineitem", "l_partkey", "part", "p_partkey")
+    db.add_foreign_key("lineitem", "l_suppkey", "supplier", "s_suppkey")
+    return db
+
+
+#: Join subgraphs of the multi-join TPC-H queries (projection-free SQL).
+TPCH_QUERIES: Dict[str, str] = {
+    # Q2: parts with their minimum-cost suppliers in a region.
+    "q2": """
+        SELECT * FROM part p, partsupp ps, supplier s, nation n, region r
+        WHERE p.p_partkey = ps.ps_partkey
+          AND s.s_suppkey = ps.ps_suppkey
+          AND s.s_nationkey = n.n_nationkey
+          AND n.n_regionkey = r.r_regionkey
+          AND p.p_size = 15
+          AND r.r_regionkey = 2
+    """,
+    # Q3: shipping priority (chain customer-orders-lineitem).
+    "q3": """
+        SELECT * FROM customer c, orders o, lineitem l
+        WHERE c.c_custkey = o.o_custkey
+          AND l.l_orderkey = o.o_orderkey
+          AND c.c_mktsegment = 'BUILDING'
+          AND o.o_orderdate < 19950315
+          AND l.l_shipdate > 19950315
+    """,
+    # Q5: local supplier volume — the classic cyclic query: the
+    # customer and the supplier must share a nation.
+    "q5": """
+        SELECT * FROM customer c, orders o, lineitem l, supplier s,
+                      nation n, region r
+        WHERE c.c_custkey = o.o_custkey
+          AND l.l_orderkey = o.o_orderkey
+          AND l.l_suppkey = s.s_suppkey
+          AND c.c_nationkey = s.s_nationkey
+          AND s.s_nationkey = n.n_nationkey
+          AND n.n_regionkey = r.r_regionkey
+          AND r.r_regionkey = 3
+          AND o.o_orderdate >= 19940101
+    """,
+    # Q7: volume shipping between two nations (cyclic via two nation
+    # aliases joined to supplier and customer).
+    "q7": """
+        SELECT * FROM supplier s, lineitem l, orders o, customer c,
+                      nation n1, nation n2
+        WHERE s.s_suppkey = l.l_suppkey
+          AND o.o_orderkey = l.l_orderkey
+          AND c.c_custkey = o.o_custkey
+          AND s.s_nationkey = n1.n_nationkey
+          AND c.c_nationkey = n2.n_nationkey
+          AND l.l_shipdate >= 19950101
+    """,
+    # Q8: national market share — the largest cyclic join (8 relations).
+    "q8": """
+        SELECT * FROM part p, supplier s, lineitem l, orders o,
+                      customer c, nation n1, nation n2, region r
+        WHERE p.p_partkey = l.l_partkey
+          AND s.s_suppkey = l.l_suppkey
+          AND l.l_orderkey = o.o_orderkey
+          AND o.o_custkey = c.c_custkey
+          AND c.c_nationkey = n1.n_nationkey
+          AND n1.n_regionkey = r.r_regionkey
+          AND s.s_nationkey = n2.n_nationkey
+          AND p.p_type = 'ECONOMY ANODIZED STEEL'
+          AND r.r_regionkey = 1
+    """,
+    # Q9: product type profit.  The transitively implied edges
+    # (ps-s, ps-p) that real optimizers derive from the equality class
+    # {l_suppkey, s_suppkey, ps_suppkey} are written out, which makes
+    # this the benchmark's densest cyclic join.
+    "q9": """
+        SELECT * FROM part p, supplier s, lineitem l, partsupp ps,
+                      orders o, nation n
+        WHERE s.s_suppkey = l.l_suppkey
+          AND ps.ps_suppkey = l.l_suppkey
+          AND ps.ps_suppkey = s.s_suppkey
+          AND ps.ps_partkey = l.l_partkey
+          AND ps.ps_partkey = p.p_partkey
+          AND p.p_partkey = l.l_partkey
+          AND o.o_orderkey = l.l_orderkey
+          AND s.s_nationkey = n.n_nationkey
+          AND p.p_type = 'STANDARD'
+    """,
+    # Q10: returned item reporting (tree).
+    "q10": """
+        SELECT * FROM customer c, orders o, lineitem l, nation n
+        WHERE c.c_custkey = o.o_custkey
+          AND l.l_orderkey = o.o_orderkey
+          AND c.c_nationkey = n.n_nationkey
+          AND o.o_orderdate >= 19931001
+    """,
+    # Q11: important stock identification (star around partsupp).
+    "q11": """
+        SELECT * FROM partsupp ps, supplier s, nation n
+        WHERE ps.ps_suppkey = s.s_suppkey
+          AND s.s_nationkey = n.n_nationkey
+          AND n.n_nationkey = 7
+    """,
+}
+
+
+def tpch_query_names() -> List[str]:
+    """Names of the modelled queries, sorted."""
+    return sorted(TPCH_QUERIES)
+
+
+def tpch_query(
+    name: str, scale_factor: float = 1.0, database: Database = None
+) -> Catalog:
+    """Build the catalog for one TPC-H query's join subgraph."""
+    try:
+        sql = TPCH_QUERIES[name]
+    except KeyError:
+        raise CatalogError(
+            f"unknown TPC-H query {name!r}; choose from {tpch_query_names()}"
+        ) from None
+    db = database if database is not None else tpch_database(scale_factor)
+    return parse_select(db, sql).build_catalog()

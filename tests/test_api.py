@@ -1,0 +1,126 @@
+"""Unit tests for the public facade (make_optimizer / optimize_query)."""
+
+import pytest
+
+from repro import (
+    ALGORITHMS,
+    Catalog,
+    CoutCostModel,
+    QueryGraph,
+    WorkloadGenerator,
+    chain_graph,
+    make_optimizer,
+    optimize_query,
+    uniform_statistics,
+)
+from repro.errors import OptimizationError
+
+
+class TestRegistry:
+    def test_expected_algorithms_present(self):
+        assert set(ALGORITHMS) == {
+            "tdmincutbranch",
+            "tdmincutlazy",
+            "memoizationbasic",
+            "tdconservative",
+            "dpccp",
+            "dpsub",
+            "dpsize",
+        }
+
+    def test_make_optimizer_unknown_name(self):
+        catalog = uniform_statistics(chain_graph(3))
+        with pytest.raises(OptimizationError):
+            make_optimizer("quickpick", catalog)
+
+    def test_make_optimizer_returns_named_optimizer(self):
+        catalog = uniform_statistics(chain_graph(3))
+        optimizer = make_optimizer("dpccp", catalog)
+        assert optimizer.name == "dpccp"
+
+
+class TestOptimizeQuery:
+    def test_accepts_catalog(self):
+        catalog = uniform_statistics(chain_graph(4))
+        result = optimize_query(catalog)
+        assert result.algorithm == "tdmincutbranch"
+        assert result.plan.n_joins() == 3
+
+    def test_accepts_bare_graph(self):
+        result = optimize_query(chain_graph(4))
+        assert result.plan.n_joins() == 3
+
+    def test_accepts_query_instance(self):
+        instance = WorkloadGenerator(seed=0).fixed_shape("cycle", 5)
+        result = optimize_query(instance)
+        assert result.plan.n_joins() == 4
+
+    def test_rejects_garbage(self):
+        with pytest.raises(OptimizationError):
+            optimize_query(42)
+
+    def test_result_counters_consistent(self):
+        catalog = uniform_statistics(chain_graph(5))
+        result = optimize_query(catalog)
+        assert result.cost == result.plan.cost
+        assert result.memo_entries >= 5
+        assert result.cost_evaluations == 2 * result.details["ccps_emitted"]
+        assert result.elapsed_seconds > 0
+
+    def test_details_for_bottom_up(self):
+        catalog = uniform_statistics(chain_graph(5))
+        result = optimize_query(catalog, algorithm="dpccp")
+        assert "ccps_emitted" not in result.details
+
+    def test_summary_format(self):
+        catalog = uniform_statistics(chain_graph(3))
+        summary = optimize_query(catalog).summary()
+        assert "tdmincutbranch" in summary
+        assert "cost=" in summary
+        assert "memo=" in summary
+
+    def test_custom_cost_model_used(self):
+        catalog = uniform_statistics(chain_graph(4))
+        cout = optimize_query(catalog, cost_model=CoutCostModel())
+        assert cout.plan.implementation == "join"
+
+
+class TestAutoAlgorithm:
+    def test_auto_runs(self):
+        from repro import attach_random_statistics, cycle_graph
+
+        catalog = attach_random_statistics(cycle_graph(6), seed=1)
+        result = optimize_query(catalog, algorithm="auto")
+        result.plan.validate()
+        assert result.algorithm == "auto"
+
+    def test_choose_sparse_prefers_topdown(self):
+        from repro import chain_graph
+        from repro.optimizer.api import choose_algorithm
+
+        catalog = uniform_statistics(chain_graph(12))
+        assert choose_algorithm(catalog) == "tdmincutbranch"
+
+    def test_choose_dense_prefers_dpccp(self):
+        from repro import clique_graph
+        from repro.optimizer.api import choose_algorithm
+
+        catalog = uniform_statistics(clique_graph(12))
+        assert choose_algorithm(catalog) == "dpccp"
+
+    def test_pruning_forces_topdown(self):
+        from repro import clique_graph
+        from repro.optimizer.api import choose_algorithm
+
+        catalog = uniform_statistics(clique_graph(12))
+        assert choose_algorithm(catalog, enable_pruning=True) == "tdmincutbranch"
+
+    def test_auto_with_pruning_end_to_end(self):
+        from repro import attach_random_statistics, clique_graph
+
+        catalog = attach_random_statistics(clique_graph(7), seed=2)
+        pruned = optimize_query(catalog, algorithm="auto", enable_pruning=True)
+        plain = optimize_query(catalog, algorithm="dpsub")
+        import math
+
+        assert math.isclose(pruned.cost, plain.cost, rel_tol=1e-9)

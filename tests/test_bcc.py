@@ -1,0 +1,87 @@
+"""Unit tests for biconnected components, with networkx as oracle."""
+
+import networkx as nx
+
+from repro import QueryGraph, bitset, chain_graph, cycle_graph, clique_graph
+from repro.graph.bcc import articulation_vertices, biconnected_components
+
+from .conftest import random_connected_graph
+from .reference import frozenset_to_bitset
+
+
+def _as_vertex_sets(components):
+    return sorted(components)
+
+
+class TestFixedShapes:
+    def test_chain_components_are_edges(self):
+        g = chain_graph(5)
+        comps = biconnected_components(g, g.all_vertices)
+        assert len(comps) == 4
+        for c in comps:
+            assert bitset.popcount(c) == 2
+
+    def test_cycle_single_component(self):
+        g = cycle_graph(6)
+        comps = biconnected_components(g, g.all_vertices)
+        assert comps == [g.all_vertices]
+
+    def test_clique_single_component(self):
+        g = clique_graph(5)
+        comps = biconnected_components(g, g.all_vertices)
+        assert comps == [g.all_vertices]
+
+    def test_single_vertex_no_components(self):
+        g = QueryGraph(1, [])
+        assert biconnected_components(g, 1) == []
+
+    def test_two_triangles_sharing_a_vertex(self):
+        # 0-1-2 triangle and 2-3-4 triangle share vertex 2.
+        g = QueryGraph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        comps = biconnected_components(g, g.all_vertices)
+        assert _as_vertex_sets(comps) == [0b00111, 0b11100]
+        assert articulation_vertices(g, g.all_vertices) == 0b00100
+
+
+class TestInducedSubgraphs:
+    def test_subset_restriction(self):
+        g = cycle_graph(5)
+        # Dropping one vertex breaks the cycle into a chain.
+        subset = g.all_vertices & ~0b00100
+        comps = biconnected_components(g, subset)
+        assert len(comps) == 3
+        for c in comps:
+            assert bitset.popcount(c) == 2
+
+    def test_disconnected_subset(self):
+        g = chain_graph(5)
+        subset = bitset.set_of(0, 1, 3, 4)
+        comps = biconnected_components(g, subset)
+        assert _as_vertex_sets(comps) == [0b00011, 0b11000]
+
+
+class TestAgainstNetworkx:
+    def test_random_graphs_match_networkx(self, rng):
+        for _ in range(80):
+            g = random_connected_graph(rng)
+            nxg = nx.Graph()
+            nxg.add_nodes_from(range(g.n_vertices))
+            nxg.add_edges_from(g.edges)
+            expected = sorted(
+                frozenset_to_bitset(frozenset(c))
+                for c in nx.biconnected_components(nxg)
+            )
+            actual = sorted(biconnected_components(g, g.all_vertices))
+            assert actual == expected
+
+            expected_art = frozenset_to_bitset(
+                frozenset(nx.articulation_points(nxg))
+            )
+            assert articulation_vertices(g, g.all_vertices) == expected_art
+
+    def test_deep_chain_no_recursion_error(self):
+        # The iterative DFS must survive chains beyond Python's default
+        # recursion limit divided by frame size.
+        g = chain_graph(3000)
+        comps = biconnected_components(g, g.all_vertices)
+        assert len(comps) == 2999

@@ -1,0 +1,182 @@
+"""Unit tests for the biconnection tree (Def. 2.5) used by MinCutLazy."""
+
+import pytest
+
+from repro import (
+    BiconnectionTree,
+    QueryGraph,
+    bitset,
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    star_graph,
+)
+from repro.errors import DisconnectedGraphError, GraphError
+
+
+class TestConstruction:
+    def test_requires_root_membership(self):
+        g = chain_graph(3)
+        with pytest.raises(GraphError):
+            BiconnectionTree(g, 0b011, root=2)
+
+    def test_requires_connected(self):
+        g = chain_graph(4)
+        with pytest.raises(DisconnectedGraphError):
+            BiconnectionTree(g, 0b1001, root=0)
+
+    def test_build_cost_formula(self):
+        # Paper (Appendix B): build cost = |E| + 2|S| - 2 + |A|.
+        g = chain_graph(5)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        # chain: |E|=4, |S|=5, |A|=3 -> 4 + 10 - 2 + 3 = 15
+        assert tree.build_cost == 15
+
+    def test_build_cost_star(self):
+        g = star_graph(5)
+        tree = BiconnectionTree(g, g.all_vertices, root=1)
+        # star: |E|=4, |S|=5, |A|=1 -> 4 + 10 - 2 + 1 = 13
+        assert tree.build_cost == 13
+
+
+class TestDescendants:
+    def test_chain_rooted_at_end(self):
+        g = chain_graph(4)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        assert tree.descendants(0) == 0b1111
+        assert tree.descendants(1) == 0b1110
+        assert tree.descendants(2) == 0b1100
+        assert tree.descendants(3) == 0b1000
+
+    def test_chain_rooted_in_middle(self):
+        g = chain_graph(5)
+        tree = BiconnectionTree(g, g.all_vertices, root=2)
+        assert tree.descendants(2) == g.all_vertices
+        assert tree.descendants(1) == 0b00011
+        assert tree.descendants(3) == 0b11000
+
+    def test_cycle_flat(self):
+        g = cycle_graph(4)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        # One big biconnected component: every non-root is a leaf.
+        for v in range(1, 4):
+            assert tree.descendants(v) == 1 << v
+
+    def test_live_masking(self):
+        g = chain_graph(4)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        assert tree.descendants(1, live=0b0111) == 0b0110
+
+    def test_star_from_satellite(self):
+        g = star_graph(4)  # hub 0
+        tree = BiconnectionTree(g, g.all_vertices, root=1)
+        assert tree.descendants(0) == 0b1101  # hub subtree: everything but root
+        assert tree.descendants(2) == 0b0100
+
+
+class TestAncestors:
+    def test_ancestors_include_endpoints(self):
+        g = chain_graph(4)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        assert tree.ancestors(0) == 0b0001
+        assert tree.ancestors(2) == 0b0111
+        assert tree.ancestors(3) == 0b1111
+
+    def test_cycle_ancestors(self):
+        g = cycle_graph(4)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        for v in range(1, 4):
+            assert tree.ancestors(v) == (1 << v) | 1
+
+    def test_depth(self):
+        g = chain_graph(4)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        assert [tree.depth(v) for v in range(4)] == [0, 1, 2, 3]
+
+
+class TestParentComponent:
+    def test_root_has_none(self):
+        g = chain_graph(3)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        assert tree.parent_component(0) is None
+
+    def test_chain_edges(self):
+        g = chain_graph(3)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        assert tree.parent_component(1) == 0b011
+        assert tree.parent_component(2) == 0b110
+
+    def test_cycle_component(self):
+        g = cycle_graph(4)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        assert tree.parent_component(2) == g.all_vertices
+
+
+class TestIsUsable:
+    def test_chain_leaf_removal_usable(self):
+        g = chain_graph(4)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        removed = tree.descendants(3)
+        assert tree.is_usable(removed, g.all_vertices & ~removed)
+
+    def test_chain_subtree_removal_usable(self):
+        g = chain_graph(5)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        removed = tree.descendants(2)  # {2,3,4}
+        assert tree.is_usable(removed, g.all_vertices & ~removed)
+
+    def test_cycle_vertex_removal_not_usable(self):
+        # Removing one vertex of a cycle splits the big component into a
+        # chain: the tree must be rebuilt (this drives Appendix B's
+        # clique complexity).
+        g = cycle_graph(4)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        removed = tree.descendants(2)
+        assert not tree.is_usable(removed, g.all_vertices & ~removed)
+
+    def test_empty_removal_usable(self):
+        g = chain_graph(3)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        assert tree.is_usable(0, g.all_vertices)
+
+    def test_partial_subtree_not_usable(self):
+        g = chain_graph(4)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        # {2} is not a complete subtree (3 hangs below it).
+        assert not tree.is_usable(0b0100, g.all_vertices & ~0b0100)
+
+    def test_whole_tree_removal_not_usable(self):
+        g = chain_graph(3)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        assert not tree.is_usable(g.all_vertices, 0)
+
+    def test_overlap_with_live_not_usable(self):
+        g = chain_graph(3)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        assert not tree.is_usable(0b100, g.all_vertices)
+
+
+class TestStructuralInvariants:
+    def test_subtree_induces_connected_graph(self, rng):
+        from .conftest import random_connected_graph
+
+        for _ in range(40):
+            g = random_connected_graph(rng)
+            tree = BiconnectionTree(g, g.all_vertices, root=0)
+            for v in range(g.n_vertices):
+                assert g.is_connected(tree.descendants(v))
+
+    def test_descendant_ancestor_duality(self, rng):
+        from .conftest import random_connected_graph
+
+        for _ in range(40):
+            g = random_connected_graph(rng)
+            tree = BiconnectionTree(g, g.all_vertices, root=0)
+            for v in range(g.n_vertices):
+                for u in bitset.iter_indices(tree.descendants(v)):
+                    assert tree.ancestors(u) & (1 << v)
+
+    def test_repr(self):
+        g = chain_graph(3)
+        tree = BiconnectionTree(g, g.all_vertices, root=0)
+        assert "BiconnectionTree" in repr(tree)

@@ -1,0 +1,119 @@
+"""Unit tests for the bitset helpers."""
+
+import pytest
+
+from repro import bitset
+
+
+class TestConstruction:
+    def test_bit(self):
+        assert bitset.bit(0) == 1
+        assert bitset.bit(5) == 32
+
+    def test_set_of(self):
+        assert bitset.set_of() == 0
+        assert bitset.set_of(0, 2, 4) == 0b10101
+
+    def test_from_indices_roundtrip(self):
+        indices = [0, 3, 7, 12]
+        assert bitset.to_indices(bitset.from_indices(indices)) == indices
+
+    def test_empty_constant(self):
+        assert bitset.EMPTY == 0
+
+
+class TestPredicates:
+    def test_is_subset(self):
+        assert bitset.is_subset(0b101, 0b111)
+        assert bitset.is_subset(0, 0b111)
+        assert bitset.is_subset(0b111, 0b111)
+        assert not bitset.is_subset(0b1000, 0b111)
+
+    def test_is_proper_subset(self):
+        assert bitset.is_proper_subset(0b101, 0b111)
+        assert not bitset.is_proper_subset(0b111, 0b111)
+        assert not bitset.is_proper_subset(0b1000, 0b111)
+
+    def test_intersects(self):
+        assert bitset.intersects(0b110, 0b011)
+        assert not bitset.intersects(0b100, 0b011)
+        assert not bitset.intersects(0, 0b011)
+
+
+class TestExtremes:
+    def test_lowest_bit(self):
+        assert bitset.lowest_bit(0b1100) == 0b100
+        assert bitset.lowest_bit(1) == 1
+
+    def test_lowest_bit_empty_raises(self):
+        with pytest.raises(ValueError):
+            bitset.lowest_bit(0)
+
+    def test_lowest_index(self):
+        assert bitset.lowest_index(0b1100) == 2
+
+    def test_lowest_index_empty_raises(self):
+        with pytest.raises(ValueError):
+            bitset.lowest_index(0)
+
+    def test_highest_index(self):
+        assert bitset.highest_index(0b1100) == 3
+        assert bitset.highest_index(1) == 0
+
+    def test_highest_index_empty_raises(self):
+        with pytest.raises(ValueError):
+            bitset.highest_index(0)
+
+
+class TestIteration:
+    def test_popcount(self):
+        assert bitset.popcount(0) == 0
+        assert bitset.popcount(0b1011) == 3
+        assert bitset.popcount((1 << 64) - 1) == 64
+
+    def test_iter_bits_ascending(self):
+        assert list(bitset.iter_bits(0b10110)) == [0b10, 0b100, 0b10000]
+
+    def test_iter_indices(self):
+        assert list(bitset.iter_indices(0b10110)) == [1, 2, 4]
+        assert list(bitset.iter_indices(0)) == []
+
+    def test_iter_subsets_counts(self):
+        subsets = list(bitset.iter_subsets(0b1011))
+        assert len(subsets) == 8
+        assert subsets[0] == 0
+        assert subsets[-1] == 0b1011
+        # Vance & Maier walk is ascending.
+        assert subsets == sorted(subsets)
+
+    def test_iter_subsets_of_empty(self):
+        assert list(bitset.iter_subsets(0)) == [0]
+
+    def test_iter_nonempty_subsets(self):
+        subsets = list(bitset.iter_nonempty_subsets(0b101))
+        assert subsets == [0b001, 0b100, 0b101]
+
+    def test_iter_nonempty_subsets_empty_input(self):
+        assert list(bitset.iter_nonempty_subsets(0)) == []
+
+    def test_iter_proper_nonempty_subsets(self):
+        subsets = list(bitset.iter_proper_nonempty_subsets(0b111))
+        assert len(subsets) == 2 ** 3 - 2
+        assert 0 not in subsets
+        assert 0b111 not in subsets
+
+    def test_all_subsets_are_submasks(self):
+        mask = 0b110101
+        for subset in bitset.iter_subsets(mask):
+            assert subset & ~mask == 0
+
+
+class TestMisc:
+    def test_set_below(self):
+        assert bitset.set_below(0) == 0b1
+        assert bitset.set_below(3) == 0b1111
+
+    def test_format_set(self):
+        assert bitset.format_set(0b101) == "{R0, R2}"
+        assert bitset.format_set(0) == "{}"
+        assert bitset.format_set(0b10, prefix="T") == "{T1}"

@@ -1,0 +1,94 @@
+"""Unit tests for DPsub and DPsize."""
+
+import math
+
+import pytest
+
+from repro import (
+    DPccp,
+    DPsize,
+    DPsub,
+    QueryGraph,
+    chain_graph,
+    clique_graph,
+    attach_random_statistics,
+    uniform_statistics,
+)
+from repro.errors import OptimizationError
+
+from .conftest import random_connected_graph
+from .reference import optimal_cout_cost_ref
+
+
+class TestDPsub:
+    def test_optimal_cost_matches_reference(self, rng):
+        for _ in range(20):
+            g = random_connected_graph(rng, max_vertices=7)
+            catalog = attach_random_statistics(g, rng=rng)
+            plan = DPsub(catalog).optimize()
+            plan.validate()
+            expected = optimal_cout_cost_ref(
+                g.n_vertices,
+                g.edges,
+                {v: catalog.cardinality(v) for v in range(g.n_vertices)},
+                {e: catalog.selectivity(*e) for e in g.edges},
+            )
+            assert math.isclose(plan.cost, expected, rel_tol=1e-9)
+
+    def test_rejects_disconnected(self):
+        g = QueryGraph(3, [(0, 1)])
+        with pytest.raises(OptimizationError):
+            DPsub(uniform_statistics(g)).optimize()
+
+    def test_subsets_considered_counter(self):
+        g = chain_graph(4)
+        optimizer = DPsub(uniform_statistics(g))
+        optimizer.optimize()
+        assert optimizer.subsets_considered > 0
+
+    def test_single_relation(self):
+        plan = DPsub(uniform_statistics(chain_graph(1))).optimize()
+        assert plan.is_leaf
+
+
+class TestDPsize:
+    def test_matches_dpsub(self, rng):
+        for _ in range(20):
+            g = random_connected_graph(rng, max_vertices=7)
+            catalog = attach_random_statistics(g, rng=rng)
+            a = DPsub(catalog).optimize()
+            b = DPsize(catalog).optimize()
+            assert math.isclose(a.cost, b.cost, rel_tol=1e-9)
+
+    def test_rejects_disconnected(self):
+        g = QueryGraph(3, [(0, 1)])
+        with pytest.raises(OptimizationError):
+            DPsize(uniform_statistics(g)).optimize()
+
+    def test_plan_structure_valid(self):
+        g = clique_graph(5)
+        plan = DPsize(uniform_statistics(g)).optimize()
+        plan.validate()
+        assert plan.vertex_set == g.all_vertices
+
+    def test_pairs_considered_grows_with_density(self):
+        sparse = DPsize(uniform_statistics(chain_graph(6)))
+        dense = DPsize(uniform_statistics(clique_graph(6)))
+        sparse.optimize()
+        dense.optimize()
+        assert dense.pairs_considered > sparse.pairs_considered
+
+
+class TestCrossBottomUp:
+    def test_all_three_agree(self, rng):
+        for _ in range(15):
+            g = random_connected_graph(rng, max_vertices=7)
+            catalog = attach_random_statistics(g, rng=rng)
+            costs = {
+                "dpccp": DPccp(catalog).optimize().cost,
+                "dpsub": DPsub(catalog).optimize().cost,
+                "dpsize": DPsize(catalog).optimize().cost,
+            }
+            reference = costs["dpsub"]
+            for name, cost in costs.items():
+                assert math.isclose(cost, reference, rel_tol=1e-9), name

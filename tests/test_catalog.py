@@ -1,0 +1,134 @@
+"""Unit tests for Relation/Catalog statistics."""
+
+import math
+
+import pytest
+
+from repro import Catalog, Relation, chain_graph, cycle_graph
+from repro.errors import CatalogError
+
+
+def _chain3_catalog():
+    g = chain_graph(3)
+    relations = [Relation(f"R{i}", 10.0 * (i + 1)) for i in range(3)]
+    return Catalog(g, relations, {(0, 1): 0.5, (1, 2): 0.1})
+
+
+class TestRelation:
+    def test_valid(self):
+        r = Relation("orders", 1000)
+        assert r.cardinality == 1000
+
+    def test_rejects_nonpositive_cardinality(self):
+        with pytest.raises(CatalogError):
+            Relation("bad", 0)
+        with pytest.raises(CatalogError):
+            Relation("bad", -5)
+
+
+class TestCatalogConstruction:
+    def test_valid(self):
+        catalog = _chain3_catalog()
+        assert catalog.cardinality(0) == 10.0
+        assert catalog.selectivity(0, 1) == 0.5
+        assert catalog.selectivity(1, 0) == 0.5  # orientation-insensitive
+
+    def test_wrong_relation_count(self):
+        g = chain_graph(3)
+        with pytest.raises(CatalogError):
+            Catalog(g, [Relation("R0", 1.0)], {(0, 1): 0.5, (1, 2): 0.1})
+
+    def test_selectivity_for_non_edge(self):
+        g = chain_graph(3)
+        relations = [Relation(f"R{i}", 10.0) for i in range(3)]
+        with pytest.raises(CatalogError):
+            Catalog(g, relations, {(0, 1): 0.5, (1, 2): 0.1, (0, 2): 0.3})
+
+    def test_selectivity_out_of_range(self):
+        g = chain_graph(2)
+        relations = [Relation("a", 1.0), Relation("b", 1.0)]
+        with pytest.raises(CatalogError):
+            Catalog(g, relations, {(0, 1): 0.0})
+        with pytest.raises(CatalogError):
+            Catalog(g, relations, {(0, 1): 1.5})
+
+    def test_missing_edge_selectivity(self):
+        g = chain_graph(3)
+        relations = [Relation(f"R{i}", 10.0) for i in range(3)]
+        with pytest.raises(CatalogError):
+            Catalog(g, relations, {(0, 1): 0.5})
+
+    def test_conflicting_duplicate_selectivity(self):
+        g = chain_graph(2)
+        relations = [Relation("a", 1.0), Relation("b", 1.0)]
+        with pytest.raises(CatalogError):
+            Catalog(g, relations, {(0, 1): 0.5, (1, 0): 0.7})
+
+    def test_selectivity_unknown_edge_query(self):
+        catalog = _chain3_catalog()
+        with pytest.raises(CatalogError):
+            catalog.selectivity(0, 2)
+
+
+class TestEstimation:
+    def test_single_relation(self):
+        catalog = _chain3_catalog()
+        assert catalog.estimate(0b001) == 10.0
+
+    def test_pair(self):
+        catalog = _chain3_catalog()
+        assert math.isclose(catalog.estimate(0b011), 10.0 * 20.0 * 0.5)
+
+    def test_full_set(self):
+        catalog = _chain3_catalog()
+        expected = 10.0 * 20.0 * 30.0 * 0.5 * 0.1
+        assert math.isclose(catalog.estimate(0b111), expected)
+
+    def test_cross_edges_not_counted(self):
+        # Only edges *inside* the set contribute.
+        catalog = _chain3_catalog()
+        assert math.isclose(catalog.estimate(0b101), 10.0 * 30.0)
+
+    def test_selectivity_between(self):
+        catalog = _chain3_catalog()
+        assert math.isclose(catalog.selectivity_between(0b001, 0b010), 0.5)
+        assert math.isclose(catalog.selectivity_between(0b011, 0b100), 0.1)
+        assert catalog.selectivity_between(0b001, 0b100) == 1.0
+
+    def test_selectivity_between_multiple_edges(self):
+        g = cycle_graph(4)
+        relations = [Relation(f"R{i}", 10.0) for i in range(4)]
+        sels = {(0, 1): 0.5, (1, 2): 0.25, (2, 3): 0.2, (0, 3): 0.1}
+        catalog = Catalog(g, relations, sels)
+        # Joining {0,1} with {2,3} crosses edges (1,2) and (0,3).
+        assert math.isclose(
+            catalog.selectivity_between(0b0011, 0b1100), 0.25 * 0.1
+        )
+
+    def test_incremental_matches_full(self, rng):
+        from .conftest import random_connected_graph
+        from repro import attach_random_statistics, bitset
+
+        for _ in range(30):
+            g = random_connected_graph(rng, max_vertices=7)
+            catalog = attach_random_statistics(g, rng=rng)
+            full = catalog.estimate(g.all_vertices)
+            # Split arbitrarily and combine incrementally.
+            for split in range(1, g.all_vertices):
+                left, right = split, g.all_vertices ^ split
+                if left == 0 or right == 0:
+                    continue
+                combined = (
+                    catalog.estimate(left)
+                    * catalog.estimate(right)
+                    * catalog.selectivity_between(left, right)
+                )
+                assert math.isclose(combined, full, rel_tol=1e-9)
+                break
+
+    def test_relation_names(self):
+        catalog = _chain3_catalog()
+        assert catalog.relation_names() == ["R0", "R1", "R2"]
+
+    def test_repr(self):
+        assert "n_relations=3" in repr(_chain3_catalog())

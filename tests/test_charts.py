@@ -1,0 +1,73 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.charts import chart_from_experiment, line_chart
+from repro.bench.experiments import ExperimentResult
+
+
+class TestLineChart:
+    def test_basic_render(self):
+        chart = line_chart(
+            {"a": [(1, 10.0), (2, 100.0)], "b": [(1, 20.0), (2, 40.0)]},
+            width=30,
+            height=8,
+        )
+        assert "*" in chart and "o" in chart
+        assert "legend:" in chart
+        assert "log10" in chart
+
+    def test_linear_scale(self):
+        chart = line_chart({"s": [(0, 1.0), (5, 2.0)]}, log_y=False)
+        assert "linear" in chart
+
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+
+    def test_nonpositive_log_data(self):
+        assert "no positive data" in line_chart({"s": [(1, 0.0)]})
+
+    def test_extremes_on_axis(self):
+        chart = line_chart({"s": [(1, 1.0), (10, 1000.0)]}, height=10)
+        lines = chart.splitlines()
+        assert "1e+03" in lines[0] or "1000" in lines[0]
+        assert lines[9].strip().startswith("1")
+
+    def test_constant_series_no_division_error(self):
+        chart = line_chart({"s": [(1, 5.0), (2, 5.0)]})
+        assert "legend" in chart
+
+
+class TestChartFromExperiment:
+    def _figure_result(self):
+        return ExperimentResult(
+            experiment="figX",
+            title="t",
+            paper_reference="r",
+            columns=["n", "tdmincutlazy_ms", "tdmincutbranch_ms",
+                     "difference_ms", "normalized"],
+            rows=[
+                ["5", "1.0", "0.5", "0.5", "2.0"],
+                ["10", "10.0", "3.0", "7.0", "3.3"],
+            ],
+        )
+
+    def test_figure_experiment_charts(self):
+        chart = chart_from_experiment(self._figure_result())
+        assert "tdmincutlazy_ms" in chart
+        assert "n" in chart
+
+    def test_table_experiment_not_chartable(self):
+        result = ExperimentResult(
+            experiment="table1",
+            title="t",
+            paper_reference="r",
+            columns=["shape", "metric", "n=5"],
+            rows=[["chain", "#csg", "15"]],
+        )
+        assert "no chartable" in chart_from_experiment(result)
+
+    def test_single_row_not_chartable(self):
+        result = self._figure_result()
+        result.rows = result.rows[:1]
+        assert "no chartable" in chart_from_experiment(result)

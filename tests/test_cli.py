@@ -1,0 +1,133 @@
+"""Tests for the command-line interfaces (repro-optimize, bench report)."""
+
+import pytest
+
+from repro.bench.report import main as report_main
+from repro.cli import main as cli_main
+
+
+class TestOptimizeCli:
+    def test_shape_run(self, capsys):
+        assert cli_main(["--shape", "chain", "--n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "tdmincutbranch" in out
+        assert "cost=" in out
+
+    def test_explicit_edges(self, capsys):
+        code = cli_main(
+            [
+                "--edges", "0-1,1-2,2-0",
+                "--cards", "100,2000,50",
+                "--sels", "0-1:0.1,1-2:0.05,2-0:0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "joins=2" in out
+
+    def test_explicit_edges_default_sels(self, capsys):
+        assert cli_main(["--edges", "0-1,1-2", "--cards", "10,20,30"]) == 0
+
+    def test_compare_mode(self, capsys):
+        assert cli_main(["--shape", "cycle", "--n", "5", "--compare"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dpccp", "tdmincutbranch", "tdmincutlazy", "dpsub"):
+            assert name in out
+
+    def test_algorithm_choice(self, capsys):
+        assert cli_main(["--shape", "star", "--n", "5", "--algorithm", "dpccp"]) == 0
+        assert "dpccp" in capsys.readouterr().out
+
+    def test_pruning_flag(self, capsys):
+        assert cli_main(["--shape", "star", "--n", "6", "--pruning"]) == 0
+
+    def test_physical_cost_model(self, capsys):
+        assert cli_main(
+            ["--shape", "chain", "--n", "4", "--cost-model", "physical"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert any(op in out for op in ("hash", "nestedloop", "sortmerge"))
+
+    def test_random_shapes(self, capsys):
+        assert cli_main(["--shape", "acyclic", "--n", "6"]) == 0
+        assert cli_main(["--shape", "cyclic", "--n", "6"]) == 0
+
+    def test_error_reported_cleanly(self, capsys):
+        # Clique of 2 relations is fine; a bad edge spec is not.
+        code = cli_main(["--edges", "0-1", "--cards", "10"])  # card count wrong
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReportCli:
+    def test_list(self, capsys):
+        assert report_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig09", "table5", "ablation_pruning"):
+            assert name in out
+
+    def test_single_experiment(self, capsys, tmp_path):
+        output = tmp_path / "results.txt"
+        assert report_main(
+            ["-e", "ablation_mcl_reuse", "-o", str(output)]
+        ) == 0
+        assert "ablation_mcl_reuse" in output.read_text()
+
+    def test_requires_selection(self):
+        with pytest.raises(SystemExit):
+            report_main([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            report_main(["-e", "fig99"])
+
+
+class TestExplainCli:
+    def test_explain_flag(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["--shape", "cycle", "--n", "5", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "search space:" in out
+        assert "plan:" in out
+        assert "ccps_emitted" in out
+
+    def test_explain_with_pruning(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(
+            ["--shape", "star", "--n", "5", "--explain", "--pruning"]
+        ) == 0
+        assert "branch-and-bound" in capsys.readouterr().out
+
+
+class TestWorkloadCli:
+    def test_tpch_workload(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["--workload", "tpch:q5"]) == 0
+        assert "joins=5" in capsys.readouterr().out
+
+    def test_ssb_workload_with_scale(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(
+            ["--workload", "ssb:q4.1", "--scale-factor", "0.01"]
+        ) == 0
+
+    def test_job_workload_compare(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["--workload", "job:j8", "--compare"]) == 0
+        assert "dpccp" in capsys.readouterr().out
+
+    def test_unknown_family(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["--workload", "imdb:q1"]) == 1
+        assert "unknown workload family" in capsys.readouterr().err
+
+    def test_missing_query_name(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["--workload", "tpch"]) == 1

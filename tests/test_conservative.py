@@ -1,0 +1,79 @@
+"""Unit tests for the conservative (connected-subset) partitioner."""
+
+import pytest
+
+from repro import (
+    ConservativePartitioning,
+    NaivePartitioning,
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    star_graph,
+)
+from repro.enumeration.base import canonical_pair
+
+from .conftest import canonical_ccps
+
+
+class TestConservative:
+    @pytest.mark.parametrize("n", range(2, 9))
+    def test_chain_counts(self, n):
+        g = chain_graph(n)
+        pairs = list(ConservativePartitioning(g).partitions(g.all_vertices))
+        assert len(pairs) == n - 1
+
+    def test_matches_naive(self, small_shape_graph):
+        g = small_shape_graph
+        assert canonical_ccps(ConservativePartitioning, g) == canonical_ccps(
+            NaivePartitioning, g
+        )
+
+    def test_anchor_always_in_left_side(self):
+        for g in (chain_graph(6), cycle_graph(6), clique_graph(5)):
+            for left, right in ConservativePartitioning(g).partitions(
+                g.all_vertices
+            ):
+                assert left & 1
+                assert not right & 1
+
+    def test_no_duplicates(self, rng):
+        from .conftest import random_connected_graph
+
+        for _ in range(25):
+            g = random_connected_graph(rng, max_vertices=8)
+            pairs = [
+                canonical_pair(l, r)
+                for l, r in ConservativePartitioning(g).partitions(
+                    g.all_vertices
+                )
+            ]
+            assert len(pairs) == len(set(pairs))
+
+    def test_exponentially_fewer_tests_than_naive_on_chains(self):
+        g = chain_graph(12)
+        conservative = ConservativePartitioning(g)
+        naive = NaivePartitioning(g)
+        list(conservative.partitions(g.all_vertices))
+        list(naive.partitions(g.all_vertices))
+        # Chains: anchored connected subsets are prefixes -> linear.
+        assert conservative.stats.connectivity_tests == 11
+        assert naive.stats.subsets_generated == 2 ** 12 - 2
+
+    def test_more_work_than_mincutbranch_on_stars(self):
+        # On stars nearly all anchored connected subsets have a
+        # disconnected complement: the conservative strategy pays for all
+        # of them, MinCutBranch for none (its complements are connected
+        # by construction).
+        from repro import MinCutBranch
+
+        g = star_graph(10)
+        conservative = ConservativePartitioning(g)
+        branch = MinCutBranch(g)
+        list(conservative.partitions(g.all_vertices))
+        list(branch.partitions(g.all_vertices))
+        assert conservative.stats.connectivity_tests > 100
+        assert branch.stats.loop_iterations == 9
+
+    def test_singleton_emits_nothing(self):
+        g = chain_graph(3)
+        assert list(ConservativePartitioning(g).partitions(0b001)) == []

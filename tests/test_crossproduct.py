@@ -1,0 +1,107 @@
+"""Tests for disconnected-graph (cross product) support."""
+
+import math
+
+import pytest
+
+from repro import (
+    Catalog,
+    QueryGraph,
+    Relation,
+    attach_random_statistics,
+    chain_graph,
+    optimize_query,
+    uniform_statistics,
+)
+from repro.catalog.crossproduct import artificial_edges, connect_components
+from repro.errors import OptimizationError
+
+
+def _two_islands() -> Catalog:
+    # Components {0,1} and {2,3}, no predicate between them.
+    graph = QueryGraph(4, [(0, 1), (2, 3)])
+    relations = [Relation(f"R{i}", 10.0 * (i + 1)) for i in range(4)]
+    return Catalog(graph, relations, {(0, 1): 0.5, (2, 3): 0.25})
+
+
+class TestArtificialEdges:
+    def test_connected_graph_needs_none(self):
+        assert artificial_edges(chain_graph(5)) == []
+
+    def test_two_components_one_edge(self):
+        graph = QueryGraph(4, [(0, 1), (2, 3)])
+        assert artificial_edges(graph) == [(0, 2)]
+
+    def test_three_components_two_edges(self):
+        graph = QueryGraph(6, [(0, 1), (2, 3)])
+        edges = artificial_edges(graph)
+        assert len(edges) == 3  # components {0,1},{2,3},{4},{5}
+        augmented = QueryGraph(6, list(graph.edges) + edges)
+        assert augmented.is_connected(augmented.all_vertices)
+
+    def test_isolated_vertices(self):
+        graph = QueryGraph(3, [])
+        edges = artificial_edges(graph)
+        augmented = QueryGraph(3, edges)
+        assert augmented.is_connected(augmented.all_vertices)
+
+
+class TestConnectComponents:
+    def test_noop_for_connected(self):
+        catalog = uniform_statistics(chain_graph(4))
+        assert connect_components(catalog) is catalog
+
+    def test_augmented_is_connected(self):
+        connected = connect_components(_two_islands())
+        graph = connected.graph
+        assert graph.is_connected(graph.all_vertices)
+
+    def test_artificial_selectivity_is_one(self):
+        connected = connect_components(_two_islands())
+        assert connected.selectivity(0, 2) == 1.0
+
+    def test_estimates_unchanged(self):
+        original = _two_islands()
+        connected = connect_components(original)
+        for vertex_set in range(1, 16):
+            assert math.isclose(
+                original.estimate(vertex_set),
+                connected.estimate(vertex_set),
+                rel_tol=1e-12,
+            )
+
+
+class TestOptimizeWithCrossProducts:
+    def test_rejected_by_default(self):
+        with pytest.raises(OptimizationError):
+            optimize_query(_two_islands())
+
+    def test_allowed_with_flag(self):
+        result = optimize_query(_two_islands(), allow_cross_products=True)
+        result.plan.validate()
+        assert result.plan.n_joins() == 3
+
+    def test_cost_is_island_optimal(self):
+        # The optimal plan joins each island internally first (their
+        # results are tiny) and cross-joins last.
+        result = optimize_query(_two_islands(), allow_cross_products=True)
+        catalog = _two_islands()
+        island_a = catalog.estimate(0b0011)
+        island_b = catalog.estimate(0b1100)
+        expected = island_a + island_b + island_a * island_b
+        assert math.isclose(result.cost, expected, rel_tol=1e-9)
+
+    def test_all_algorithms_agree_with_cross_products(self):
+        from repro import ALGORITHMS
+
+        costs = {
+            name: optimize_query(
+                _two_islands(), algorithm=name, allow_cross_products=True
+            ).cost
+            for name in ALGORITHMS
+        }
+        reference = costs["dpsub"]
+        assert all(
+            math.isclose(cost, reference, rel_tol=1e-9)
+            for cost in costs.values()
+        )

@@ -1,0 +1,24 @@
+"""Execute the docstring examples of the public modules."""
+
+import doctest
+
+import pytest
+
+import repro.bitset
+import repro.graph.query_graph
+import repro.graph.shapes
+
+MODULES = [
+    repro.bitset,
+    repro.graph.query_graph,
+    repro.graph.shapes,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module should carry docstring examples"

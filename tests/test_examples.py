@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run cleanly.
+
+The examples are part of the public deliverable; this keeps them from
+rotting as the API evolves.  Each runs in a subprocess with the repo's
+interpreter; the slow comparison example gets a small size override.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(name: str, args=()) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 3
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", [e for e in EXAMPLES if e != "compare_enumerators.py"])
+def test_example_runs(name):
+    result = _run(name)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must print something"
+
+
+def test_compare_enumerators_small():
+    result = _run("compare_enumerators.py", ["7"])
+    assert result.returncode == 0, result.stderr
+    assert "agree on plan cost" in result.stdout
+
+
+def test_quickstart_shows_plan():
+    result = _run("quickstart.py")
+    assert "optimal C_out cost" in result.stdout
+    assert "⋈" in result.stdout

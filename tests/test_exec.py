@@ -1,0 +1,263 @@
+"""Tests for the synthetic execution substrate (datagen + executor)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro import (
+    Catalog,
+    Relation,
+    chain_graph,
+    cycle_graph,
+    optimize_query,
+    uniform_statistics,
+)
+from repro.errors import CatalogError, OptimizationError
+from repro.exec import Executor, generate_database, validate_estimates
+
+from .conftest import random_connected_graph
+
+
+def _brute_force_count(database) -> int:
+    """Ground truth: full Cartesian scan with all predicates applied."""
+    tables = database.tables
+    count = 0
+    for combo in itertools.product(*[range(t.n_rows) for t in tables]):
+        if all(
+            tables[u].columns[col][combo[u]] == tables[v].columns[col][combo[v]]
+            for (u, v), col in database.edge_columns.items()
+        ):
+            count += 1
+    return count
+
+
+class TestDataGeneration:
+    def test_row_counts_respect_scaling(self):
+        graph = chain_graph(3)
+        catalog = Catalog(
+            graph,
+            [Relation("a", 100.0), Relation("b", 10_000.0), Relation("c", 50.0)],
+            {(0, 1): 0.1, (1, 2): 0.1},
+        )
+        database = generate_database(catalog, max_rows=1000, seed=0)
+        # Global scale = 1000/10000 = 0.1.
+        assert database.table(0).n_rows == 10
+        assert database.table(1).n_rows == 1000
+        assert database.table(2).n_rows == 5
+
+    def test_no_scaling_below_cap(self):
+        catalog = uniform_statistics(chain_graph(3), cardinality=100)
+        database = generate_database(catalog, max_rows=1000, seed=0)
+        assert all(t.n_rows == 100 for t in database.tables)
+
+    def test_every_edge_has_columns(self):
+        catalog = uniform_statistics(cycle_graph(4))
+        database = generate_database(catalog, max_rows=50, seed=1)
+        assert set(database.edge_columns) == set(catalog.graph.edges)
+        for (u, v), column in database.edge_columns.items():
+            assert len(database.table(u).column(column)) == database.table(u).n_rows
+            assert len(database.table(v).column(column)) == database.table(v).n_rows
+
+    def test_scaled_catalog_selectivities_realized(self):
+        catalog = uniform_statistics(chain_graph(3), selectivity=0.3)
+        database = generate_database(catalog, max_rows=100, seed=2)
+        # domain = round(1/0.3) = 3 -> realized 1/3.
+        for (u, v) in catalog.graph.edges:
+            assert math.isclose(
+                database.scaled_catalog.selectivity(u, v), 1.0 / 3.0
+            )
+
+    def test_missing_column_raises(self):
+        catalog = uniform_statistics(chain_graph(2))
+        database = generate_database(catalog, max_rows=10, seed=3)
+        with pytest.raises(CatalogError):
+            database.table(0).column("nope")
+
+    def test_determinism(self):
+        catalog = uniform_statistics(chain_graph(3))
+        a = generate_database(catalog, max_rows=20, seed=9)
+        b = generate_database(catalog, max_rows=20, seed=9)
+        for ta, tb in zip(a.tables, b.tables):
+            assert ta.columns == tb.columns
+
+
+class TestExecutor:
+    def test_matches_brute_force(self, rng):
+        for _ in range(15):
+            graph = random_connected_graph(rng, max_vertices=5)
+            catalog = uniform_statistics(graph, cardinality=10, selectivity=0.4)
+            database = generate_database(catalog, max_rows=10, seed=rng.randrange(1000))
+            plan = optimize_query(database.scaled_catalog).plan
+            result = Executor(database).execute(plan)
+            assert result.n_rows == _brute_force_count(database)
+
+    def test_row_count_independent_of_plan_shape(self, rng):
+        # Any valid plan over the same data returns the same result size.
+        graph = chain_graph(4)
+        catalog = uniform_statistics(graph, cardinality=30, selectivity=0.2)
+        database = generate_database(catalog, max_rows=30, seed=5)
+        from repro import ALGORITHMS
+
+        counts = set()
+        for name in ("tdmincutbranch", "dpccp"):
+            plan = optimize_query(
+                database.scaled_catalog, algorithm=name
+            ).plan
+            counts.add(Executor(database).execute(plan).n_rows)
+        # Also a deliberately different (left-deep) plan.
+        from repro.heuristics import optimal_left_deep
+
+        plan = optimal_left_deep(database.scaled_catalog)
+        counts.add(Executor(database).execute(plan).n_rows)
+        assert len(counts) == 1
+
+    def test_intermediates_recorded(self):
+        catalog = uniform_statistics(chain_graph(4), cardinality=50)
+        database = generate_database(catalog, max_rows=50, seed=6)
+        plan = optimize_query(database.scaled_catalog).plan
+        result = Executor(database).execute(plan)
+        assert len(result.intermediate_sizes) == 3  # one per join
+        assert result.measured_cout == sum(result.intermediate_sizes.values())
+
+    def test_row_limit_guard(self):
+        catalog = uniform_statistics(chain_graph(3), cardinality=200,
+                                     selectivity=1.0)
+        database = generate_database(catalog, max_rows=200, seed=7)
+        plan = optimize_query(database.scaled_catalog).plan
+        with pytest.raises(OptimizationError):
+            Executor(database, row_limit=100).execute(plan)
+
+
+class TestEstimateValidation:
+    def test_estimates_close_on_uniform_data(self):
+        catalog = uniform_statistics(
+            chain_graph(5), cardinality=1000, selectivity=0.002
+        )
+        database = generate_database(catalog, max_rows=1000, seed=7)
+        plan = optimize_query(database.scaled_catalog).plan
+        for record in validate_estimates(database, plan):
+            assert 0.7 <= record["ratio"] <= 1.4, record
+
+    def test_record_fields(self):
+        catalog = uniform_statistics(chain_graph(3), cardinality=100)
+        database = generate_database(catalog, max_rows=100, seed=8)
+        plan = optimize_query(database.scaled_catalog).plan
+        records = validate_estimates(database, plan)
+        assert all(
+            {"vertex_set", "estimated", "measured", "ratio"} <= set(r)
+            for r in records
+        )
+
+
+class TestPhysicalOperators:
+    def _canonical_rows(self, database, intermediate_result, plan):
+        """Execute and return results in a slot-independent form."""
+        executor = Executor(database)
+        return executor.execute(plan)
+
+    def test_all_operators_produce_identical_results(self, rng):
+        from repro.exec.executor import _Intermediate
+
+        for _ in range(10):
+            graph = random_connected_graph(rng, max_vertices=5)
+            catalog = uniform_statistics(graph, cardinality=15, selectivity=0.3)
+            database = generate_database(
+                catalog, max_rows=15, seed=rng.randrange(1000)
+            )
+            executor = Executor(database)
+            plan = optimize_query(database.scaled_catalog).plan
+            base = executor.execute(plan)
+
+            # Rebuild the same plan shape with forced implementations.
+            def force(node, implementation):
+                from repro.plan.jointree import JoinTree
+
+                if node.is_leaf:
+                    return node
+                return JoinTree(
+                    vertex_set=node.vertex_set,
+                    cardinality=node.cardinality,
+                    cost=node.cost,
+                    left=force(node.left, implementation),
+                    right=force(node.right, implementation),
+                    implementation=implementation,
+                )
+
+            for implementation in ("hash", "nestedloop", "sortmerge"):
+                result = executor.execute(force(plan, implementation))
+                assert result.n_rows == base.n_rows, implementation
+                assert result.intermediate_sizes == base.intermediate_sizes
+
+    def test_physical_plan_executes_with_chosen_operators(self):
+        from repro import PhysicalCostModel
+
+        catalog = uniform_statistics(chain_graph(4), cardinality=40,
+                                     selectivity=0.1)
+        database = generate_database(catalog, max_rows=40, seed=3)
+        plan = optimize_query(
+            database.scaled_catalog, cost_model=PhysicalCostModel()
+        ).plan
+        implementations = {n.implementation for n in plan.inner_nodes()}
+        assert implementations <= {"hash", "nestedloop", "sortmerge"}
+        result = Executor(database).execute(plan)
+        assert result.n_rows == _brute_force_count(database)
+
+    def test_sort_merge_handles_duplicate_key_groups(self):
+        catalog = uniform_statistics(chain_graph(2), cardinality=30,
+                                     selectivity=0.5)  # domain 2: heavy dups
+        database = generate_database(catalog, max_rows=30, seed=4)
+        from repro.plan.jointree import JoinTree
+
+        leafs = [
+            JoinTree(vertex_set=1 << v, cardinality=30, cost=0.0,
+                     relation=f"R{v}")
+            for v in range(2)
+        ]
+        join = JoinTree(
+            vertex_set=0b11, cardinality=450.0, cost=450.0,
+            left=leafs[0], right=leafs[1], implementation="sortmerge",
+        )
+        result = Executor(database).execute(join)
+        assert result.n_rows == _brute_force_count(database)
+
+
+class TestSkewedData:
+    def test_zero_skew_is_uniformish(self):
+        catalog = uniform_statistics(chain_graph(2), cardinality=1000,
+                                     selectivity=0.01)
+        database = generate_database(catalog, max_rows=1000, seed=1, skew=0.0)
+        plan = optimize_query(database.scaled_catalog).plan
+        records = validate_estimates(database, plan)
+        assert 0.8 <= records[-1]["ratio"] <= 1.25
+
+    def test_skew_inflates_true_join_sizes(self):
+        # Zipf keys make heavy hitters collide: measured sizes exceed the
+        # independence-assumption estimate — the classic estimation
+        # failure this knob exists to demonstrate.
+        catalog = uniform_statistics(chain_graph(2), cardinality=1000,
+                                     selectivity=0.01)
+        database = generate_database(
+            catalog, max_rows=1000, seed=1, skew=1.5
+        )
+        plan = optimize_query(database.scaled_catalog).plan
+        records = validate_estimates(database, plan)
+        assert records[-1]["ratio"] > 2.0
+
+    def test_skew_monotone(self):
+        catalog = uniform_statistics(chain_graph(2), cardinality=800,
+                                     selectivity=0.02)
+        ratios = []
+        for skew in (0.0, 1.0, 2.0):
+            database = generate_database(
+                catalog, max_rows=800, seed=2, skew=skew
+            )
+            plan = optimize_query(database.scaled_catalog).plan
+            records = validate_estimates(database, plan)
+            ratios.append(records[-1]["ratio"])
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_negative_skew_rejected(self):
+        catalog = uniform_statistics(chain_graph(2))
+        with pytest.raises(CatalogError):
+            generate_database(catalog, max_rows=10, seed=0, skew=-1.0)

@@ -1,0 +1,57 @@
+"""Tests for the EXPLAIN-style reporting helpers."""
+
+import pytest
+
+from repro import attach_random_statistics, chain_graph, cycle_graph, uniform_statistics
+from repro.analysis.explain import explain, explain_comparison
+
+
+class TestExplain:
+    def test_contains_sections(self):
+        catalog = attach_random_statistics(chain_graph(5), seed=3)
+        report = explain(catalog)
+        assert "query: 5 relations" in report
+        assert "search space:" in report
+        assert "optimal cost:" in report
+        assert "plan:" in report
+        assert "ccps_emitted" in report
+
+    def test_algorithm_label(self):
+        catalog = uniform_statistics(cycle_graph(5))
+        report = explain(catalog, algorithm="dpccp")
+        assert "algorithm: dpccp" in report
+
+    def test_pruning_label(self):
+        catalog = uniform_statistics(chain_graph(4))
+        report = explain(catalog, enable_pruning=True)
+        assert "branch-and-bound pruning" in report
+
+    def test_large_query_skips_counting(self):
+        catalog = uniform_statistics(chain_graph(16))
+        report = explain(catalog)
+        assert "search space:" not in report
+
+
+class TestExplainComparison:
+    def test_all_algorithms(self):
+        catalog = attach_random_statistics(cycle_graph(6), seed=4)
+        report = explain_comparison(catalog)
+        for name in ("dpccp", "tdmincutbranch", "memoizationbasic"):
+            assert name in report
+        assert "agree" in report
+
+    def test_subset_of_algorithms(self):
+        catalog = uniform_statistics(chain_graph(5))
+        report = explain_comparison(
+            catalog, algorithms=["dpccp", "tdmincutbranch"]
+        )
+        assert "tdmincutlazy" not in report
+
+    def test_rows_sorted_by_time(self):
+        catalog = uniform_statistics(chain_graph(6))
+        report = explain_comparison(catalog)
+        times = [
+            float(line.split()[1])
+            for line in report.splitlines()[1:]
+        ]
+        assert times == sorted(times)

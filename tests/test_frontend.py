@@ -1,0 +1,168 @@
+"""Tests for the schema/query front end."""
+
+import math
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.frontend import Column, Database, QueryBuilder, Table
+
+
+def _shop() -> Database:
+    db = Database("shop")
+    db.add_table("sales", 1_000_000, {"date_id": 2_000, "cust_id": 50_000})
+    db.add_table("date_dim", 2_000, {"date_id": 2_000})
+    db.add_table("customer", 50_000, {"cust_id": 50_000, "city": 500})
+    db.add_foreign_key("sales", "date_id", "date_dim", "date_id")
+    db.add_foreign_key("sales", "cust_id", "customer", "cust_id")
+    return db
+
+
+class TestSchema:
+    def test_table_lookup(self):
+        db = _shop()
+        assert db.table("sales").rows == 1_000_000
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            _shop().table("nope")
+
+    def test_duplicate_table(self):
+        db = _shop()
+        with pytest.raises(CatalogError):
+            db.add_table("sales", 10)
+
+    def test_nonpositive_rows(self):
+        with pytest.raises(CatalogError):
+            Table("bad", 0)
+
+    def test_column_defaults_to_key_like(self):
+        table = Table("t", 500)
+        assert table.column("mystery").distinct_values == 500
+
+    def test_duplicate_column(self):
+        table = Table("t", 10, [Column("a", 5)])
+        with pytest.raises(CatalogError):
+            table.add_column(Column("a", 7))
+
+    def test_column_requires_positive_ndv(self):
+        with pytest.raises(CatalogError):
+            Column("a", 0)
+
+    def test_fk_selectivity(self):
+        db = _shop()
+        assert math.isclose(
+            db.join_selectivity("sales", "date_id", "date_dim", "date_id"),
+            1.0 / 2_000,
+        )
+        # Orientation-insensitive.
+        assert math.isclose(
+            db.join_selectivity("date_dim", "date_id", "sales", "date_id"),
+            1.0 / 2_000,
+        )
+
+    def test_generic_equijoin_selectivity(self):
+        db = _shop()
+        # No FK between customer.city and date_dim.date_id: 1/max(ndv).
+        assert math.isclose(
+            db.join_selectivity("customer", "city", "date_dim", "date_id"),
+            1.0 / 2_000,
+        )
+
+    def test_fk_declaration_requires_tables(self):
+        db = Database()
+        with pytest.raises(CatalogError):
+            db.add_foreign_key("ghost", "x", "also_ghost", "y")
+
+
+class TestQueryBuilder:
+    def test_build_catalog(self):
+        catalog = (
+            _shop()
+            .query()
+            .table("sales")
+            .table("date_dim")
+            .join("sales.date_id = date_dim.date_id")
+            .build_catalog()
+        )
+        assert catalog.graph.n_vertices == 2
+        assert catalog.relation_names() == ["sales", "date_dim"]
+        assert math.isclose(catalog.selectivity(0, 1), 1.0 / 2_000)
+
+    def test_optimize_end_to_end(self):
+        result = (
+            _shop()
+            .query()
+            .table("sales")
+            .table("date_dim")
+            .table("customer")
+            .join("sales.date_id = date_dim.date_id")
+            .join("sales.cust_id = customer.cust_id")
+            .optimize()
+        )
+        result.plan.validate()
+        assert result.plan.n_joins() == 2
+        names = {leaf.relation for leaf in result.plan.leaves()}
+        assert names == {"sales", "date_dim", "customer"}
+
+    def test_self_join_via_aliases(self):
+        db = Database()
+        db.add_table("emp", 10_000, {"id": 10_000, "manager_id": 1_000})
+        result = (
+            db.query()
+            .table("emp", alias="e")
+            .table("emp", alias="m")
+            .join("e.manager_id = m.id")
+            .optimize()
+        )
+        assert result.plan.n_joins() == 1
+
+    def test_duplicate_alias_rejected(self):
+        db = _shop()
+        with pytest.raises(CatalogError):
+            db.query().table("sales").table("sales")
+
+    def test_unparseable_predicate(self):
+        builder = _shop().query().table("sales").table("customer")
+        with pytest.raises(CatalogError):
+            builder.join("sales.cust_id == customer.cust_id OR true")
+
+    def test_predicate_over_unreferenced_alias(self):
+        builder = _shop().query().table("sales")
+        with pytest.raises(CatalogError):
+            builder.join("sales.date_id = date_dim.date_id")
+
+    def test_predicate_must_span_two_aliases(self):
+        builder = _shop().query().table("sales")
+        with pytest.raises(CatalogError):
+            builder.join("sales.a = sales.b")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(CatalogError):
+            _shop().query().build_catalog()
+
+    def test_conjunctive_predicates_multiply(self):
+        db = Database()
+        db.add_table("a", 100, {"x": 10, "y": 20})
+        db.add_table("b", 100, {"x": 10, "y": 20})
+        catalog = (
+            db.query()
+            .table("a")
+            .table("b")
+            .join("a.x = b.x")
+            .join("a.y = b.y")
+            .build_catalog()
+        )
+        assert catalog.graph.n_edges == 1
+        assert math.isclose(catalog.selectivity(0, 1), (1 / 10) * (1 / 20))
+
+    def test_explicit_selectivity_override(self):
+        catalog = (
+            _shop()
+            .query()
+            .table("sales")
+            .table("customer")
+            .join("sales.cust_id = customer.cust_id", selectivity=0.5)
+            .build_catalog()
+        )
+        assert catalog.selectivity(0, 1) == 0.5

@@ -1,0 +1,197 @@
+"""Tests for restricted plan spaces and heuristics (leftdeep/IKKBZ/GOO)."""
+
+import math
+
+import pytest
+
+from repro import (
+    IKKBZ,
+    attach_random_statistics,
+    chain_graph,
+    cycle_graph,
+    greedy_operator_ordering,
+    ikkbz_optimal_left_deep,
+    optimal_left_deep,
+    optimize_query,
+    random_acyclic_graph,
+    star_graph,
+    uniform_statistics,
+)
+from repro.errors import OptimizationError
+
+from .conftest import random_connected_graph
+
+
+class TestOptimalLeftDeep:
+    def test_returns_left_deep(self, rng):
+        for _ in range(15):
+            graph = random_connected_graph(rng, max_vertices=7)
+            catalog = attach_random_statistics(graph, rng=rng)
+            plan = optimal_left_deep(catalog)
+            plan.validate()
+            assert plan.is_left_deep()
+
+    def test_at_least_bushy_optimum(self, rng):
+        for _ in range(15):
+            graph = random_connected_graph(rng, max_vertices=7)
+            catalog = attach_random_statistics(graph, rng=rng)
+            left_deep = optimal_left_deep(catalog).cost
+            bushy = optimize_query(catalog).cost
+            assert left_deep >= bushy * (1 - 1e-9)
+
+    def test_three_relations_spaces_coincide(self):
+        # With three relations every bushy tree is linear, and C_out is
+        # symmetric, so the two spaces have the same optimum.
+        catalog = uniform_statistics(chain_graph(3))
+        assert math.isclose(
+            optimal_left_deep(catalog).cost,
+            optimize_query(catalog).cost,
+            rel_tol=1e-9,
+        )
+
+    def test_bushy_beats_left_deep_on_uniform_chain(self):
+        # Strategy-space comparison (paper ref. [1]): under C_out with
+        # growing intermediates, bushy trees strictly win on chains
+        # (balanced subtrees keep intermediate sizes smaller).
+        catalog = uniform_statistics(chain_graph(6))
+        assert optimize_query(catalog).cost < optimal_left_deep(catalog).cost
+
+    def test_bushy_strictly_beats_left_deep_somewhere(self, rng):
+        # Ioannidis & Kang's point: the left-deep space misses plans.
+        strict = 0
+        for seed in range(40):
+            graph = random_acyclic_graph(7, seed=seed)
+            catalog = attach_random_statistics(graph, seed=seed)
+            gap = optimal_left_deep(catalog).cost / optimize_query(catalog).cost
+            if gap > 1.01:
+                strict += 1
+        assert strict > 0
+
+    def test_single_relation(self):
+        catalog = uniform_statistics(chain_graph(1))
+        assert optimal_left_deep(catalog).is_leaf
+
+    def test_disconnected_rejected(self):
+        from repro import QueryGraph
+
+        catalog = uniform_statistics(QueryGraph(3, [(0, 1)]))
+        with pytest.raises(OptimizationError):
+            optimal_left_deep(catalog)
+
+
+class TestIKKBZ:
+    def test_equals_left_deep_dp_on_trees(self, rng):
+        for _ in range(40):
+            n = rng.randint(2, 9)
+            graph = random_acyclic_graph(n, rng=rng)
+            catalog = attach_random_statistics(graph, rng=rng)
+            dp_cost = optimal_left_deep(catalog).cost
+            ikkbz_cost = ikkbz_optimal_left_deep(catalog).cost
+            assert math.isclose(dp_cost, ikkbz_cost, rel_tol=1e-9), graph
+
+    def test_sequence_prefixes_connected(self, rng):
+        # Cross-product freedom: every prefix must induce a connected set.
+        for _ in range(20):
+            n = rng.randint(2, 8)
+            graph = random_acyclic_graph(n, rng=rng)
+            catalog = attach_random_statistics(graph, rng=rng)
+            order, _ = IKKBZ(catalog).best_sequence()
+            covered = 0
+            for v in order:
+                covered |= 1 << v
+                assert graph.is_connected(covered)
+
+    def test_rejects_cyclic(self):
+        catalog = uniform_statistics(cycle_graph(4))
+        with pytest.raises(OptimizationError):
+            IKKBZ(catalog)
+
+    def test_star_starts_small(self):
+        # On a star, the cheapest orders interleave small dimensions
+        # early; IKKBZ must not start from the largest satellite.
+        from repro import Catalog, Relation
+
+        graph = star_graph(4)
+        catalog = Catalog(
+            graph,
+            [
+                Relation("fact", 1_000_000),
+                Relation("tiny", 10),
+                Relation("mid", 1_000),
+                Relation("big", 100_000),
+            ],
+            {(0, 1): 0.001, (0, 2): 0.001, (0, 3): 0.001},
+        )
+        order, cost = IKKBZ(catalog).best_sequence()
+        assert math.isclose(
+            cost, optimal_left_deep(catalog).cost, rel_tol=1e-9
+        )
+        # After the mandatory hub contact, the tiny dimension comes first.
+        satellites = [v for v in order if v != 0]
+        assert satellites[0] == 1
+
+    def test_single_relation(self):
+        catalog = uniform_statistics(chain_graph(1))
+        order, cost = IKKBZ(catalog).best_sequence()
+        assert order == [0]
+        assert cost == 0.0
+
+    def test_plan_cost_consistent_with_sequence(self, rng):
+        for _ in range(10):
+            graph = random_acyclic_graph(rng.randint(2, 8), rng=rng)
+            catalog = attach_random_statistics(graph, rng=rng)
+            ikkbz = IKKBZ(catalog)
+            _, cost = ikkbz.best_sequence()
+            plan = ikkbz.optimize()
+            plan.validate()
+            assert math.isclose(plan.cost, cost, rel_tol=1e-9)
+
+
+class TestGOO:
+    def test_valid_plan(self, rng):
+        for _ in range(20):
+            graph = random_connected_graph(rng, max_vertices=8)
+            catalog = attach_random_statistics(graph, rng=rng)
+            plan = greedy_operator_ordering(catalog)
+            plan.validate()
+            assert plan.vertex_set == graph.all_vertices
+
+    def test_never_beats_optimum(self, rng):
+        for _ in range(20):
+            graph = random_connected_graph(rng, max_vertices=7)
+            catalog = attach_random_statistics(graph, rng=rng)
+            greedy = greedy_operator_ordering(catalog).cost
+            optimum = optimize_query(catalog).cost
+            assert greedy >= optimum * (1 - 1e-9)
+
+    def test_cost_accounting_matches_estimate(self, rng):
+        # The greedy plan's cost must equal the C_out of its own shape.
+        for _ in range(10):
+            graph = random_connected_graph(rng, max_vertices=6)
+            catalog = attach_random_statistics(graph, rng=rng)
+            plan = greedy_operator_ordering(catalog)
+            expected = sum(
+                catalog.estimate(node.vertex_set)
+                for node in plan.inner_nodes()
+            )
+            assert math.isclose(plan.cost, expected, rel_tol=1e-9)
+
+    def test_greedy_can_be_suboptimal(self):
+        # Existence check: greedy misses the optimum on some input.
+        found = False
+        for seed in range(60):
+            graph = random_acyclic_graph(7, seed=seed)
+            catalog = attach_random_statistics(graph, seed=seed + 1)
+            greedy = greedy_operator_ordering(catalog).cost
+            optimum = optimize_query(catalog).cost
+            if greedy > optimum * 1.01:
+                found = True
+                break
+        assert found
+
+    def test_disconnected_rejected(self):
+        from repro import QueryGraph
+
+        catalog = uniform_statistics(QueryGraph(3, [(0, 1)]))
+        with pytest.raises(OptimizationError):
+            greedy_operator_ordering(catalog)

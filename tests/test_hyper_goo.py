@@ -1,0 +1,66 @@
+"""Tests for GOO over hypergraphs."""
+
+import math
+
+import pytest
+
+from repro import DPhyp, attach_random_hyper_statistics, random_hypergraph
+from repro.heuristics.hyper_goo import greedy_hyper_ordering
+
+
+class TestHyperGoo:
+    def test_valid_plans_on_random_hypergraphs(self):
+        built = 0
+        for seed in range(20):
+            hypergraph = random_hypergraph(6, n_complex_edges=2, seed=seed)
+            catalog = attach_random_hyper_statistics(hypergraph, seed=seed)
+            try:
+                plan = greedy_hyper_ordering(catalog)
+            except Exception:
+                continue  # greedy may legitimately strand on hyperedges
+            plan.validate()
+            assert plan.vertex_set == hypergraph.all_vertices
+            built += 1
+        assert built >= 15  # stranding must be the exception
+
+    def test_never_beats_dphyp(self):
+        for seed in range(15):
+            hypergraph = random_hypergraph(6, n_complex_edges=2, seed=seed)
+            catalog = attach_random_hyper_statistics(hypergraph, seed=seed)
+            try:
+                greedy = greedy_hyper_ordering(catalog)
+            except Exception:
+                continue
+            optimum = DPhyp(catalog).optimize()
+            assert greedy.cost >= optimum.cost * (1 - 1e-9)
+
+    def test_plain_graph_agrees_with_plain_goo(self):
+        from repro import Hypergraph, chain_graph, uniform_statistics
+        from repro.catalog.hyper import HyperCatalog
+        from repro.heuristics import greedy_operator_ordering
+
+        graph = chain_graph(5)
+        catalog = uniform_statistics(graph)
+        hypergraph = Hypergraph.from_query_graph(graph)
+        hyper_catalog = HyperCatalog(
+            hypergraph,
+            catalog.relations,
+            {
+                edge: catalog.selectivity(
+                    edge.u.bit_length() - 1, edge.v.bit_length() - 1
+                )
+                for edge in hypergraph.edges
+            },
+        )
+        plain = greedy_operator_ordering(catalog)
+        hyper = greedy_hyper_ordering(hyper_catalog)
+        assert math.isclose(plain.cost, hyper.cost, rel_tol=1e-9)
+
+    def test_disconnected_rejected(self):
+        from repro import Hypergraph
+        from repro.catalog.hyper import uniform_hyper_statistics
+        from repro.errors import OptimizationError
+
+        hypergraph = Hypergraph(3, [(0b001, 0b110)])
+        with pytest.raises(OptimizationError):
+            greedy_hyper_ordering(uniform_hyper_statistics(hypergraph))

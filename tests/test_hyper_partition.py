@@ -1,0 +1,108 @@
+"""Tests for hypergraph partitioning strategies."""
+
+import math
+
+import pytest
+
+from repro import (
+    Hypergraph,
+    TopDownHyp,
+    attach_random_hyper_statistics,
+    bitset,
+    random_hypergraph,
+)
+from repro.enumeration.hyper_partition import (
+    HyperConservativePartitioning,
+    HyperNaivePartitioning,
+)
+from repro.errors import OptimizationError
+
+
+def _pairs(strategy_cls, hypergraph, vertex_set):
+    return sorted(strategy_cls(hypergraph).partitions(vertex_set))
+
+
+class TestEquivalence:
+    def test_conservative_matches_naive_everywhere(self):
+        for seed in range(30):
+            hypergraph = random_hypergraph(6, n_complex_edges=2, seed=seed)
+            for vertex_set in hypergraph.connected_subsets():
+                if bitset.popcount(vertex_set) < 2:
+                    continue
+                naive = _pairs(HyperNaivePartitioning, hypergraph, vertex_set)
+                conservative = _pairs(
+                    HyperConservativePartitioning, hypergraph, vertex_set
+                )
+                assert naive == conservative, (seed, vertex_set)
+
+    def test_pairs_are_valid(self):
+        for seed in range(10):
+            hypergraph = random_hypergraph(7, n_complex_edges=2, seed=seed)
+            s_set = hypergraph.all_vertices
+            for left, right in HyperConservativePartitioning(
+                hypergraph
+            ).partitions(s_set):
+                assert left | right == s_set
+                assert left & right == 0
+                assert hypergraph.is_connected(left)
+                assert hypergraph.is_connected(right)
+                assert hypergraph.has_cross_edge(left, right)
+
+    def test_anchor_in_left_side(self):
+        hypergraph = random_hypergraph(7, seed=3)
+        for left, right in HyperConservativePartitioning(hypergraph).partitions(
+            hypergraph.all_vertices
+        ):
+            assert left & 1
+
+    def test_singleton_emits_nothing(self):
+        hypergraph = random_hypergraph(4, seed=0)
+        assert _pairs(HyperNaivePartitioning, hypergraph, 0b0001) == []
+        assert _pairs(HyperConservativePartitioning, hypergraph, 0b0001) == []
+
+
+class TestWorkReduction:
+    def test_conservative_generates_fewer_candidates(self):
+        hypergraph = random_hypergraph(9, n_complex_edges=3, seed=1)
+        naive = HyperNaivePartitioning(hypergraph)
+        conservative = HyperConservativePartitioning(hypergraph)
+        list(naive.partitions(hypergraph.all_vertices))
+        list(conservative.partitions(hypergraph.all_vertices))
+        assert (
+            conservative.stats.subsets_generated
+            < naive.stats.subsets_generated
+        )
+
+    def test_plain_chain_linear_candidates(self):
+        from repro import chain_graph
+
+        hypergraph = Hypergraph.from_query_graph(chain_graph(10))
+        conservative = HyperConservativePartitioning(hypergraph)
+        list(conservative.partitions(hypergraph.all_vertices))
+        # Anchored connected subsets of a chain are its prefixes.
+        assert conservative.stats.subsets_generated <= 2 * 10
+
+
+class TestTopDownHypDriver:
+    def test_partitioning_choice_same_cost(self):
+        for seed in range(10):
+            hypergraph = random_hypergraph(6, n_complex_edges=2, seed=seed)
+            catalog = attach_random_hyper_statistics(hypergraph, seed=seed)
+            naive = TopDownHyp(catalog, partitioning="naive").optimize()
+            conservative = TopDownHyp(
+                catalog, partitioning="conservative"
+            ).optimize()
+            assert math.isclose(naive.cost, conservative.cost, rel_tol=1e-9)
+
+    def test_unknown_partitioning_rejected(self):
+        hypergraph = random_hypergraph(4, seed=0)
+        catalog = attach_random_hyper_statistics(hypergraph, seed=0)
+        with pytest.raises(OptimizationError):
+            TopDownHyp(catalog, partitioning="quantum")
+
+    def test_emission_counter(self):
+        hypergraph = random_hypergraph(6, seed=2)
+        catalog = attach_random_hyper_statistics(hypergraph, seed=2)
+        driver = TopDownHyp(catalog, partitioning="conservative")
+        driver.optimize()
+        assert driver.partitions_emitted > 0

@@ -1,0 +1,167 @@
+"""Unit tests for the hypergraph substrate (the paper's future work)."""
+
+import pytest
+
+from repro import (
+    Hyperedge,
+    Hypergraph,
+    QueryGraph,
+    bitset,
+    chain_graph,
+    random_hypergraph,
+)
+from repro.errors import GraphError
+
+
+class TestHyperedge:
+    def test_canonical_orientation(self):
+        edge = Hyperedge(0b1100, 0b0011)
+        assert edge.u == 0b0011  # lower min index first
+        assert edge.v == 0b1100
+
+    def test_rejects_overlap(self):
+        with pytest.raises(GraphError):
+            Hyperedge(0b011, 0b010)
+
+    def test_rejects_empty(self):
+        with pytest.raises(GraphError):
+            Hyperedge(0, 0b1)
+
+    def test_is_simple(self):
+        assert Hyperedge(0b1, 0b10).is_simple
+        assert not Hyperedge(0b11, 0b100).is_simple
+
+    def test_scope(self):
+        assert Hyperedge(0b0011, 0b1100).scope == 0b1111
+
+    def test_connects(self):
+        edge = Hyperedge(0b0011, 0b0100)
+        assert edge.connects(0b0011, 0b0100)
+        assert edge.connects(0b0100, 0b0011)
+        assert edge.connects(0b1011, 0b0100)  # superset on the u side
+        assert not edge.connects(0b0001, 0b0100)  # u not covered
+
+    def test_equality_and_hash(self):
+        a = Hyperedge(0b01, 0b10)
+        b = Hyperedge(0b10, 0b01)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestHypergraphConstruction:
+    def test_from_index_iterables(self):
+        hg = Hypergraph(4, [([0, 1], [2, 3])])
+        assert hg.edges[0].scope == 0b1111
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            Hypergraph(2, [(0b1, 0b100)])
+
+    def test_deduplicates(self):
+        hg = Hypergraph(3, [(0b1, 0b10), (0b10, 0b1)])
+        assert len(hg.edges) == 1
+
+    def test_is_plain_graph(self):
+        assert Hypergraph(3, [(0b1, 0b10), (0b10, 0b100)]).is_plain_graph
+        assert not Hypergraph(3, [(0b1, 0b110)]).is_plain_graph
+
+    def test_from_query_graph(self):
+        g = chain_graph(4)
+        hg = Hypergraph.from_query_graph(g)
+        assert hg.is_plain_graph
+        assert len(hg.edges) == 3
+
+
+class TestNeighborhood:
+    def test_simple_edges(self):
+        hg = Hypergraph(4, [(0b1, 0b10), (0b10, 0b100), (0b100, 0b1000)])
+        assert hg.neighborhood(0b0010, 0) == 0b0101
+        assert hg.neighborhood(0b0010, 0b0001) == 0b0100
+
+    def test_complex_edge_contributes_min_representative(self):
+        # Edge ({0}, {2,3}): from {0}, only vertex 2 (min of {2,3}) shows.
+        hg = Hypergraph(4, [(0b0001, 0b1100), (0b0001, 0b0010)])
+        assert hg.neighborhood(0b0001, 0) == 0b0110
+
+    def test_complex_edge_blocked_by_excluded(self):
+        hg = Hypergraph(4, [(0b0001, 0b1100)])
+        # Any overlap of the far endpoint with S ∪ X suppresses it.
+        assert hg.neighborhood(0b0001, 0b0100) == 0
+        assert hg.neighborhood(0b0001, 0b1000) == 0
+
+    def test_complex_edge_needs_full_near_side(self):
+        hg = Hypergraph(4, [(0b0011, 0b1100)])
+        assert hg.neighborhood(0b0001, 0) == 0  # u ⊄ {0}
+        assert hg.neighborhood(0b0011, 0) == 0b0100  # min of {2,3}
+
+
+class TestCrossEdge:
+    def test_simple(self):
+        hg = Hypergraph(3, [(0b1, 0b10)])
+        assert hg.has_cross_edge(0b001, 0b010)
+        assert not hg.has_cross_edge(0b001, 0b100)
+
+    def test_complex_requires_cover(self):
+        hg = Hypergraph(4, [(0b0011, 0b1100)])
+        assert hg.has_cross_edge(0b0011, 0b1100)
+        assert not hg.has_cross_edge(0b0001, 0b1100)
+        assert not hg.has_cross_edge(0b0111, 0b1000)
+
+    def test_edges_within(self):
+        hg = Hypergraph(4, [(0b1, 0b10), (0b0011, 0b1100)])
+        assert len(hg.edges_within(0b0011)) == 1
+        assert len(hg.edges_within(0b1111)) == 2
+
+
+class TestConnectivity:
+    def test_singletons_connected(self):
+        hg = Hypergraph(3, [(0b1, 0b110)])
+        for v in range(3):
+            assert hg.is_connected(1 << v)
+
+    def test_internally_disconnected_far_side(self):
+        # Edge ({0}, {1,2}) alone: {1,2} has no internal edge, so the
+        # full set is NOT connected (joining it needs a cross product).
+        hg = Hypergraph(3, [(0b001, 0b110)])
+        assert not hg.is_connected(0b111)
+        assert not hg.is_connected(0b110)
+
+    def test_complex_edge_with_connected_sides(self):
+        hg = Hypergraph(4, [(0b0001, 0b0010), (0b0100, 0b1000),
+                            (0b0011, 0b1100)])
+        assert hg.is_connected(0b1111)
+        assert hg.is_connected(0b0011)
+        assert hg.is_connected(0b1100)
+        assert not hg.is_connected(0b0101)
+
+    def test_matches_plain_graph_semantics(self, rng):
+        from .conftest import random_connected_graph
+
+        for _ in range(25):
+            g = random_connected_graph(rng, max_vertices=7)
+            hg = Hypergraph.from_query_graph(g)
+            for s in range(1, g.all_vertices + 1):
+                assert hg.is_connected(s) == g.is_connected(s)
+
+    def test_connected_subsets_listing(self):
+        hg = Hypergraph(3, [(0b001, 0b010), (0b010, 0b100)])
+        assert hg.connected_subsets() == [
+            0b001, 0b010, 0b011, 0b100, 0b110, 0b111,
+        ]
+
+
+class TestRandomHypergraph:
+    def test_connected_and_has_complex(self):
+        for seed in range(15):
+            hg = random_hypergraph(7, n_complex_edges=3, seed=seed)
+            assert hg.is_connected(hg.all_vertices)
+            assert hg.complex_edges
+
+    def test_deterministic(self):
+        a = random_hypergraph(6, seed=3)
+        b = random_hypergraph(6, seed=3)
+        assert a.edges == b.edges
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            random_hypergraph(1, seed=0)

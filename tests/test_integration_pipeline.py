@@ -1,0 +1,129 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Each test walks a full user journey: schema → SQL → catalog →
+optimization → serialization → execution → validation — the seams the
+per-module suites don't cross.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro import (
+    PhysicalCostModel,
+    optimize_query,
+)
+from repro.analysis.explain import explain, explain_comparison
+from repro.exec import Executor, generate_database, validate_estimates
+from repro.frontend import Database, parse_select
+from repro.serialize import (
+    catalog_from_dict,
+    catalog_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.viz import graph_to_dot, plan_to_dot
+from repro.workloads import ssb_query, tpch_query
+
+
+def _mini_db() -> Database:
+    db = Database("mini")
+    db.add_table("fact", 50_000, {"d1": 500, "d2": 200})
+    db.add_table("dim1", 500, {"d1": 500, "grp": 10})
+    db.add_table("dim2", 200, {"d2": 200})
+    db.add_foreign_key("fact", "d1", "dim1", "d1")
+    db.add_foreign_key("fact", "d2", "dim2", "d2")
+    return db
+
+
+class TestSqlToExecution:
+    def test_full_journey(self):
+        # 1. SQL -> catalog.
+        builder = parse_select(
+            _mini_db(),
+            """
+            SELECT * FROM fact f, dim1 a, dim2 b
+            WHERE f.d1 = a.d1 AND f.d2 = b.d2 AND a.grp = 3
+            """,
+        )
+        catalog = builder.build_catalog()
+        # 2. Optimize under both cost models.
+        cout_result = optimize_query(catalog)
+        physical_result = optimize_query(
+            catalog, cost_model=PhysicalCostModel()
+        )
+        cout_result.plan.validate()
+        physical_result.plan.validate()
+        # 3. Serialize and restore both catalog and plan.
+        document = json.dumps(
+            {
+                "catalog": catalog_to_dict(catalog),
+                "plan": plan_to_dict(cout_result.plan),
+            }
+        )
+        loaded = json.loads(document)
+        restored_catalog = catalog_from_dict(loaded["catalog"])
+        restored_plan = plan_from_dict(loaded["plan"])
+        assert restored_plan == cout_result.plan
+        # 4. Re-optimizing the restored catalog reproduces the cost.
+        assert math.isclose(
+            optimize_query(restored_catalog).cost,
+            cout_result.cost,
+            rel_tol=1e-12,
+        )
+        # 5. Generate data, execute, and validate estimates.
+        database = generate_database(restored_catalog, max_rows=500, seed=3)
+        plan = optimize_query(database.scaled_catalog).plan
+        records = validate_estimates(database, plan)
+        assert records
+        for record in records:
+            assert record["measured"] >= 0
+        # 6. Visualization artifacts are well-formed.
+        assert graph_to_dot(catalog.graph, catalog).count("{") == 1
+        assert plan_to_dot(plan).startswith("digraph")
+
+    def test_explain_over_sql_query(self):
+        catalog = parse_select(
+            _mini_db(),
+            "SELECT * FROM fact f, dim1 a WHERE f.d1 = a.d1",
+        ).build_catalog()
+        report = explain(catalog)
+        assert "2 relations" in report
+        comparison = explain_comparison(
+            catalog, algorithms=["dpccp", "tdmincutbranch"]
+        )
+        assert "agree" in comparison
+
+
+class TestWorkloadsThroughEverything:
+    @pytest.mark.parametrize("name", ["q3", "q5"])
+    def test_tpch_roundtrip_and_pruning(self, name):
+        catalog = tpch_query(name, scale_factor=0.1)
+        restored = catalog_from_dict(catalog_to_dict(catalog))
+        plain = optimize_query(restored)
+        pruned = optimize_query(restored, enable_pruning=True)
+        auto = optimize_query(restored, algorithm="auto")
+        assert math.isclose(plain.cost, pruned.cost, rel_tol=1e-9)
+        assert math.isclose(plain.cost, auto.cost, rel_tol=1e-9)
+
+    def test_ssb_execute_scaled(self):
+        catalog = ssb_query("q2.1", scale_factor=0.001)
+        database = generate_database(catalog, max_rows=400, seed=5)
+        plan = optimize_query(database.scaled_catalog).plan
+        result = Executor(database).execute(plan)
+        assert result.n_rows >= 0
+        assert len(result.intermediate_sizes) == plan.n_joins()
+
+    def test_traces_on_workload_graphs(self):
+        from repro.enumeration.trace import TracedMinCutBranch
+        from repro.enumeration.trace_lazy import TracedMinCutLazy
+
+        graph = tpch_query("q5").graph  # the cyclic one
+        branch = TracedMinCutBranch(graph)
+        branch_pairs = sorted(branch.partitions(graph.all_vertices))
+        lazy = TracedMinCutLazy(graph)
+        lazy_pairs = list(lazy.partitions(graph.all_vertices))
+        assert len(branch_pairs) == len(lazy_pairs)
+        assert "emitting" in branch.render()
+        assert lazy.rebuild_ratio() > 0.0

@@ -1,0 +1,70 @@
+"""Tests for the JOB-lite (Join Order Benchmark shaped) workload."""
+
+import math
+
+import pytest
+
+from repro import optimize_query
+from repro.errors import CatalogError
+from repro.workloads import job_database, job_query, job_query_names
+
+
+class TestSchema:
+    def test_magnitudes(self):
+        db = job_database(1.0)
+        assert db.table("cast_info").rows == 36_000_000
+        assert db.table("company_type").rows == 4
+        assert len(db.tables) == 14
+
+    def test_scale(self):
+        db = job_database(0.01)
+        assert db.table("title").rows == 25_000
+
+    def test_rejects_bad_sf(self):
+        with pytest.raises(CatalogError):
+            job_database(0)
+
+
+class TestQueries:
+    def test_sizes_ascend(self):
+        sizes = [job_query(n).graph.n_vertices for n in job_query_names()]
+        assert sizes == [8, 10, 12, 14]
+
+    def test_all_connected(self):
+        for name in job_query_names():
+            catalog = job_query(name)
+            assert catalog.graph.is_connected(catalog.graph.all_vertices)
+
+    def test_j14_is_cyclic(self):
+        # The movie_link loop (t - ml - t2 - kt - t) closes a cycle.
+        assert job_query("j14").graph.shape_name() == "cyclic"
+
+    def test_j12_self_join_aliases(self):
+        names = job_query("j12").relation_names()
+        assert "mi1" in names and "mi2" in names
+
+    def test_unknown_query(self):
+        with pytest.raises(CatalogError):
+            job_query("j99")
+
+
+class TestOptimization:
+    @pytest.mark.parametrize("name", job_query_names())
+    def test_topdown_equals_dpccp(self, name):
+        catalog = job_query(name)
+        top_down = optimize_query(catalog, algorithm="tdmincutbranch")
+        bottom_up = optimize_query(catalog, algorithm="dpccp")
+        assert math.isclose(top_down.cost, bottom_up.cost, rel_tol=1e-9)
+        top_down.plan.validate()
+
+    def test_large_query_still_fast(self):
+        # 14 relations must optimize in well under a second.
+        result = optimize_query(job_query("j14"))
+        assert result.elapsed_seconds < 2.0
+
+    def test_pruning_on_the_big_query(self):
+        catalog = job_query("j14")
+        plain = optimize_query(catalog)
+        pruned = optimize_query(catalog, enable_pruning=True)
+        assert math.isclose(plain.cost, pruned.cost, rel_tol=1e-9)
+        assert pruned.cost_evaluations <= plain.cost_evaluations

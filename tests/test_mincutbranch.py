@@ -1,0 +1,216 @@
+"""Unit tests for MinCutBranch (the paper's contribution, Sec. III)."""
+
+import pytest
+
+from repro import (
+    MinCutBranch,
+    NaivePartitioning,
+    QueryGraph,
+    bitset,
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    star_graph,
+)
+from repro.enumeration.base import canonical_pair
+from repro.enumeration.mincutbranch import partition_mincut_branch
+from repro.errors import GraphError
+
+from .conftest import canonical_ccps
+
+
+def _paper_chain():
+    """The chain of Fig. 7: R3 - R1 - R0 - R2 - R4."""
+    return QueryGraph(5, [(1, 3), (0, 1), (0, 2), (2, 4)])
+
+
+def _paper_cycle():
+    """The cyclic graph of Fig. 8: R0-R1, R0-R2, R0-R3, R1-R3, R2-R3."""
+    return QueryGraph(4, [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)])
+
+
+class TestPaperExamples:
+    def test_fig7_chain_emissions(self):
+        """Table II: the exact four ccps, starting from R0."""
+        g = _paper_chain()
+        pairs = set(MinCutBranch(g).partitions(g.all_vertices))
+        expected = {
+            (bitset.set_of(0, 2, 4), bitset.set_of(1, 3)),
+            (bitset.set_of(0, 1, 2, 3), bitset.set_of(4)),
+            (bitset.set_of(0, 1, 3), bitset.set_of(2, 4)),
+            (bitset.set_of(0, 1, 2, 4), bitset.set_of(3)),
+        }
+        assert pairs == expected
+
+    def test_fig8_cycle_emissions(self):
+        """Table III: the exact six ccps, starting from R0."""
+        g = _paper_cycle()
+        pairs = set(MinCutBranch(g).partitions(g.all_vertices))
+        expected = {
+            (bitset.set_of(0, 1, 3), bitset.set_of(2)),
+            (bitset.set_of(0, 1), bitset.set_of(2, 3)),
+            (bitset.set_of(0, 1, 2), bitset.set_of(3)),
+            (bitset.set_of(0), bitset.set_of(1, 2, 3)),
+            (bitset.set_of(0, 2, 3), bitset.set_of(1)),
+            (bitset.set_of(0, 2), bitset.set_of(1, 3)),
+        }
+        assert pairs == expected
+
+    def test_start_vertex_always_in_left_side(self):
+        # Constraint (1): t (lowest index here) can never be in the
+        # emitted right side, which de-duplicates symmetric pairs.
+        for g in (chain_graph(6), cycle_graph(6), clique_graph(5)):
+            for left, right in MinCutBranch(g).partitions(g.all_vertices):
+                assert left & 1
+                assert not right & 1
+
+
+class TestCounts:
+    @pytest.mark.parametrize("n", range(2, 9))
+    def test_chain_count(self, n):
+        g = chain_graph(n)
+        assert len(list(MinCutBranch(g).partitions(g.all_vertices))) == n - 1
+
+    @pytest.mark.parametrize("n", range(3, 9))
+    def test_cycle_count(self, n):
+        g = cycle_graph(n)
+        pairs = list(MinCutBranch(g).partitions(g.all_vertices))
+        assert len(pairs) == n * (n - 1) // 2
+
+    @pytest.mark.parametrize("n", range(2, 9))
+    def test_clique_count(self, n):
+        g = clique_graph(n)
+        pairs = list(MinCutBranch(g).partitions(g.all_vertices))
+        assert len(pairs) == 2 ** (n - 1) - 1
+
+    @pytest.mark.parametrize("n", range(2, 9))
+    def test_star_count(self, n):
+        g = star_graph(n)
+        pairs = list(MinCutBranch(g).partitions(g.all_vertices))
+        assert len(pairs) == n - 1
+
+
+class TestValidity:
+    def test_no_duplicates(self, small_shape_graph):
+        g = small_shape_graph
+        pairs = [
+            canonical_pair(l, r)
+            for l, r in MinCutBranch(g).partitions(g.all_vertices)
+        ]
+        assert len(pairs) == len(set(pairs))
+
+    def test_pairs_are_valid_ccps(self, small_shape_graph):
+        g = small_shape_graph
+        for left, right in MinCutBranch(g).partitions(g.all_vertices):
+            assert left & right == 0
+            assert left | right == g.all_vertices
+            assert g.is_connected(left)
+            assert g.is_connected(right)
+            assert g.are_connected_sets(left, right)
+
+    def test_matches_naive(self, small_shape_graph):
+        g = small_shape_graph
+        assert canonical_ccps(MinCutBranch, g) == canonical_ccps(
+            NaivePartitioning, g
+        )
+
+    def test_singleton_emits_nothing(self):
+        g = chain_graph(3)
+        assert list(MinCutBranch(g).partitions(0b010)) == []
+
+
+class TestOptimizationsToggle:
+    def test_same_output_without_optimizations(self, small_shape_graph):
+        g = small_shape_graph
+        with_opts = canonical_ccps(MinCutBranch, g)
+        without = canonical_ccps(
+            lambda graph: MinCutBranch(graph, use_optimizations=False), g
+        )
+        assert with_opts == without
+
+    def test_optimizations_never_increase_work(self, rng):
+        from .conftest import random_connected_graph
+
+        for _ in range(30):
+            g = random_connected_graph(rng, max_vertices=8)
+            fast = MinCutBranch(g, use_optimizations=True)
+            slow = MinCutBranch(g, use_optimizations=False)
+            list(fast.partitions(g.all_vertices))
+            list(slow.partitions(g.all_vertices))
+            assert fast.stats.calls <= slow.stats.calls
+            assert fast.stats.loop_iterations <= slow.stats.loop_iterations
+
+    def test_optimizations_reduce_work_on_grids(self):
+        # On cliques the complement never disconnects, so the techniques
+        # are no-ops there; moderately cyclic shapes show the saving.
+        from repro import grid_graph
+
+        g = grid_graph(3, 3)
+        fast = MinCutBranch(g, use_optimizations=True)
+        slow = MinCutBranch(g, use_optimizations=False)
+        list(fast.partitions(g.all_vertices))
+        list(slow.partitions(g.all_vertices))
+        assert (
+            fast.stats.loop_iterations + fast.stats.reachable_calls
+            < slow.stats.loop_iterations + slow.stats.reachable_calls
+        )
+
+
+class TestReachable:
+    def test_reachable_region(self):
+        g = chain_graph(5)
+        strategy = MinCutBranch(g)
+        # From vertex 2, blocked set {0,1,2}: region {2? no...}
+        region = strategy._reachable(g.all_vertices, 0b00111, 0b00100)
+        assert region == 0b11100
+
+    def test_reachable_terminates_on_cycles(self):
+        # Regression guard: the paper's Fig. 6 line 5 needs the
+        # already-collected region excluded or cyclic regions never drain.
+        g = clique_graph(5)
+        strategy = MinCutBranch(g)
+        region = strategy._reachable(g.all_vertices, 0b00011, 0b00010)
+        assert region == 0b11110
+
+    def test_reachable_counts(self):
+        g = cycle_graph(6)
+        strategy = MinCutBranch(g)
+        list(strategy.partitions(g.all_vertices))
+        assert strategy.stats.reachable_calls == 4  # |S| - 2
+
+
+class TestWrapper:
+    def test_partition_wrapper_checks_connectivity(self):
+        g = chain_graph(4)
+        with pytest.raises(GraphError):
+            partition_mincut_branch(g, 0b1001)
+
+    def test_partition_wrapper_ok(self):
+        g = chain_graph(4)
+        assert len(list(partition_mincut_branch(g, 0b0011))) == 1
+
+
+class TestStartVertexIndependence:
+    def test_relabelled_graphs_same_ccp_structure(self, rng):
+        # The choice of t changes which symmetric representative comes
+        # out, but the set of partitions (up to symmetry) must be stable
+        # under any vertex relabelling.
+        from .conftest import random_connected_graph
+
+        for _ in range(25):
+            g = random_connected_graph(rng, max_vertices=7)
+            n = g.n_vertices
+            perm = list(range(n))
+            rng.shuffle(perm)
+            h = g.relabelled(perm)
+            pairs_g = canonical_ccps(MinCutBranch, g)
+            mapped = set()
+            for left, right in pairs_g:
+                ml = bitset.from_indices(
+                    perm[i] for i in bitset.iter_indices(left)
+                )
+                mr = bitset.from_indices(
+                    perm[i] for i in bitset.iter_indices(right)
+                )
+                mapped.add(canonical_pair(ml, mr))
+            assert sorted(mapped) == canonical_ccps(MinCutBranch, h)

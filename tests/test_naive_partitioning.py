@@ -1,0 +1,71 @@
+"""Unit tests for the naive generate-and-test partitioner (Fig. 3)."""
+
+from repro import NaivePartitioning, bitset, chain_graph, clique_graph, star_graph
+from repro.enumeration.base import canonical_pair
+
+from .reference import bitset_to_frozenset, ccps_for_set_ref
+
+
+class TestNaive:
+    def test_chain_pair_count(self):
+        g = chain_graph(4)
+        pairs = list(NaivePartitioning(g).partitions(g.all_vertices))
+        assert len(pairs) == 3  # acyclic: |S| - 1
+
+    def test_emits_valid_ccps(self):
+        g = star_graph(5)
+        for left, right in NaivePartitioning(g).partitions(g.all_vertices):
+            assert left & right == 0
+            assert left | right == g.all_vertices
+            assert g.is_connected(left)
+            assert g.is_connected(right)
+            assert g.are_connected_sets(left, right)
+
+    def test_symmetric_convention(self):
+        # The highest-indexed relation always stays in the complement.
+        g = clique_graph(5)
+        highest = 1 << 4
+        for left, right in NaivePartitioning(g).partitions(g.all_vertices):
+            assert right & highest
+
+    def test_matches_reference(self):
+        g = clique_graph(5)
+        expected = ccps_for_set_ref(
+            frozenset(range(5)), 5, g.edges
+        )
+        actual = {
+            (bitset_to_frozenset(l), bitset_to_frozenset(r))
+            for l, r in NaivePartitioning(g).partitions(g.all_vertices)
+        }
+        assert actual == expected
+
+    def test_subsets_generated_counter_is_ngt(self):
+        # For one call on the full set: 2^n - 2 subsets are generated.
+        g = chain_graph(5)
+        strategy = NaivePartitioning(g)
+        list(strategy.partitions(g.all_vertices))
+        assert strategy.stats.subsets_generated == 2 ** 5 - 2
+
+    def test_singleton_set_emits_nothing(self):
+        g = chain_graph(3)
+        assert list(NaivePartitioning(g).partitions(0b001)) == []
+
+    def test_subset_of_graph(self):
+        g = chain_graph(5)
+        pairs = sorted(
+            canonical_pair(l, r)
+            for l, r in NaivePartitioning(g).partitions(0b00111)
+        )
+        assert pairs == [
+            (0b001, 0b110),
+            (0b011, 0b100),
+        ]
+
+    def test_stats_reset(self):
+        g = chain_graph(4)
+        strategy = NaivePartitioning(g)
+        list(strategy.partitions(g.all_vertices))
+        assert strategy.stats.emitted > 0
+        strategy.stats.reset()
+        assert strategy.stats.emitted == 0
+        assert strategy.stats.subsets_generated == 0

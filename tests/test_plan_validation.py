@@ -1,0 +1,150 @@
+"""Tests for semantic plan validation."""
+
+import pytest
+
+from repro import (
+    CoutCostModel,
+    JoinTree,
+    PhysicalCostModel,
+    attach_random_statistics,
+    chain_graph,
+    cycle_graph,
+    optimize_query,
+    uniform_statistics,
+)
+from repro.plan.validation import validate_plan
+
+from .conftest import random_connected_graph
+
+
+class TestCleanPlans:
+    def test_optimizer_output_validates(self, rng):
+        for _ in range(15):
+            graph = random_connected_graph(rng, max_vertices=7)
+            catalog = attach_random_statistics(graph, rng=rng)
+            plan = optimize_query(catalog).plan
+            assert validate_plan(plan, catalog, CoutCostModel()) == []
+
+    def test_physical_plans_validate(self, rng):
+        graph = cycle_graph(5)
+        catalog = attach_random_statistics(graph, seed=3)
+        model = PhysicalCostModel()
+        plan = optimize_query(catalog, cost_model=model).plan
+        assert validate_plan(plan, catalog, model) == []
+
+    def test_deserialized_plan_validates(self):
+        from repro.serialize import plan_from_dict, plan_to_dict
+
+        catalog = attach_random_statistics(chain_graph(5), seed=1)
+        plan = optimize_query(catalog).plan
+        restored = plan_from_dict(plan_to_dict(plan))
+        assert validate_plan(restored, catalog, CoutCostModel()) == []
+
+
+def _leaf(catalog, v):
+    return JoinTree(
+        vertex_set=1 << v,
+        cardinality=catalog.cardinality(v),
+        cost=0.0,
+        relation=catalog.relations[v].name,
+    )
+
+
+class TestViolationsDetected:
+    def test_cross_product_flagged(self):
+        catalog = uniform_statistics(chain_graph(3))
+        # Join R0 with R2: not adjacent.
+        bad = JoinTree(
+            vertex_set=0b101,
+            cardinality=catalog.estimate(0b101),
+            cost=catalog.estimate(0b101),
+            left=_leaf(catalog, 0),
+            right=_leaf(catalog, 2),
+        )
+        kinds = {v.kind for v in validate_plan(bad, catalog)}
+        assert "cross-product" in kinds
+        assert "incomplete" in kinds  # does not cover R1
+
+    def test_cross_product_allowed_when_requested(self):
+        catalog = uniform_statistics(chain_graph(3))
+        bad = JoinTree(
+            vertex_set=0b101,
+            cardinality=catalog.estimate(0b101),
+            cost=catalog.estimate(0b101),
+            left=_leaf(catalog, 0),
+            right=_leaf(catalog, 2),
+        )
+        kinds = {
+            v.kind
+            for v in validate_plan(bad, catalog, allow_cross_products=True)
+        }
+        assert "cross-product" not in kinds
+
+    def test_wrong_cardinality_flagged(self):
+        catalog = uniform_statistics(chain_graph(2))
+        bad = JoinTree(
+            vertex_set=0b11,
+            cardinality=123.0,  # wrong
+            cost=123.0,
+            left=_leaf(catalog, 0),
+            right=_leaf(catalog, 1),
+        )
+        kinds = {v.kind for v in validate_plan(bad, catalog)}
+        assert "cardinality" in kinds
+
+    def test_wrong_cost_flagged_only_with_model(self):
+        catalog = uniform_statistics(chain_graph(2))
+        card = catalog.estimate(0b11)
+        bad = JoinTree(
+            vertex_set=0b11,
+            cardinality=card,
+            cost=card * 99,  # wrong accumulated cost
+            left=_leaf(catalog, 0),
+            right=_leaf(catalog, 1),
+        )
+        assert {v.kind for v in validate_plan(bad, catalog)} == set()
+        kinds = {v.kind for v in validate_plan(bad, catalog, CoutCostModel())}
+        assert kinds == {"cost"}
+
+    def test_unknown_relation_flagged(self):
+        catalog = uniform_statistics(chain_graph(2))
+        ghost = JoinTree(
+            vertex_set=0b10, cardinality=1.0, cost=0.0, relation="ghost"
+        )
+        bad = JoinTree(
+            vertex_set=0b11,
+            cardinality=catalog.estimate(0b11),
+            cost=catalog.estimate(0b11),
+            left=_leaf(catalog, 0),
+            right=ghost,
+        )
+        kinds = {v.kind for v in validate_plan(bad, catalog)}
+        assert "unknown-relation" in kinds
+
+    def test_leaf_cardinality_mismatch_flagged(self):
+        catalog = uniform_statistics(chain_graph(2), cardinality=100.0)
+        wrong_leaf = JoinTree(
+            vertex_set=0b01, cardinality=5.0, cost=0.0, relation="R0"
+        )
+        bad = JoinTree(
+            vertex_set=0b11,
+            cardinality=catalog.estimate(0b11),
+            cost=catalog.estimate(0b11),
+            left=wrong_leaf,
+            right=_leaf(catalog, 1),
+        )
+        kinds = {v.kind for v in validate_plan(bad, catalog)}
+        assert "leaf-cardinality" in kinds
+
+    def test_violation_repr(self):
+        catalog = uniform_statistics(chain_graph(2))
+        bad = JoinTree(
+            vertex_set=0b11,
+            cardinality=1.0,
+            cost=1.0,
+            left=_leaf(catalog, 0),
+            right=_leaf(catalog, 1),
+        )
+        violations = validate_plan(bad, catalog)
+        assert violations
+        assert "PlanViolation" in repr(violations[0])

@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Strategies generate random connected query graphs and arbitrary bitsets;
+the properties are the algebraic laws the rest of the library leans on.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    MinCutBranch,
+    MinCutLazy,
+    NaivePartitioning,
+    QueryGraph,
+    attach_random_statistics,
+    bitset,
+    optimize_query,
+)
+from repro.enumeration.base import canonical_pair
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+bitsets = st.integers(min_value=0, max_value=(1 << 16) - 1)
+nonempty_bitsets = st.integers(min_value=1, max_value=(1 << 16) - 1)
+
+
+@st.composite
+def connected_graphs(draw, min_vertices=2, max_vertices=8):
+    """A random connected QueryGraph: random tree + random extra edges."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    # Random tree via random parent links (guarantees connectivity).
+    edges = set()
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.add((parent, v))
+    possible_extra = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if (u, v) not in edges
+    ]
+    if possible_extra:
+        n_extra = draw(st.integers(0, len(possible_extra)))
+        picked = draw(
+            st.permutations(possible_extra).map(lambda p: p[:n_extra])
+        )
+        edges.update(picked)
+    return QueryGraph(n, sorted(edges))
+
+
+# ----------------------------------------------------------------------
+# Bitset algebra
+# ----------------------------------------------------------------------
+
+class TestBitsetLaws:
+    @given(bitsets)
+    def test_subsets_partition_count(self, mask):
+        assert len(list(bitset.iter_subsets(mask))) == 2 ** bitset.popcount(mask)
+
+    @given(nonempty_bitsets)
+    def test_lowest_bit_is_member_and_minimal(self, mask):
+        low = bitset.lowest_bit(mask)
+        assert low & mask
+        assert bitset.popcount(low) == 1
+        assert low - 1 & mask == 0
+
+    @given(nonempty_bitsets)
+    def test_highest_lowest_consistency(self, mask):
+        assert bitset.lowest_index(mask) <= bitset.highest_index(mask)
+        assert mask >> bitset.highest_index(mask) == 1
+
+    @given(bitsets)
+    def test_indices_roundtrip(self, mask):
+        assert bitset.from_indices(bitset.iter_indices(mask)) == mask
+
+    @given(bitsets, bitsets)
+    def test_subset_relation_via_operators(self, a, b):
+        assert bitset.is_subset(a, b) == (a | b == b)
+
+    @given(nonempty_bitsets)
+    def test_every_subset_smaller_or_equal(self, mask):
+        previous = -1
+        for s in bitset.iter_subsets(mask):
+            assert s > previous  # ascending order (Vance & Maier walk)
+            previous = s
+
+
+# ----------------------------------------------------------------------
+# Graph laws
+# ----------------------------------------------------------------------
+
+class TestGraphLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs())
+    def test_neighborhood_disjoint_from_set(self, graph):
+        for s in range(1, graph.all_vertices + 1):
+            if bitset.popcount(s) > 3:
+                continue
+            assert graph.neighborhood(s) & s == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs())
+    def test_components_partition_any_subset(self, graph):
+        for s in (graph.all_vertices, graph.all_vertices >> 1, 0b101):
+            s &= graph.all_vertices
+            if s == 0:
+                continue
+            comps = graph.connected_components(s)
+            union = 0
+            for c in comps:
+                assert union & c == 0
+                union |= c
+                assert graph.is_connected(c)
+            assert union == s
+
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs())
+    def test_full_graph_connected(self, graph):
+        assert graph.is_connected(graph.all_vertices)
+
+
+# ----------------------------------------------------------------------
+# Partitioning invariants (the paper's three constraints, Sec. III-A)
+# ----------------------------------------------------------------------
+
+class TestPartitionInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(connected_graphs())
+    def test_mincutbranch_constraints(self, graph):
+        s_set = graph.all_vertices
+        pairs = list(MinCutBranch(graph).partitions(s_set))
+        seen = set()
+        for left, right in pairs:
+            # Validity: a real ccp.
+            assert left | right == s_set
+            assert left & right == 0
+            assert graph.is_connected(left)
+            assert graph.is_connected(right)
+            assert graph.are_connected_sets(left, right)
+            # Constraint 1+2: symmetric pairs once, no duplicates.
+            key = canonical_pair(left, right)
+            assert key not in seen
+            seen.add(key)
+        # Constraint 3: completeness.
+        expected = set(
+            canonical_pair(l, r)
+            for l, r in NaivePartitioning(graph).partitions(s_set)
+        )
+        assert seen == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(connected_graphs())
+    def test_mincutlazy_matches_mincutbranch(self, graph):
+        s_set = graph.all_vertices
+        lazy = {
+            canonical_pair(l, r)
+            for l, r in MinCutLazy(graph).partitions(s_set)
+        }
+        branch = {
+            canonical_pair(l, r)
+            for l, r in MinCutBranch(graph).partitions(s_set)
+        }
+        assert lazy == branch
+
+
+# ----------------------------------------------------------------------
+# Cardinality / cost invariants
+# ----------------------------------------------------------------------
+
+class TestEstimationLaws:
+    @settings(max_examples=40, deadline=None)
+    @given(connected_graphs(), st.integers(0, 2 ** 32))
+    def test_estimate_positive_and_split_invariant(self, graph, seed):
+        catalog = attach_random_statistics(graph, seed=seed)
+        full = catalog.estimate(graph.all_vertices)
+        assert full > 0
+        # Any split of the full set combines back to the same estimate.
+        for split in range(1, graph.all_vertices):
+            left, right = split, graph.all_vertices ^ split
+            if left == 0 or right == 0:
+                continue
+            combined = (
+                catalog.estimate(left)
+                * catalog.estimate(right)
+                * catalog.selectivity_between(left, right)
+            )
+            assert math.isclose(combined, full, rel_tol=1e-6)
+            break
+
+    @settings(max_examples=25, deadline=None)
+    @given(connected_graphs(max_vertices=6), st.integers(0, 2 ** 32))
+    def test_optimal_cost_below_any_greedy_plan(self, graph, seed):
+        catalog = attach_random_statistics(graph, seed=seed)
+        result = optimize_query(catalog, algorithm="tdmincutbranch")
+        # The optimum can be no worse than the left-deep chain plan that
+        # joins in BFS order (which is always cross-product-free).
+        order = []
+        frontier = 1
+        covered = 1
+        order.append(0)
+        while covered != graph.all_vertices:
+            nxt = bitset.lowest_index(graph.neighborhood(covered))
+            order.append(nxt)
+            covered |= 1 << nxt
+        cost = 0.0
+        partial = 1 << order[0]
+        for v in order[1:]:
+            partial |= 1 << v
+            cost += catalog.estimate(partial)
+        assert result.cost <= cost * (1 + 1e-9)

@@ -1,0 +1,114 @@
+"""Property-based tests for the biconnection tree (hypothesis).
+
+The crown jewel is the *reuse soundness* property: whenever ``is_usable``
+approves a subtree removal, every masked query on the old tree must
+agree with a freshly built tree of the shrunk complement — that is
+exactly the contract MinCutLazy relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BiconnectionTree, QueryGraph, bitset
+
+
+@st.composite
+def connected_graphs(draw, min_vertices=2, max_vertices=8):
+    n = draw(st.integers(min_vertices, max_vertices))
+    edges = set()
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.add((parent, v))
+    extra = draw(st.integers(0, 4))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return QueryGraph(n, sorted(edges))
+
+
+class TestStructure:
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs(), st.integers(0, 7))
+    def test_root_subtree_is_everything(self, graph, root_choice):
+        root = root_choice % graph.n_vertices
+        tree = BiconnectionTree(graph, graph.all_vertices, root)
+        assert tree.descendants(root) == graph.all_vertices
+        assert tree.ancestors(root) == 1 << root
+
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs())
+    def test_subtrees_connected_and_nested(self, graph):
+        tree = BiconnectionTree(graph, graph.all_vertices, 0)
+        for v in range(graph.n_vertices):
+            subtree = tree.descendants(v)
+            assert graph.is_connected(subtree)
+            # Every member's subtree nests inside v's.
+            for u in bitset.iter_indices(subtree):
+                assert bitset.is_subset(tree.descendants(u), subtree)
+
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs())
+    def test_ancestor_chain_is_a_path_of_subtree_containment(self, graph):
+        tree = BiconnectionTree(graph, graph.all_vertices, 0)
+        for v in range(graph.n_vertices):
+            for u in bitset.iter_indices(tree.ancestors(v)):
+                assert tree.descendants(u) & (1 << v)
+
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs())
+    def test_depth_consistent_with_ancestors(self, graph):
+        tree = BiconnectionTree(graph, graph.all_vertices, 0)
+        for v in range(graph.n_vertices):
+            assert tree.depth(v) == bitset.popcount(tree.ancestors(v)) - 1
+
+
+class TestReuseSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs(min_vertices=3))
+    def test_approved_removals_preserve_all_queries(self, graph):
+        # Remove each non-root full subtree in turn; whenever is_usable
+        # approves, every masked descendants() must equal a fresh tree's.
+        root = 0
+        tree = BiconnectionTree(graph, graph.all_vertices, root)
+        for v in range(1, graph.n_vertices):
+            removed = tree.descendants(v)
+            live = graph.all_vertices & ~removed
+            if live == 0 or not (live >> root) & 1:
+                continue
+            if not tree.is_usable(removed, live):
+                continue
+            if not graph.is_connected(live):
+                # An approved removal must never disconnect the live set.
+                raise AssertionError(
+                    f"is_usable approved a disconnecting removal: {graph}"
+                )
+            fresh = BiconnectionTree(graph, live, root)
+            for u in bitset.iter_indices(live):
+                assert tree.descendants(u, live) == fresh.descendants(u), (
+                    graph,
+                    v,
+                    u,
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(connected_graphs(min_vertices=3))
+    def test_rejections_never_lose_partitions(self, graph):
+        # Even when reuse is rejected everywhere, MinCutLazy (which
+        # rebuilds) and MinCutBranch agree — the conservative test can
+        # only cost rebuilds, not correctness.
+        from repro import MinCutBranch, MinCutLazy
+        from repro.enumeration.base import canonical_pair
+
+        lazy = sorted(
+            canonical_pair(*p)
+            for p in MinCutLazy(graph, use_reuse_test=False).partitions(
+                graph.all_vertices
+            )
+        )
+        branch = sorted(
+            canonical_pair(*p)
+            for p in MinCutBranch(graph).partitions(graph.all_vertices)
+        )
+        assert lazy == branch

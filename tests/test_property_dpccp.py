@@ -1,0 +1,99 @@
+"""Property-based tests for DPccp's csg/cmp enumeration (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QueryGraph, bitset
+from repro.optimizer.dpccp import (
+    enumerate_cmp,
+    enumerate_csg,
+    enumerate_csg_cmp_pairs,
+)
+
+
+@st.composite
+def connected_graphs(draw, min_vertices=2, max_vertices=8):
+    n = draw(st.integers(min_vertices, max_vertices))
+    edges = set()
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.add((parent, v))
+    extra = draw(st.integers(0, 5))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return QueryGraph(n, sorted(edges))
+
+
+class TestEnumerateCsg:
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs())
+    def test_unique_and_connected(self, graph):
+        seen = set()
+        for csg in enumerate_csg(graph):
+            assert csg not in seen
+            seen.add(csg)
+            assert graph.is_connected(csg)
+
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs())
+    def test_complete(self, graph):
+        # Exactly the connected subsets (cross-checked by brute force).
+        expected = {
+            s
+            for s in range(1, graph.all_vertices + 1)
+            if graph.is_connected(s)
+        }
+        assert set(enumerate_csg(graph)) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(connected_graphs())
+    def test_descending_seed_groups(self, graph):
+        # Min-index groups appear in descending order; each csg belongs
+        # to the group of its minimum vertex.
+        previous_group = graph.n_vertices
+        for csg in enumerate_csg(graph):
+            group = bitset.lowest_index(csg)
+            assert group <= previous_group
+            previous_group = group
+
+
+class TestEnumerateCmp:
+    @settings(max_examples=50, deadline=None)
+    @given(connected_graphs())
+    def test_complement_invariants(self, graph):
+        for csg in enumerate_csg(graph):
+            for cmp_set in enumerate_cmp(graph, csg):
+                assert csg & cmp_set == 0
+                assert graph.is_connected(cmp_set)
+                assert graph.are_connected_sets(csg, cmp_set)
+                assert bitset.lowest_index(cmp_set) > bitset.lowest_index(csg)
+
+    @settings(max_examples=40, deadline=None)
+    @given(connected_graphs())
+    def test_pairs_cover_every_ccp_once(self, graph):
+        from repro.enumeration.counting import count_ccps
+
+        pairs = list(enumerate_csg_cmp_pairs(graph))
+        assert len(pairs) == len(set(pairs))
+        assert len(pairs) == count_ccps(graph)
+
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graphs())
+    def test_dp_order_property(self, graph):
+        # When a pair is processed, every pair for both operands has
+        # already been emitted (the correctness invariant of DPccp).
+        pairs = list(enumerate_csg_cmp_pairs(graph))
+        total_for = {}
+        for s1, s2 in pairs:
+            union = s1 | s2
+            total_for[union] = total_for.get(union, 0) + 1
+        seen_for = {}
+        for s1, s2 in pairs:
+            for operand in (s1, s2):
+                if operand & (operand - 1):
+                    assert seen_for.get(operand, 0) == total_for[operand]
+            union = s1 | s2
+            seen_for[union] = seen_for.get(union, 0) + 1

@@ -1,0 +1,118 @@
+"""Property-based tests for the execution substrate (hypothesis)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import QueryGraph, optimize_query, uniform_statistics
+from repro.exec import Executor, generate_database
+
+
+@st.composite
+def tiny_query_setups(draw):
+    """Random connected graph + uniform stats sized for brute force."""
+    n = draw(st.integers(2, 4))
+    edges = set()
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.add((parent, v))
+    extra = draw(st.integers(0, 2))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    graph = QueryGraph(n, sorted(edges))
+    cardinality = draw(st.integers(2, 8))
+    selectivity = draw(st.sampled_from([0.2, 0.34, 0.5, 1.0]))
+    seed = draw(st.integers(0, 2 ** 16))
+    return graph, float(cardinality), selectivity, seed
+
+
+def _brute_force(database) -> int:
+    tables = database.tables
+    count = 0
+    for combo in itertools.product(*[range(t.n_rows) for t in tables]):
+        if all(
+            tables[u].columns[c][combo[u]] == tables[v].columns[c][combo[v]]
+            for (u, v), c in database.edge_columns.items()
+        ):
+            count += 1
+    return count
+
+
+class TestExecutorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(tiny_query_setups())
+    def test_result_count_matches_brute_force(self, setup):
+        graph, cardinality, selectivity, seed = setup
+        catalog = uniform_statistics(
+            graph, cardinality=cardinality, selectivity=selectivity
+        )
+        database = generate_database(
+            catalog, max_rows=int(cardinality), seed=seed
+        )
+        plan = optimize_query(database.scaled_catalog).plan
+        result = Executor(database).execute(plan)
+        assert result.n_rows == _brute_force(database)
+
+    @settings(max_examples=25, deadline=None)
+    @given(tiny_query_setups())
+    def test_count_invariant_across_operators(self, setup):
+        graph, cardinality, selectivity, seed = setup
+        catalog = uniform_statistics(
+            graph, cardinality=cardinality, selectivity=selectivity
+        )
+        database = generate_database(
+            catalog, max_rows=int(cardinality), seed=seed
+        )
+        plan = optimize_query(database.scaled_catalog).plan
+
+        from repro.plan.jointree import JoinTree
+
+        def force(node, implementation):
+            if node.is_leaf:
+                return node
+            return JoinTree(
+                vertex_set=node.vertex_set,
+                cardinality=node.cardinality,
+                cost=node.cost,
+                left=force(node.left, implementation),
+                right=force(node.right, implementation),
+                implementation=implementation,
+            )
+
+        executor = Executor(database)
+        counts = {
+            executor.execute(force(plan, impl)).n_rows
+            for impl in ("hash", "nestedloop", "sortmerge")
+        }
+        assert len(counts) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(tiny_query_setups())
+    def test_intermediates_monotone_under_joins(self, setup):
+        # Each intermediate's size never exceeds the product of its
+        # children's sizes (joins only filter the Cartesian product).
+        graph, cardinality, selectivity, seed = setup
+        catalog = uniform_statistics(
+            graph, cardinality=cardinality, selectivity=selectivity
+        )
+        database = generate_database(
+            catalog, max_rows=int(cardinality), seed=seed
+        )
+        plan = optimize_query(database.scaled_catalog).plan
+        result = Executor(database).execute(plan)
+
+        def size_of(node):
+            if node.is_leaf:
+                from repro import bitset
+
+                return database.table(
+                    bitset.lowest_index(node.vertex_set)
+                ).n_rows
+            return result.intermediate_sizes[node.vertex_set]
+
+        for node in plan.inner_nodes():
+            assert size_of(node) <= size_of(node.left) * size_of(node.right)

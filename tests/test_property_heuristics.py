@@ -1,0 +1,80 @@
+"""Property-based tests for heuristics and restricted plan spaces."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    IKKBZ,
+    QueryGraph,
+    attach_random_statistics,
+    greedy_operator_ordering,
+    optimal_left_deep,
+    optimize_query,
+)
+
+
+@st.composite
+def random_trees(draw, min_vertices=2, max_vertices=8):
+    n = draw(st.integers(min_vertices, max_vertices))
+    edges = []
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.append((parent, v))
+    return QueryGraph(n, edges)
+
+
+@st.composite
+def random_connected(draw, min_vertices=2, max_vertices=7):
+    graph = draw(random_trees(min_vertices, max_vertices))
+    n = graph.n_vertices
+    extra = draw(st.integers(0, 3))
+    edges = set(graph.edges)
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return QueryGraph(n, sorted(edges))
+
+
+class TestIKKBZProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(random_trees(), st.integers(0, 2 ** 31))
+    def test_ikkbz_equals_left_deep_dp(self, graph, seed):
+        catalog = attach_random_statistics(graph, seed=seed)
+        ikkbz_cost = IKKBZ(catalog).optimize().cost
+        dp_cost = optimal_left_deep(catalog).cost
+        assert math.isclose(ikkbz_cost, dp_cost, rel_tol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_trees(), st.integers(0, 2 ** 31))
+    def test_sequence_prefixes_connected(self, graph, seed):
+        catalog = attach_random_statistics(graph, seed=seed)
+        order, _ = IKKBZ(catalog).best_sequence()
+        covered = 0
+        for vertex in order:
+            covered |= 1 << vertex
+            assert graph.is_connected(covered)
+
+
+class TestHeuristicSandwich:
+    @settings(max_examples=40, deadline=None)
+    @given(random_connected(), st.integers(0, 2 ** 31))
+    def test_bushy_leq_leftdeep_and_goo(self, graph, seed):
+        catalog = attach_random_statistics(graph, seed=seed)
+        bushy = optimize_query(catalog).cost
+        assert optimal_left_deep(catalog).cost >= bushy * (1 - 1e-9)
+        assert greedy_operator_ordering(catalog).cost >= bushy * (1 - 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_connected(), st.integers(0, 2 ** 31))
+    def test_goo_plan_costs_self_consistently(self, graph, seed):
+        catalog = attach_random_statistics(graph, seed=seed)
+        plan = greedy_operator_ordering(catalog)
+        plan.validate()
+        recomputed = sum(
+            catalog.estimate(node.vertex_set) for node in plan.inner_nodes()
+        )
+        assert math.isclose(plan.cost, recomputed, rel_tol=1e-6)

@@ -1,0 +1,83 @@
+"""Property-based tests (hypothesis) for the hypergraph extension."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DPhyp, Hypergraph, TopDownHypBasic, bitset
+from repro.catalog.hyper import attach_random_hyper_statistics
+from repro.serialize import hypergraph_from_dict, hypergraph_to_dict
+
+
+@st.composite
+def hypergraphs(draw, min_vertices=2, max_vertices=6):
+    """Random connected hypergraph: spanning tree + random hyperedges."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    edges = []
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        edges.append((1 << parent, 1 << v))
+    n_complex = draw(st.integers(0, 3))
+    for _ in range(n_complex):
+        u = draw(st.integers(1, (1 << n) - 1))
+        v = draw(st.integers(1, (1 << n) - 1)) & ~u
+        if v:
+            edges.append((u, v))
+    return Hypergraph(n, edges)
+
+
+class TestHypergraphProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraphs())
+    def test_connectivity_monotone_under_edges(self, hypergraph):
+        # Adding edges can only make more sets connected.
+        richer = Hypergraph(
+            hypergraph.n_vertices,
+            list(hypergraph.edges) + [(1 << 0, 1 << (hypergraph.n_vertices - 1))],
+        )
+        for s in range(1, hypergraph.all_vertices + 1):
+            if hypergraph.is_connected(s):
+                assert richer.is_connected(s)
+
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraphs())
+    def test_neighborhood_disjoint_from_set_and_excluded(self, hypergraph):
+        universe = hypergraph.all_vertices
+        for s in (1, universe >> 1 or 1, universe):
+            s &= universe
+            if s == 0:
+                continue
+            excluded = (universe ^ s) >> 1
+            neighbors = hypergraph.neighborhood(s, excluded)
+            assert neighbors & s == 0
+            assert neighbors & excluded == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(hypergraphs())
+    def test_cross_edge_symmetric(self, hypergraph):
+        universe = hypergraph.all_vertices
+        left = universe & 0b10101
+        right = universe & ~left
+        if left and right:
+            assert hypergraph.has_cross_edge(left, right) == \
+                hypergraph.has_cross_edge(right, left)
+
+    @settings(max_examples=40, deadline=None)
+    @given(hypergraphs())
+    def test_serialization_round_trip(self, hypergraph):
+        restored = hypergraph_from_dict(hypergraph_to_dict(hypergraph))
+        assert restored.edges == hypergraph.edges
+        assert restored.n_vertices == hypergraph.n_vertices
+
+    @settings(max_examples=25, deadline=None)
+    @given(hypergraphs(max_vertices=5), st.integers(0, 2 ** 31))
+    def test_dphyp_matches_topdown(self, hypergraph, seed):
+        if not hypergraph.is_connected(hypergraph.all_vertices):
+            return
+        catalog = attach_random_hyper_statistics(hypergraph, seed=seed)
+        a = DPhyp(catalog).optimize()
+        b = TopDownHypBasic(catalog).optimize()
+        assert math.isclose(a.cost, b.cost, rel_tol=1e-9)
+        a.validate()
+        b.validate()

@@ -1,0 +1,82 @@
+"""Property-based tests for the SQL front end (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import Database
+from repro.frontend.sql import parse_select
+
+
+@st.composite
+def schemas_and_queries(draw):
+    """Random schema + a random connected join query over it as SQL."""
+    n_tables = draw(st.integers(2, 6))
+    db = Database("fuzz")
+    names = [f"t{i}" for i in range(n_tables)]
+    for name in names:
+        rows = draw(st.integers(10, 100_000))
+        ndv = draw(st.integers(2, rows))
+        db.add_table(name, rows, {"k": ndv, "v": max(2, rows // 10)})
+    # Random spanning tree of join predicates keeps the query connected.
+    predicates = []
+    for index in range(1, n_tables):
+        parent = draw(st.integers(0, index - 1))
+        predicates.append(f"{names[index]}.k = {names[parent]}.k")
+    # Optional extra predicates (may duplicate pairs: conjuncts multiply).
+    n_extra = draw(st.integers(0, 2))
+    for _ in range(n_extra):
+        a = draw(st.integers(0, n_tables - 1))
+        b = draw(st.integers(0, n_tables - 1))
+        if a != b:
+            predicates.append(f"{names[a]}.v = {names[b]}.v")
+    # Optional filters.
+    n_filters = draw(st.integers(0, 2))
+    for _ in range(n_filters):
+        target = draw(st.integers(0, n_tables - 1))
+        op = draw(st.sampled_from(["=", ">", "<"]))
+        predicates.append(f"{names[target]}.v {op} 5")
+    sql = (
+        "SELECT * FROM "
+        + ", ".join(names)
+        + " WHERE "
+        + " AND ".join(predicates)
+    )
+    return db, names, sql
+
+
+class TestSqlProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(schemas_and_queries())
+    def test_parses_to_connected_optimizable_catalog(self, case):
+        db, names, sql = case
+        catalog = parse_select(db, sql).build_catalog()
+        graph = catalog.graph
+        assert graph.n_vertices == len(names)
+        assert graph.is_connected(graph.all_vertices)
+        assert catalog.relation_names() == names
+        # Optimization succeeds and produces a complete, valid plan.
+        from repro import optimize_query
+
+        result = optimize_query(catalog)
+        result.plan.validate()
+        assert result.plan.n_joins() == len(names) - 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(schemas_and_queries())
+    def test_filters_never_raise_cardinality(self, case):
+        db, names, sql = case
+        catalog = parse_select(db, sql).build_catalog()
+        for index, name in enumerate(names):
+            assert catalog.cardinality(index) <= db.table(name).rows + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(schemas_and_queries())
+    def test_parse_is_deterministic(self, case):
+        db, _, sql = case
+        a = parse_select(db, sql).build_catalog()
+        b = parse_select(db, sql).build_catalog()
+        assert a.graph == b.graph
+        for (u, v) in a.graph.edges:
+            assert math.isclose(a.selectivity(u, v), b.selectivity(u, v))

@@ -1,0 +1,86 @@
+"""Unit tests for the random graph generators (Sec. IV-A workload)."""
+
+import random
+
+import pytest
+
+from repro import random_acyclic_graph, random_cyclic_graph
+from repro.errors import GraphError
+from repro.graph.random import random_tree_edges
+
+
+class TestRandomTrees:
+    def test_tree_properties(self, rng):
+        for _ in range(100):
+            n = rng.randint(1, 15)
+            edges = random_tree_edges(n, rng)
+            assert len(edges) == max(0, n - 1)
+
+    def test_acyclic_graph_is_connected_tree(self, rng):
+        for _ in range(100):
+            n = rng.randint(2, 12)
+            g = random_acyclic_graph(n, rng=rng)
+            assert g.n_edges == n - 1
+            assert g.is_connected(g.all_vertices)
+            assert g.is_acyclic()
+
+    def test_seed_determinism(self):
+        a = random_acyclic_graph(10, seed=7)
+        b = random_acyclic_graph(10, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ_somewhere(self):
+        graphs = {random_acyclic_graph(8, seed=s) for s in range(20)}
+        assert len(graphs) > 1
+
+    def test_exclude_chain_and_star(self, rng):
+        for _ in range(50):
+            g = random_acyclic_graph(6, rng=rng, exclude_chain_and_star=True)
+            assert g.shape_name() == "tree"
+
+    def test_exclude_impossible_raises(self):
+        # With 3 vertices every tree is a chain (= star), so exclusion
+        # cannot succeed.
+        with pytest.raises(GraphError):
+            random_acyclic_graph(
+                3, seed=1, exclude_chain_and_star=True, max_attempts=10
+            )
+
+    def test_uniformity_smoke(self):
+        # All 3 labelled trees on 3 vertices should appear.
+        rng = random.Random(123)
+        seen = set()
+        for _ in range(200):
+            seen.add(tuple(sorted(random_tree_edges(3, rng))))
+        assert len(seen) == 3
+
+
+class TestRandomCyclic:
+    def test_edge_count_respected(self, rng):
+        for _ in range(60):
+            n = rng.randint(3, 10)
+            m = rng.randint(n, n * (n - 1) // 2)
+            g = random_cyclic_graph(n, m, rng=rng)
+            assert g.n_edges == m
+            assert g.is_connected(g.all_vertices)
+
+    def test_rejects_too_few_edges(self):
+        with pytest.raises(GraphError):
+            random_cyclic_graph(5, 3, seed=0)
+
+    def test_rejects_too_many_edges(self):
+        with pytest.raises(GraphError):
+            random_cyclic_graph(4, 7, seed=0)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            random_cyclic_graph(2, 1, seed=0)
+
+    def test_full_edge_count_gives_clique(self):
+        g = random_cyclic_graph(5, 10, seed=3)
+        assert g.shape_name() == "clique"
+
+    def test_seed_determinism(self):
+        a = random_cyclic_graph(8, 12, seed=99)
+        b = random_cyclic_graph(8, 12, seed=99)
+        assert a == b

@@ -1,0 +1,81 @@
+"""Frozen regression corpus: every algorithm vs recorded optimal costs.
+
+``tests/data/regression_corpus.json`` stores 36 catalogs (fixed shapes +
+random trees + random cyclic graphs) with their optimal C_out cost as
+computed by the DPsub oracle at corpus-creation time.  Any enumeration
+regression — in any algorithm, the shared infrastructure, or the
+serializer — shows up here as a cost mismatch against numbers that are
+pinned on disk rather than recomputed.
+"""
+
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro import ALGORITHMS, optimize_query
+from repro.heuristics import greedy_operator_ordering, optimal_left_deep
+from repro.serialize import catalog_from_dict
+
+_CORPUS_PATH = (
+    pathlib.Path(__file__).resolve().parent / "data" / "regression_corpus.json"
+)
+
+
+def _load_corpus():
+    with open(_CORPUS_PATH) as handle:
+        return json.load(handle)
+
+
+_CORPUS = _load_corpus()
+_QUERIES = _CORPUS["queries"]
+_IDS = [q["id"] + "-" + q["label"] for q in _QUERIES]
+
+
+def test_corpus_shape():
+    assert _CORPUS["version"] == 1
+    assert len(_QUERIES) >= 30
+    labels = {q["label"] for q in _QUERIES}
+    # All workload families represented.
+    assert any(l.startswith("chain") for l in labels)
+    assert any(l.startswith("clique") for l in labels)
+    assert any(l.startswith("tree") for l in labels)
+    assert any(l.startswith("cyclic") for l in labels)
+
+
+@pytest.mark.parametrize("query", _QUERIES, ids=_IDS)
+def test_tdmincutbranch_matches_frozen_cost(query):
+    catalog = catalog_from_dict(query["catalog"])
+    result = optimize_query(catalog, algorithm="tdmincutbranch")
+    assert math.isclose(result.cost, query["optimal_cout"], rel_tol=1e-9)
+    result.plan.validate()
+
+
+@pytest.mark.parametrize(
+    "algorithm", [name for name in sorted(ALGORITHMS) if name != "tdmincutbranch"]
+)
+def test_every_algorithm_matches_frozen_costs(algorithm):
+    for query in _QUERIES:
+        catalog = catalog_from_dict(query["catalog"])
+        result = optimize_query(catalog, algorithm=algorithm)
+        assert math.isclose(
+            result.cost, query["optimal_cout"], rel_tol=1e-9
+        ), (algorithm, query["id"])
+
+
+def test_heuristics_never_beat_frozen_optimum():
+    for query in _QUERIES:
+        catalog = catalog_from_dict(query["catalog"])
+        optimum = query["optimal_cout"]
+        assert greedy_operator_ordering(catalog).cost >= optimum * (1 - 1e-9)
+        assert optimal_left_deep(catalog).cost >= optimum * (1 - 1e-9)
+
+
+def test_pruning_matches_frozen_costs():
+    for query in _QUERIES:
+        catalog = catalog_from_dict(query["catalog"])
+        result = optimize_query(
+            catalog, algorithm="tdmincutbranch", enable_pruning=True
+        )
+        assert math.isclose(result.cost, query["optimal_cout"], rel_tol=1e-9)

@@ -1,0 +1,136 @@
+"""Robustness and edge-case tests: large inputs, extreme statistics,
+recursion depth, numeric corner cases."""
+
+import math
+
+import pytest
+
+from repro import (
+    Catalog,
+    MinCutBranch,
+    Relation,
+    attach_random_statistics,
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    optimize_query,
+    star_graph,
+    uniform_statistics,
+)
+from repro.errors import CatalogError
+
+
+class TestLargeSparseQueries:
+    def test_sixty_relation_chain(self):
+        # Recursion depth and big-int bitsets beyond 64 bits.
+        catalog = uniform_statistics(chain_graph(60))
+        result = optimize_query(catalog)
+        result.plan.validate()
+        assert result.plan.n_joins() == 59
+        assert result.memo_entries == 60 * 61 // 2  # all subchains
+
+    def test_forty_relation_star(self):
+        # Star ccp counts are exponential; the *enumerator* must stay
+        # linear in emissions per set, and the driver per-set.  A
+        # 40-relation star has 2^39-ish csgs, far too many to optimize —
+        # but a single partition call on the full set is linear.
+        graph = star_graph(40)
+        pairs = list(MinCutBranch(graph).partitions(graph.all_vertices))
+        assert len(pairs) == 39
+
+    def test_big_cycle(self):
+        catalog = uniform_statistics(cycle_graph(30))
+        result = optimize_query(catalog)
+        result.plan.validate()
+        assert result.memo_entries == 30 * 29 + 1
+
+    def test_hundred_vertex_partition_call(self):
+        graph = chain_graph(100)
+        pairs = list(MinCutBranch(graph).partitions(graph.all_vertices))
+        assert len(pairs) == 99
+
+
+class TestExtremeStatistics:
+    def test_huge_cardinalities_do_not_overflow(self):
+        graph = chain_graph(6)
+        catalog = Catalog(
+            graph,
+            [Relation(f"R{i}", 1e12) for i in range(6)],
+            {edge: 1e-6 for edge in graph.edges},
+        )
+        result = optimize_query(catalog)
+        assert math.isfinite(result.cost)
+        assert result.cost > 0
+
+    def test_tiny_selectivities(self):
+        graph = clique_graph(5)
+        catalog = Catalog(
+            graph,
+            [Relation(f"R{i}", 1e6) for i in range(5)],
+            {edge: 1e-4 for edge in graph.edges},
+        )
+        result = optimize_query(catalog)
+        assert math.isfinite(result.cost)
+
+    def test_cardinality_one_relations(self):
+        graph = chain_graph(4)
+        catalog = Catalog(
+            graph,
+            [Relation(f"R{i}", 1.0) for i in range(4)],
+            {edge: 1.0 for edge in graph.edges},
+        )
+        result = optimize_query(catalog)
+        assert result.cost == 3.0  # every intermediate has one row
+
+    def test_pruning_with_extreme_skew(self):
+        graph = star_graph(8)
+        relations = [Relation("hub", 1e10)] + [
+            Relation(f"d{i}", 10.0 ** i) for i in range(1, 8)
+        ]
+        catalog = Catalog(
+            graph, relations, {edge: 1e-9 for edge in graph.edges}
+        )
+        plain = optimize_query(catalog)
+        pruned = optimize_query(catalog, enable_pruning=True)
+        assert math.isclose(plain.cost, pruned.cost, rel_tol=1e-9)
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self):
+        for algorithm in ("tdmincutbranch", "dpccp"):
+            graph = cycle_graph(7)
+            catalog = attach_random_statistics(graph, seed=99)
+            a = optimize_query(catalog, algorithm=algorithm)
+            b = optimize_query(catalog, algorithm=algorithm)
+            assert a.cost == b.cost
+            assert a.plan == b.plan
+            assert a.cost_evaluations == b.cost_evaluations
+
+    def test_plan_deterministic_across_runs_of_partitioner(self):
+        graph = clique_graph(6)
+        first = list(MinCutBranch(graph).partitions(graph.all_vertices))
+        second = list(MinCutBranch(graph).partitions(graph.all_vertices))
+        assert first == second
+
+
+class TestNumericGuards:
+    def test_relation_rejects_nan_like_zero(self):
+        with pytest.raises(CatalogError):
+            Relation("bad", 0)
+
+    def test_selectivity_bounds_enforced(self):
+        graph = chain_graph(2)
+        with pytest.raises(CatalogError):
+            Catalog(
+                graph,
+                [Relation("a", 1.0), Relation("b", 1.0)],
+                {(0, 1): -0.5},
+            )
+
+    def test_float_cost_ties_resolved_deterministically(self):
+        # Symmetric model + identical stats -> many exact ties; the
+        # memo must keep a deterministic winner.
+        catalog = uniform_statistics(clique_graph(5))
+        a = optimize_query(catalog)
+        b = optimize_query(catalog)
+        assert a.plan == b.plan

@@ -1,0 +1,111 @@
+"""Round-trip tests for JSON serialization."""
+
+import json
+import math
+
+import pytest
+
+from repro import (
+    Hypergraph,
+    attach_random_statistics,
+    chain_graph,
+    optimize_query,
+    random_hypergraph,
+)
+from repro.errors import ReproError
+from repro.serialize import (
+    catalog_from_dict,
+    catalog_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    hypergraph_from_dict,
+    hypergraph_to_dict,
+    plan_from_dict,
+    plan_to_dict,
+)
+
+from .conftest import random_connected_graph
+
+
+class TestGraphRoundTrip:
+    def test_round_trip(self, rng):
+        for _ in range(20):
+            graph = random_connected_graph(rng)
+            document = graph_to_dict(graph)
+            json.dumps(document)  # must be plain-JSON encodable
+            assert graph_from_dict(document) == graph
+
+    def test_kind_check(self):
+        with pytest.raises(ReproError):
+            graph_from_dict({"kind": "catalog"})
+
+    def test_not_a_dict(self):
+        with pytest.raises(ReproError):
+            graph_from_dict([1, 2, 3])
+
+
+class TestCatalogRoundTrip:
+    def test_round_trip(self, rng):
+        for _ in range(10):
+            graph = random_connected_graph(rng)
+            catalog = attach_random_statistics(graph, rng=rng)
+            document = json.loads(json.dumps(catalog_to_dict(catalog)))
+            restored = catalog_from_dict(document)
+            assert restored.graph == catalog.graph
+            for v in range(graph.n_vertices):
+                assert restored.cardinality(v) == catalog.cardinality(v)
+            for (u, v) in graph.edges:
+                assert restored.selectivity(u, v) == catalog.selectivity(u, v)
+
+    def test_restored_catalog_optimizes_identically(self, rng):
+        graph = random_connected_graph(rng)
+        catalog = attach_random_statistics(graph, rng=rng)
+        restored = catalog_from_dict(catalog_to_dict(catalog))
+        assert math.isclose(
+            optimize_query(catalog).cost,
+            optimize_query(restored).cost,
+            rel_tol=1e-12,
+        )
+
+    def test_corrupted_selectivity_rejected(self):
+        catalog = attach_random_statistics(chain_graph(3), seed=1)
+        document = catalog_to_dict(catalog)
+        document["selectivities"][0]["selectivity"] = 2.0
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            catalog_from_dict(document)
+
+
+class TestPlanRoundTrip:
+    def test_round_trip(self, rng):
+        for _ in range(10):
+            graph = random_connected_graph(rng)
+            catalog = attach_random_statistics(graph, rng=rng)
+            plan = optimize_query(catalog).plan
+            document = json.loads(json.dumps(plan_to_dict(plan)))
+            restored = plan_from_dict(document)
+            assert restored == plan
+
+    def test_validation_on_load(self):
+        catalog = attach_random_statistics(chain_graph(3), seed=2)
+        document = plan_to_dict(optimize_query(catalog).plan)
+        # Corrupt: make the two children overlap.
+        document["root"]["left"] = document["root"]["right"]
+        with pytest.raises(AssertionError):
+            plan_from_dict(document)
+
+
+class TestHypergraphRoundTrip:
+    def test_round_trip(self):
+        for seed in range(10):
+            hypergraph = random_hypergraph(6, n_complex_edges=2, seed=seed)
+            document = json.loads(json.dumps(hypergraph_to_dict(hypergraph)))
+            restored = hypergraph_from_dict(document)
+            assert restored.n_vertices == hypergraph.n_vertices
+            assert restored.edges == hypergraph.edges
+
+    def test_plain_graph_lift_round_trip(self):
+        hypergraph = Hypergraph.from_query_graph(chain_graph(5))
+        restored = hypergraph_from_dict(hypergraph_to_dict(hypergraph))
+        assert restored.is_plain_graph

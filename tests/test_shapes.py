@@ -1,0 +1,97 @@
+"""Unit tests for the fixed-shape graph builders."""
+
+import pytest
+
+from repro import (
+    chain_graph,
+    star_graph,
+    cycle_graph,
+    clique_graph,
+    grid_graph,
+    make_shape,
+)
+from repro.errors import GraphError
+
+
+class TestChain:
+    def test_edges(self):
+        g = chain_graph(4)
+        assert g.edges == ((0, 1), (1, 2), (2, 3))
+
+    def test_single_vertex(self):
+        assert chain_graph(1).n_edges == 0
+
+    def test_connected(self):
+        for n in range(1, 10):
+            g = chain_graph(n)
+            assert g.is_connected(g.all_vertices)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GraphError):
+            chain_graph(0)
+
+
+class TestStar:
+    def test_hub_degree(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert all(g.degree(v) == 1 for v in range(1, 6))
+
+    def test_custom_hub(self):
+        g = star_graph(4, hub=2)
+        assert g.degree(2) == 3
+
+    def test_rejects_bad_hub(self):
+        with pytest.raises(GraphError):
+            star_graph(3, hub=3)
+
+
+class TestCycle:
+    def test_edge_count(self):
+        for n in range(3, 9):
+            assert cycle_graph(n).n_edges == n
+
+    def test_all_degree_two(self):
+        g = cycle_graph(7)
+        assert g.degree_sequence() == [2] * 7
+
+    def test_rejects_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+
+class TestClique:
+    def test_edge_count(self):
+        for n in range(1, 9):
+            assert clique_graph(n).n_edges == n * (n - 1) // 2
+
+    def test_every_pair_joined(self):
+        g = clique_graph(5)
+        for u in range(5):
+            for v in range(u + 1, 5):
+                assert g.has_edge(u, v)
+
+
+class TestGrid:
+    def test_dimensions(self):
+        g = grid_graph(3, 4)
+        assert g.n_vertices == 12
+        assert g.n_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_degenerate_grid_is_chain(self):
+        assert grid_graph(1, 5).shape_name() == "chain"
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+
+class TestMakeShape:
+    @pytest.mark.parametrize("shape", ["chain", "star", "cycle", "clique"])
+    def test_dispatch(self, shape):
+        g = make_shape(shape, 5)
+        assert g.shape_name() == shape
+
+    def test_unknown_shape(self):
+        with pytest.raises(GraphError):
+            make_shape("torus", 5)

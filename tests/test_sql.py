@@ -1,0 +1,181 @@
+"""Tests for the SQL front end."""
+
+import math
+
+import pytest
+
+from repro.frontend import Database
+from repro.frontend.sql import SqlError, parse_select
+
+
+def _db() -> Database:
+    db = Database("shop")
+    db.add_table("orders", 1_000_000, {"order_id": 1_000_000, "cust_id": 100_000})
+    db.add_table("customer", 100_000, {"cust_id": 100_000, "nation_id": 25})
+    db.add_table("nation", 25, {"nation_id": 25, "name": 25})
+    db.add_foreign_key("orders", "cust_id", "customer", "cust_id")
+    db.add_foreign_key("customer", "nation_id", "nation", "nation_id")
+    return db
+
+
+class TestBasicParsing:
+    def test_two_table_join(self):
+        catalog = parse_select(
+            _db(),
+            "SELECT * FROM orders o, customer c WHERE o.cust_id = c.cust_id",
+        ).build_catalog()
+        assert catalog.graph.n_vertices == 2
+        assert catalog.graph.n_edges == 1
+        assert math.isclose(catalog.selectivity(0, 1), 1.0 / 100_000)
+
+    def test_aliases_with_as(self):
+        catalog = parse_select(
+            _db(),
+            "SELECT * FROM orders AS o, customer AS c "
+            "WHERE o.cust_id = c.cust_id",
+        ).build_catalog()
+        assert catalog.relation_names() == ["o", "c"]
+
+    def test_tables_without_alias(self):
+        catalog = parse_select(
+            _db(),
+            "SELECT * FROM orders, customer "
+            "WHERE orders.cust_id = customer.cust_id",
+        ).build_catalog()
+        assert catalog.relation_names() == ["orders", "customer"]
+
+    def test_three_way_chain(self):
+        builder = parse_select(
+            _db(),
+            """
+            SELECT o.order_id FROM orders o, customer c, nation n
+            WHERE o.cust_id = c.cust_id AND c.nation_id = n.nation_id
+            """,
+        )
+        result = builder.optimize()
+        result.plan.validate()
+        assert result.plan.n_joins() == 2
+
+    def test_no_where_clause(self):
+        catalog = parse_select(_db(), "SELECT * FROM orders o").build_catalog()
+        assert catalog.graph.n_vertices == 1
+
+    def test_case_insensitive_keywords(self):
+        catalog = parse_select(
+            _db(),
+            "select * from orders o, customer c where o.cust_id = c.cust_id",
+        ).build_catalog()
+        assert catalog.graph.n_edges == 1
+
+
+class TestSelections:
+    def test_equality_constant_scales_cardinality(self):
+        catalog = parse_select(
+            _db(),
+            "SELECT * FROM nation n WHERE n.name = 'GERMANY'",
+        ).build_catalog()
+        assert math.isclose(catalog.cardinality(0), 1.0)  # 25 / 25
+
+    def test_range_constant_uses_one_third(self):
+        catalog = parse_select(
+            _db(),
+            "SELECT * FROM orders o WHERE o.order_id > 100",
+        ).build_catalog()
+        assert math.isclose(catalog.cardinality(0), 1_000_000 / 3.0)
+
+    def test_not_equals(self):
+        catalog = parse_select(
+            _db(),
+            "SELECT * FROM nation n WHERE n.nation_id <> 7",
+        ).build_catalog()
+        assert math.isclose(catalog.cardinality(0), 25 * (1 - 1 / 25))
+
+    def test_filters_compose_with_joins(self):
+        catalog = parse_select(
+            _db(),
+            """
+            SELECT * FROM orders o, customer c
+            WHERE o.cust_id = c.cust_id AND c.nation_id = 3
+            """,
+        ).build_catalog()
+        assert math.isclose(catalog.cardinality(1), 100_000 / 25)
+
+    def test_multiple_filters_multiply(self):
+        catalog = parse_select(
+            _db(),
+            "SELECT * FROM orders o "
+            "WHERE o.order_id > 5 AND o.cust_id = 9",
+        ).build_catalog()
+        assert math.isclose(
+            catalog.cardinality(0), 1_000_000 / 3.0 / 100_000
+        )
+
+
+class TestErrors:
+    def test_or_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select(
+                _db(),
+                "SELECT * FROM orders o, customer c "
+                "WHERE o.cust_id = c.cust_id OR o.order_id = 1",
+            )
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select(
+                _db(),
+                "SELECT * FROM orders o, customer c "
+                "WHERE o.cust_id < c.cust_id",
+            )
+
+    def test_unknown_table(self):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            parse_select(_db(), "SELECT * FROM ghosts g")
+
+    def test_empty_select_list(self):
+        with pytest.raises(SqlError):
+            parse_select(_db(), "SELECT FROM orders o")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select(_db(), "SELECT * FROM orders o; DROP TABLE orders")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlError):
+            parse_select(_db(), "SELECT *")
+
+    def test_empty_text(self):
+        with pytest.raises(SqlError):
+            parse_select(_db(), "   ")
+
+    def test_bare_column_in_predicate(self):
+        with pytest.raises(SqlError):
+            parse_select(
+                _db(), "SELECT * FROM orders o WHERE cust_id = 5"
+            )
+
+
+class TestEndToEnd:
+    def test_parse_optimize_execute_pipeline(self):
+        # SQL -> catalog -> plan -> (tiny) synthetic execution.
+        from repro.exec import Executor, generate_database
+
+        builder = parse_select(
+            _db(),
+            """
+            SELECT * FROM orders o, customer c, nation n
+            WHERE o.cust_id = c.cust_id AND c.nation_id = n.nation_id
+            """,
+        )
+        catalog = builder.build_catalog()
+        database = generate_database(catalog, max_rows=200, seed=1)
+        plan = builder.optimize().plan
+        # Re-plan on the scaled catalog so cardinalities match the data.
+        from repro import optimize_query
+
+        scaled_plan = optimize_query(database.scaled_catalog).plan
+        result = Executor(database).execute(scaled_plan)
+        assert result.n_rows >= 0
+        assert len(result.intermediate_sizes) == 2

@@ -1,0 +1,139 @@
+"""Unit tests for the generic top-down driver (TDPlanGen, Fig. 1)."""
+
+import math
+
+import pytest
+
+from repro import (
+    CoutCostModel,
+    MinCutBranch,
+    MinCutLazy,
+    NaivePartitioning,
+    PhysicalCostModel,
+    QueryGraph,
+    TopDownPlanGenerator,
+    chain_graph,
+    clique_graph,
+    attach_random_statistics,
+    uniform_statistics,
+)
+from repro.analysis import formulas
+from repro.errors import OptimizationError
+
+from .conftest import random_connected_graph
+from .reference import optimal_cout_cost_ref
+
+
+class TestDriver:
+    def test_rejects_disconnected(self):
+        g = QueryGraph(4, [(0, 1), (2, 3)])
+        driver = TopDownPlanGenerator(uniform_statistics(g), MinCutBranch)
+        with pytest.raises(OptimizationError):
+            driver.optimize()
+
+    def test_single_relation(self):
+        g = chain_graph(1)
+        plan = TopDownPlanGenerator(uniform_statistics(g), MinCutBranch).optimize()
+        assert plan.is_leaf
+
+    def test_two_relations(self):
+        g = chain_graph(2)
+        plan = TopDownPlanGenerator(uniform_statistics(g), MinCutBranch).optimize()
+        assert plan.n_joins() == 1
+        plan.validate()
+
+    def test_default_cost_model_is_cout(self):
+        g = chain_graph(3)
+        driver = TopDownPlanGenerator(uniform_statistics(g), MinCutBranch)
+        assert isinstance(driver.cost_model, CoutCostModel)
+
+    def test_optimal_cost_matches_reference(self, rng):
+        for _ in range(20):
+            g = random_connected_graph(rng, max_vertices=7)
+            catalog = attach_random_statistics(g, rng=rng)
+            plan = TopDownPlanGenerator(catalog, MinCutBranch).optimize()
+            plan.validate()
+            expected = optimal_cout_cost_ref(
+                g.n_vertices,
+                g.edges,
+                {v: catalog.cardinality(v) for v in range(g.n_vertices)},
+                {e: catalog.selectivity(*e) for e in g.edges},
+            )
+            assert math.isclose(plan.cost, expected, rel_tol=1e-9)
+
+    def test_each_set_partitioned_once(self):
+        # TDPGSub's memo check (Fig. 1 line 1): every multi-vertex csg is
+        # partitioned exactly once, so total emissions equal #ccp.
+        g = clique_graph(6)
+        driver = TopDownPlanGenerator(uniform_statistics(g), MinCutBranch)
+        driver.optimize()
+        assert driver.count_ccps() == formulas.ccp_count("clique", 6)
+
+    def test_memo_holds_only_connected_sets(self):
+        from repro import bitset
+
+        g = chain_graph(6)
+        driver = TopDownPlanGenerator(uniform_statistics(g), MinCutBranch)
+        driver.optimize()
+        for entry in driver.builder.memo.entries():
+            assert g.is_connected(entry.vertex_set)
+
+    def test_memo_size_equals_csg_count(self):
+        # Top-down visits exactly the connected subsets (no cross products).
+        g = chain_graph(7)
+        driver = TopDownPlanGenerator(uniform_statistics(g), MinCutBranch)
+        driver.optimize()
+        assert len(driver.builder.memo) == formulas.csg_count("chain", 7)
+
+    @pytest.mark.parametrize(
+        "partitioner", [MinCutBranch, MinCutLazy, NaivePartitioning]
+    )
+    def test_partitioner_choice_does_not_change_cost(self, partitioner, rng):
+        for _ in range(10):
+            g = random_connected_graph(rng, max_vertices=7)
+            catalog = attach_random_statistics(g, rng=rng)
+            reference = TopDownPlanGenerator(catalog, MinCutBranch).optimize()
+            other = TopDownPlanGenerator(catalog, partitioner).optimize()
+            assert math.isclose(other.cost, reference.cost, rel_tol=1e-9)
+
+    def test_physical_cost_model(self, rng):
+        # With an asymmetric model the driver must still agree with DPsub.
+        from repro import DPsub
+
+        for _ in range(10):
+            g = random_connected_graph(rng, max_vertices=6)
+            catalog = attach_random_statistics(g, rng=rng)
+            model = PhysicalCostModel()
+            top_down = TopDownPlanGenerator(
+                catalog, MinCutBranch, cost_model=model
+            ).optimize()
+            bottom_up = DPsub(catalog, cost_model=PhysicalCostModel()).optimize()
+            assert math.isclose(top_down.cost, bottom_up.cost, rel_tol=1e-9)
+
+    def test_repr(self):
+        g = chain_graph(3)
+        driver = TopDownPlanGenerator(uniform_statistics(g), MinCutBranch)
+        assert "mincutbranch" in repr(driver)
+
+
+class TestCostCalculationSharing:
+    def test_cost_evaluations_identical_across_partitioners(self):
+        # Sec. IV-C: "the effort of the join cost calculations is exactly
+        # the same for both algorithms" — all strategies feed the same
+        # ccps to BuildTree.
+        g = clique_graph(6)
+        counts = set()
+        for partitioner in (MinCutBranch, MinCutLazy, NaivePartitioning):
+            driver = TopDownPlanGenerator(uniform_statistics(g), partitioner)
+            driver.optimize()
+            counts.add(driver.builder.cost_evaluations)
+        assert len(counts) == 1
+
+    def test_cardinality_estimations_once_per_csg(self):
+        from repro.enumeration.counting import count_connected_subgraphs
+
+        g = clique_graph(6)
+        driver = TopDownPlanGenerator(uniform_statistics(g), MinCutBranch)
+        driver.optimize()
+        expected = count_connected_subgraphs(g) - g.n_vertices
+        assert driver.builder.estimator.estimations == expected

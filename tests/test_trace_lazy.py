@@ -1,0 +1,81 @@
+"""Tests for the MinCutLazy tracing variant."""
+
+import pytest
+
+from repro import MinCutLazy, chain_graph, clique_graph, cycle_graph, star_graph
+from repro.enumeration.base import canonical_pair
+from repro.enumeration.trace_lazy import TracedMinCutLazy
+
+
+def _run(graph):
+    trace = TracedMinCutLazy(graph)
+    pairs = list(trace.partitions(graph.all_vertices))
+    return trace, pairs
+
+
+class TestEquivalence:
+    def test_traced_equals_plain(self, rng):
+        from .conftest import random_connected_graph
+
+        for _ in range(20):
+            graph = random_connected_graph(rng, max_vertices=8)
+            plain = sorted(
+                canonical_pair(*p)
+                for p in MinCutLazy(graph).partitions(graph.all_vertices)
+            )
+            trace, pairs = _run(graph)
+            traced = sorted(canonical_pair(*p) for p in pairs)
+            assert plain == traced
+
+    def test_counters_match_plain(self):
+        graph = clique_graph(7)
+        plain = MinCutLazy(graph)
+        list(plain.partitions(graph.all_vertices))
+        trace, _ = _run(graph)
+        assert trace.stats.tree_builds == plain.stats.tree_builds
+        assert trace.stats.tree_build_cost == plain.stats.tree_build_cost
+        assert trace.stats.usability_hits == plain.stats.usability_hits
+
+
+class TestTreeDecisions:
+    def test_chain_reuses_after_first_build(self):
+        trace, _ = _run(chain_graph(8))
+        decisions = [e for e in trace.events if e.kind == "tree"]
+        assert not decisions[0].reused  # root must build
+        assert all(d.reused for d in decisions[1:])
+        assert trace.rebuild_ratio() == pytest.approx(1 / len(decisions))
+
+    def test_clique_never_reuses(self):
+        # The Appendix B pathology, visible in the trace.
+        trace, _ = _run(clique_graph(6))
+        decisions = [e for e in trace.events if e.kind == "tree"]
+        assert all(not d.reused for d in decisions)
+        assert trace.rebuild_ratio() == 1.0
+
+    def test_cycle_mixes_builds_and_reuses(self):
+        trace, _ = _run(cycle_graph(8))
+        decisions = [e for e in trace.events if e.kind == "tree"]
+        assert any(d.reused for d in decisions)
+        assert sum(1 for d in decisions if not d.reused) > 1
+
+    def test_star_early_exits_from_satellites(self):
+        # Started at the hub, each satellite branch exits before any
+        # tree decision (its only frontier vertex is the excluded hub).
+        trace, _ = _run(star_graph(6))
+        assert sum(1 for e in trace.events if e.kind == "early-exit") == 5
+        assert sum(1 for e in trace.events if e.kind == "tree") == 1
+
+
+class TestRendering:
+    def test_render_mentions_rebuilds(self):
+        trace, _ = _run(clique_graph(5))
+        text = trace.render()
+        assert "REBUILD tree" in text
+        assert "emit" in text
+        assert "pivots=" in text
+
+    def test_emission_rows_complete(self):
+        graph = cycle_graph(6)
+        trace, pairs = _run(graph)
+        emit_rows = [e for e in trace.events if e.kind == "emit"]
+        assert len(emit_rows) == len(pairs) == 15

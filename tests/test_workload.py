@@ -1,0 +1,144 @@
+"""Unit tests for the workload generator (paper Sec. IV-A)."""
+
+import pytest
+
+from repro import WorkloadGenerator, attach_random_statistics, uniform_statistics
+from repro import chain_graph
+from repro.catalog.workload import (
+    _CARD_MAX,
+    _CARD_MIN,
+    _SEL_MAX,
+    _SEL_MIN,
+)
+from repro.errors import GraphError
+
+
+class TestAttachRandomStatistics:
+    def test_all_edges_covered(self):
+        g = chain_graph(6)
+        catalog = attach_random_statistics(g, seed=1)
+        for (u, v) in g.edges:
+            assert 0 < catalog.selectivity(u, v) <= 1
+
+    def test_bounds(self):
+        g = chain_graph(30)
+        catalog = attach_random_statistics(g, seed=2)
+        for v in range(30):
+            assert _CARD_MIN <= catalog.cardinality(v) <= _CARD_MAX
+        for (u, v) in g.edges:
+            assert _SEL_MIN <= catalog.selectivity(u, v) <= _SEL_MAX
+
+    def test_determinism(self):
+        g = chain_graph(5)
+        a = attach_random_statistics(g, seed=3)
+        b = attach_random_statistics(g, seed=3)
+        assert [r.cardinality for r in a.relations] == [
+            r.cardinality for r in b.relations
+        ]
+
+    def test_spread(self):
+        # Gaussian log-cardinalities should span well over one order of
+        # magnitude across many relations.
+        g = chain_graph(50)
+        catalog = attach_random_statistics(g, seed=4)
+        cards = [r.cardinality for r in catalog.relations]
+        assert max(cards) / min(cards) > 10
+
+
+class TestUniformStatistics:
+    def test_values(self):
+        g = chain_graph(4)
+        catalog = uniform_statistics(g, cardinality=500.0, selectivity=0.2)
+        assert all(r.cardinality == 500.0 for r in catalog.relations)
+        assert all(catalog.selectivity(u, v) == 0.2 for (u, v) in g.edges)
+
+
+class TestWorkloadGenerator:
+    def test_fixed_shapes(self):
+        gen = WorkloadGenerator(seed=5)
+        for shape in ("chain", "star", "cycle", "clique"):
+            instance = gen.fixed_shape(shape, 6)
+            assert instance.shape == shape
+            assert instance.n_vertices == 6
+            assert instance.graph.shape_name() == shape
+
+    def test_random_acyclic_excludes_chain_star(self):
+        gen = WorkloadGenerator(seed=6)
+        for _ in range(20):
+            instance = gen.random_acyclic(7)
+            assert instance.graph.shape_name() == "tree"
+
+    def test_random_cyclic_edge_count(self):
+        gen = WorkloadGenerator(seed=7)
+        instance = gen.random_cyclic(8, 12)
+        assert instance.n_edges == 12
+
+    def test_random_cyclic_uniform_edges_in_range(self):
+        gen = WorkloadGenerator(seed=8)
+        for _ in range(30):
+            instance = gen.random_cyclic_uniform_edges(7)
+            assert 7 <= instance.n_edges <= 21
+
+    def test_uniform_edges_rejects_tiny(self):
+        gen = WorkloadGenerator(seed=9)
+        with pytest.raises(GraphError):
+            gen.random_cyclic_uniform_edges(2)
+
+    def test_series(self):
+        gen = WorkloadGenerator(seed=10)
+        instances = list(gen.series("chain", [4, 5], per_size=2))
+        assert [i.n_vertices for i in instances] == [4, 4, 5, 5]
+
+    def test_series_unknown_shape(self):
+        gen = WorkloadGenerator(seed=11)
+        with pytest.raises(GraphError):
+            list(gen.series("moebius", [4]))
+
+    def test_generator_determinism(self):
+        a = list(WorkloadGenerator(seed=12).series("cyclic", [6, 7]))
+        b = list(WorkloadGenerator(seed=12).series("cyclic", [6, 7]))
+        assert [x.graph for x in a] == [y.graph for y in b]
+        assert [x.seed for x in a] == [y.seed for y in b]
+
+    def test_instances_have_independent_seeds(self):
+        gen = WorkloadGenerator(seed=13)
+        seeds = {gen.fixed_shape("chain", 5).seed for _ in range(10)}
+        assert len(seeds) == 10
+
+
+class TestPaperWorkload:
+    def test_mixed_suite_composition(self):
+        from repro.catalog import paper_workload
+
+        suite = paper_workload(seed=3, max_vertices=8, per_class=2)
+        shapes = {instance.shape for instance in suite}
+        assert shapes == {"chain", "star", "cycle", "clique", "acyclic", "cyclic"}
+        assert all(
+            instance.graph.is_connected(instance.graph.all_vertices)
+            for instance in suite
+        )
+
+    def test_deterministic(self):
+        from repro.catalog import paper_workload
+
+        a = paper_workload(seed=4, max_vertices=7)
+        b = paper_workload(seed=4, max_vertices=7)
+        assert [x.graph for x in a] == [y.graph for y in b]
+
+    def test_caps_respected(self):
+        from repro.catalog import paper_workload
+
+        suite = paper_workload(seed=5, max_vertices=12, per_class=1)
+        for instance in suite:
+            if instance.shape == "clique":
+                assert instance.n_vertices <= 10
+            assert instance.n_vertices <= 12
+
+    def test_every_instance_optimizes(self):
+        from repro import optimize_query
+        from repro.catalog import paper_workload
+
+        suite = paper_workload(seed=6, max_vertices=6, per_class=1)
+        for instance in suite:
+            result = optimize_query(instance)
+            result.plan.validate()
