@@ -1,0 +1,17 @@
+# Development targets. `make verify` is the PR gate: the full test
+# suite plus the service-cache smoke benchmark (which enforces the
+# >= 10x warm-cache speedup floor and counter consistency).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-service verify
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-service:
+	$(PYTHON) benchmarks/bench_service_cache.py
+
+verify: test bench-service
+	@echo "verify: ok"

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Smoke benchmark: cold vs. warm plan-cache latency per shape.
+
+Measures one cold (enumerating) and repeated warm (cache-hit) calls of
+:class:`repro.service.OptimizerService` on the paper's fixed shapes at
+n = 14 — including the clique, where enumeration is most expensive and
+the cache pays off hardest.  Doubles as the acceptance gate for the
+service layer: the warm path must be at least 10x faster than cold on
+the clique, and the stats snapshot must be self-consistent.
+
+Run:  python benchmarks/bench_service_cache.py [--n 14] [--warm-iters 25]
+
+Exit status is non-zero if the speedup floor or counter consistency
+fails, so `make verify` can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.catalog.workload import WorkloadGenerator
+from repro.service import OptimizerService
+
+SHAPES = ["chain", "star", "clique"]
+SPEEDUP_FLOOR = 10.0  # acceptance: warm >= 10x faster than cold (clique)
+
+
+def bench_shape(service, instance, warm_iters: int):
+    """Return (cold_seconds, warm_best_seconds, result)."""
+    started = time.perf_counter()
+    cold = service.optimize(instance.catalog)
+    cold_seconds = time.perf_counter() - started
+    assert not cold.cache_hit, "first optimization must be a cache miss"
+
+    warm_best = float("inf")
+    for _ in range(warm_iters):
+        started = time.perf_counter()
+        warm = service.optimize(instance.catalog)
+        warm_best = min(warm_best, time.perf_counter() - started)
+        assert warm.cache_hit, "repeat optimization must hit the cache"
+        assert abs(warm.cost - cold.cost) < 1e-6 * max(1.0, abs(cold.cost))
+    return cold_seconds, warm_best, cold
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=14, help="relations per query")
+    parser.add_argument(
+        "--warm-iters", type=int, default=25, help="warm calls per shape"
+    )
+    args = parser.parse_args(argv)
+
+    service = OptimizerService(cache_capacity=64)
+    generator = WorkloadGenerator(seed=20110411)
+
+    print(f"service cache smoke bench (n={args.n}, warm_iters={args.warm_iters})")
+    print(f"{'shape':10s} {'cold':>12s} {'warm(best)':>12s} {'speedup':>10s}")
+    failures = []
+    for shape in SHAPES:
+        instance = generator.fixed_shape(shape, args.n)
+        cold_s, warm_s, _ = bench_shape(service, instance, args.warm_iters)
+        speedup = cold_s / max(warm_s, 1e-12)
+        print(
+            f"{shape:10s} {cold_s * 1e3:10.2f}ms {warm_s * 1e3:10.3f}ms "
+            f"{speedup:9.0f}x"
+        )
+        if shape == "clique" and speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"clique warm speedup {speedup:.1f}x below {SPEEDUP_FLOOR}x floor"
+            )
+
+    snapshot = service.stats_snapshot()
+    cache, totals = snapshot["cache"], snapshot["totals"]
+    expected = len(SHAPES) * (1 + args.warm_iters)
+    print(
+        f"cache: hits={cache['hits']} misses={cache['misses']} "
+        f"evictions={cache['evictions']} size={cache['size']}"
+    )
+    for name, stats in snapshot["algorithms"].items():
+        latency = stats["latency"]
+        print(
+            f"  {name:16s} count={stats['count']:<4d} "
+            f"p50={latency['p50_ms']:.3f}ms p95={latency['p95_ms']:.3f}ms "
+            f"p99={latency['p99_ms']:.3f}ms"
+        )
+    if cache["hits"] != len(SHAPES) * args.warm_iters:
+        failures.append(f"expected {len(SHAPES) * args.warm_iters} hits, got {cache['hits']}")
+    if cache["misses"] != len(SHAPES):
+        failures.append(f"expected {len(SHAPES)} misses, got {cache['misses']}")
+    if totals["requests"] != expected:
+        failures.append(f"expected {expected} requests, got {totals['requests']}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("ok: warm cache >= 10x faster on clique; counters consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,10 +82,15 @@ from repro.optimizer import (
     TopDownHyp,
     TopDownHypBasic,
     ALGORITHMS,
+    OptimizationRequest,
     OptimizationResult,
     make_optimizer,
     optimize_query,
+    optimize_request,
+    register_algorithm,
+    unregister_algorithm,
 )
+from repro.service import OptimizerService, PlanCache
 from repro.analysis.explain import explain, explain_comparison
 from repro.heuristics import (
     optimal_left_deep,
@@ -142,9 +147,16 @@ __all__ = [
     "DPsub",
     "DPsize",
     "ALGORITHMS",
+    "OptimizationRequest",
     "OptimizationResult",
     "make_optimizer",
     "optimize_query",
+    "optimize_request",
+    "register_algorithm",
+    "unregister_algorithm",
+    # service layer (plan cache, batching, observability)
+    "OptimizerService",
+    "PlanCache",
     # hypergraphs (the paper's future work)
     "Hyperedge",
     "Hypergraph",

@@ -7,11 +7,19 @@ Examples::
     repro-optimize --edges "0-1,1-2,2-0" --cards "100,2000,50" \
         --sels "0-1:0.1,1-2:0.05,2-0:0.5" --cost-model physical
     repro-optimize --shape star --n 9 --compare
+
+Subcommands (``repro-optimize <subcommand> ...`` or
+``python -m repro.cli <subcommand> ...``)::
+
+    serve-stats    drive an OptimizerService over a workload and report
+                   cache hit/miss/eviction counts and per-algorithm
+                   latency percentiles (optionally as JSON)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -80,7 +88,127 @@ def _build_catalog(args) -> Catalog:
     return generator.fixed_shape(args.shape, args.n).catalog
 
 
+def _serve_stats_main(argv: List[str]) -> int:
+    """``serve-stats``: run a workload through an OptimizerService.
+
+    Generates ``--count`` distinct queries of the requested shape, runs
+    ``--repeat`` batch passes over them (passes beyond the first are
+    warm), then prints the service's ``stats_snapshot()``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-optimize serve-stats",
+        description="Serve a workload from a long-lived OptimizerService "
+        "and report plan-cache and latency statistics.",
+    )
+    parser.add_argument(
+        "--shape",
+        choices=["chain", "star", "cycle", "clique", "acyclic", "cyclic"],
+        default="chain",
+        help="generated query graph shape",
+    )
+    parser.add_argument("--n", type=int, default=8, help="relations per query")
+    parser.add_argument(
+        "--count", type=int, default=8, help="distinct queries to generate"
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="batch passes over the query set (passes > 1 hit the cache)",
+    )
+    parser.add_argument("--workers", type=int, default=4, help="batch threads")
+    parser.add_argument(
+        "--algorithm",
+        default="auto",
+        help='registry algorithm name or "auto" (default)',
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=512, help="plan cache capacity"
+    )
+    parser.add_argument(
+        "--pruning", action="store_true", help="enable branch-and-bound pruning"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--load-cache", metavar="PATH", help="warm the cache from a JSON file"
+    )
+    parser.add_argument(
+        "--save-cache", metavar="PATH", help="persist the cache to a JSON file"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the raw snapshot as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.optimizer.api import OptimizationRequest
+    from repro.service import OptimizerService
+
+    try:
+        generator = WorkloadGenerator(seed=args.seed)
+        instances = list(
+            generator.series(args.shape, [args.n], per_size=args.count)
+        )
+        service = OptimizerService(cache_capacity=args.capacity)
+        if args.load_cache:
+            loaded = service.load_cache(args.load_cache)
+            print(f"warmed cache with {loaded} entries from {args.load_cache}")
+        requests = [
+            OptimizationRequest(
+                query=instance,
+                algorithm=args.algorithm,
+                enable_pruning=args.pruning,
+                tag=f"q{i}",
+            )
+            for i, instance in enumerate(instances)
+        ]
+        for _ in range(max(1, args.repeat)):
+            results = service.optimize_batch(requests, workers=args.workers)
+        failed = [r for r in results if not r.ok]
+        snapshot = service.stats_snapshot()
+        if args.save_cache:
+            saved = service.save_cache(args.save_cache)
+            print(f"saved {saved} cache entries to {args.save_cache}")
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+            return 0
+        totals, cache = snapshot["totals"], snapshot["cache"]
+        print(
+            f"requests={totals['requests']} errors={totals['errors']} "
+            f"cache_hits={totals['cache_hits']} "
+            f"cache_misses={totals['cache_misses']}"
+        )
+        print(
+            f"cache: size={cache['size']}/{cache['capacity']} "
+            f"hits={cache['hits']} misses={cache['misses']} "
+            f"evictions={cache['evictions']}"
+        )
+        for name, stats in snapshot["algorithms"].items():
+            latency = stats["latency"]
+            print(
+                f"  {name:18s} count={stats['count']:<5d} "
+                f"hits={stats['cache_hits']:<5d} errors={stats['errors']:<3d} "
+                f"p50={latency.get('p50_ms', 0):.2f}ms "
+                f"p95={latency.get('p95_ms', 0):.2f}ms "
+                f"p99={latency.get('p99_ms', 0):.2f}ms"
+            )
+        if failed:
+            print(f"failed queries: {[r.tag for r in failed]}", file=sys.stderr)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+#: Subcommand name -> entry point; checked before flat-flag parsing.
+SUBCOMMANDS = {
+    "serve-stats": _serve_stats_main,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-optimize",
         description="Join-order optimization with top-down enumeration "

@@ -14,6 +14,11 @@ from repro.graph.random import (
     random_cyclic_graph,
     random_hypergraph,
 )
+from repro.graph.canonical import (
+    canonical_form,
+    canonical_signature,
+    refine_colors,
+)
 from repro.graph.bcc import biconnected_components, articulation_vertices
 from repro.graph.bcctree import BiconnectionTree
 from repro.graph.hypergraph import Hyperedge, Hypergraph
@@ -31,6 +36,9 @@ __all__ = [
     "make_shape",
     "random_acyclic_graph",
     "random_cyclic_graph",
+    "canonical_form",
+    "canonical_signature",
+    "refine_colors",
     "biconnected_components",
     "articulation_vertices",
     "BiconnectionTree",

@@ -40,12 +40,13 @@ class QueryGraph:
     [0, 2]
     """
 
-    __slots__ = ("_n", "_adjacency", "_edges", "_all_vertices")
+    __slots__ = ("_n", "_adjacency", "_edges", "_all_vertices", "_canonical")
 
     def __init__(self, n_vertices: int, edges: Iterable[Tuple[int, int]]):
         if n_vertices <= 0:
             raise GraphError(f"need at least one vertex, got {n_vertices}")
         self._n = n_vertices
+        self._canonical = None  # lazily computed (order, edges, signature)
         self._adjacency: List[int] = [0] * n_vertices
         edge_list: List[Tuple[int, int]] = []
         seen = set()
@@ -233,6 +234,36 @@ class QueryGraph:
         if m == n * (n - 1) // 2:
             return "clique"
         return "cyclic"
+
+    # ------------------------------------------------------------------
+    # Canonical form (shape identity for caches and dedup)
+    # ------------------------------------------------------------------
+
+    def canonical_form(self) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...]]:
+        """Return ``(order, edges)`` of the structure-only canonical labeling.
+
+        ``order[p]`` is the vertex placed at canonical position ``p``;
+        ``edges`` is the edge list rewritten in canonical positions.
+        Isomorphic graphs share ``edges``; see :mod:`repro.graph.canonical`
+        for the degree-refinement scheme.  The result is cached on the
+        (immutable) graph.
+        """
+        if self._canonical is None:
+            from repro.graph.canonical import canonical_form, signature_of_form
+
+            order, edges = canonical_form(self)
+            self._canonical = (order, edges, signature_of_form(self._n, edges))
+        return self._canonical[0], self._canonical[1]
+
+    def canonical_signature(self) -> str:
+        """Return a hex digest equal for all isomorphic relabelings.
+
+        The structural half of the service layer's plan-cache key; two
+        graphs with the same signature have identical canonical edge
+        lists (up to hash collision).
+        """
+        self.canonical_form()
+        return self._canonical[2]
 
     # ------------------------------------------------------------------
     # Dunder / misc

@@ -8,9 +8,13 @@ from repro.optimizer.dphyp import DPhyp, HyperDPsub, TopDownHyp, TopDownHypBasic
 from repro.optimizer.api import (
     ALGORITHMS,
     choose_algorithm,
+    OptimizationRequest,
     OptimizationResult,
     make_optimizer,
     optimize_query,
+    optimize_request,
+    register_algorithm,
+    unregister_algorithm,
 )
 
 __all__ = [
@@ -26,7 +30,11 @@ __all__ = [
     "enumerate_cmp",
     "ALGORITHMS",
     "choose_algorithm",
+    "OptimizationRequest",
     "OptimizationResult",
     "make_optimizer",
     "optimize_query",
+    "optimize_request",
+    "register_algorithm",
+    "unregister_algorithm",
 ]

@@ -1,4 +1,4 @@
-"""Public optimization facade: algorithm registry and ``optimize_query``.
+"""Public optimization facade: algorithm registry and the request API.
 
 The registry names match the paper's:
 
@@ -13,12 +13,28 @@ dpccp           DPccp — bottom-up csg-cmp-pair enumeration
 dpsub           DPsub — bottom-up subset enumeration (oracle)
 dpsize          DPsize — bottom-up size-driven enumeration
 ============== ====================================================
+
+Algorithms register through the :func:`register_algorithm` decorator;
+``ALGORITHMS`` is the live name → factory dict, so external code can plug
+in enumerators without editing this module::
+
+    @register_algorithm("myenum")
+    def _make_myenum(catalog, cost_model=None, enable_pruning=False):
+        return MyEnumerator(catalog, cost_model=cost_model)
+
+The preferred entry point is an :class:`OptimizationRequest` passed to
+:func:`optimize_request`; :func:`optimize_query` remains as a thin
+keyword-argument shim over it.  For a long-lived process serving many
+queries, wrap the registry in a :class:`repro.service.OptimizerService`,
+which adds plan caching, batching, and run-stats observability on top of
+the same request/response objects.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Union
 
 from repro.catalog.statistics import Catalog
@@ -38,25 +54,70 @@ from repro.plan.jointree import JoinTree
 
 __all__ = [
     "ALGORITHMS",
+    "OptimizationRequest",
     "OptimizationResult",
     "choose_algorithm",
     "make_optimizer",
     "optimize_query",
+    "optimize_request",
+    "register_algorithm",
+    "unregister_algorithm",
 ]
 
+#: Name -> factory(catalog, cost_model=None, enable_pruning=False).
+#: Populated by :func:`register_algorithm`; this dict is the live view —
+#: registrations and removals are visible to every reader immediately.
+ALGORITHMS: Dict[str, Callable] = {}
 
+
+def register_algorithm(name: str, *, replace_existing: bool = False) -> Callable:
+    """Class/function decorator adding a factory to :data:`ALGORITHMS`.
+
+    The decorated callable must accept
+    ``(catalog, cost_model=None, enable_pruning=False)`` and return an
+    object with an ``optimize() -> JoinTree`` method and a ``builder``
+    attribute (see :class:`~repro.plan.builder.PlanBuilder`).
+
+    Re-registering a taken name raises unless ``replace_existing=True``,
+    so plugins fail loudly instead of silently shadowing the paper's
+    algorithms.
+    """
+
+    def decorator(factory: Callable) -> Callable:
+        if not replace_existing and name in ALGORITHMS:
+            raise OptimizationError(
+                f"algorithm {name!r} is already registered; "
+                "pass replace_existing=True to override"
+            )
+        ALGORITHMS[name] = factory
+        return factory
+
+    return decorator
+
+
+def unregister_algorithm(name: str) -> Callable:
+    """Remove and return a registered factory (for plugin teardown)."""
+    try:
+        return ALGORITHMS.pop(name)
+    except KeyError:
+        raise OptimizationError(f"algorithm {name!r} is not registered") from None
+
+
+@register_algorithm("tdmincutbranch")
 def _make_tdmincutbranch(catalog, cost_model=None, enable_pruning=False):
     return TopDownPlanGenerator(
         catalog, MinCutBranch, cost_model=cost_model, enable_pruning=enable_pruning
     )
 
 
+@register_algorithm("tdmincutlazy")
 def _make_tdmincutlazy(catalog, cost_model=None, enable_pruning=False):
     return TopDownPlanGenerator(
         catalog, MinCutLazy, cost_model=cost_model, enable_pruning=enable_pruning
     )
 
 
+@register_algorithm("memoizationbasic")
 def _make_memoizationbasic(catalog, cost_model=None, enable_pruning=False):
     return TopDownPlanGenerator(
         catalog,
@@ -66,6 +127,7 @@ def _make_memoizationbasic(catalog, cost_model=None, enable_pruning=False):
     )
 
 
+@register_algorithm("tdconservative")
 def _make_tdconservative(catalog, cost_model=None, enable_pruning=False):
     return TopDownPlanGenerator(
         catalog,
@@ -75,62 +137,137 @@ def _make_tdconservative(catalog, cost_model=None, enable_pruning=False):
     )
 
 
+@register_algorithm("dpccp")
 def _make_dpccp(catalog, cost_model=None, enable_pruning=False):
     if enable_pruning:
         raise OptimizationError("bottom-up enumeration cannot prune easily (Sec. I)")
     return DPccp(catalog, cost_model=cost_model)
 
 
+@register_algorithm("dpsub")
 def _make_dpsub(catalog, cost_model=None, enable_pruning=False):
     if enable_pruning:
         raise OptimizationError("bottom-up enumeration cannot prune easily (Sec. I)")
     return DPsub(catalog, cost_model=cost_model)
 
 
+@register_algorithm("dpsize")
 def _make_dpsize(catalog, cost_model=None, enable_pruning=False):
     if enable_pruning:
         raise OptimizationError("bottom-up enumeration cannot prune easily (Sec. I)")
     return DPsize(catalog, cost_model=cost_model)
 
 
-#: Name -> factory(catalog, cost_model=None, enable_pruning=False).
-ALGORITHMS: Dict[str, Callable] = {
-    "tdmincutbranch": _make_tdmincutbranch,
-    "tdmincutlazy": _make_tdmincutlazy,
-    "memoizationbasic": _make_memoizationbasic,
-    "tdconservative": _make_tdconservative,
-    "dpccp": _make_dpccp,
-    "dpsub": _make_dpsub,
-    "dpsize": _make_dpsize,
-}
+@dataclass(frozen=True)
+class OptimizationRequest:
+    """One optimization job, fully specified.
+
+    The request object is the canonical input of both the facade
+    (:func:`optimize_request`) and the service layer
+    (:class:`repro.service.OptimizerService`): everything that influences
+    the answer — and therefore everything a plan cache must key on — is a
+    field here.
+
+    ``query`` may be a :class:`Catalog`, a :class:`QueryInstance`, or a
+    bare :class:`QueryGraph` (which gets uniform placeholder statistics —
+    handy for structural experiments where, as in the paper, the numbers
+    do not influence the search space).
+
+    ``tag`` is an opaque caller correlation id echoed on the result;
+    batch callers use it to match responses to submissions.
+    """
+
+    query: Union[Catalog, QueryInstance, QueryGraph]
+    algorithm: str = "tdmincutbranch"
+    cost_model: Optional[CostModel] = None
+    enable_pruning: bool = False
+    allow_cross_products: bool = False
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.query, (Catalog, QueryInstance, QueryGraph)):
+            raise OptimizationError(
+                f"cannot optimize object of type {type(self.query).__name__}"
+            )
+        if not isinstance(self.algorithm, str):
+            raise OptimizationError(
+                f"algorithm must be a registry name, got {self.algorithm!r}"
+            )
+
+    def resolved_catalog(self) -> Catalog:
+        """Return the statistics catalog the optimizer will run on.
+
+        Bare graphs receive uniform placeholder statistics; with
+        ``allow_cross_products=True`` disconnected graphs are stitched
+        with artificial selectivity-1 edges (see
+        :mod:`repro.catalog.crossproduct`) — the paper's search space
+        itself is cross-product-free.
+        """
+        if isinstance(self.query, QueryInstance):
+            catalog = self.query.catalog
+        elif isinstance(self.query, Catalog):
+            catalog = self.query
+        else:
+            catalog = uniform_statistics(self.query)
+        if self.allow_cross_products:
+            from repro.catalog.crossproduct import connect_components
+
+            catalog = connect_components(catalog)
+        return catalog
+
+    def with_query(self, query) -> "OptimizationRequest":
+        """Return a copy of the request aimed at a different query."""
+        return replace(self, query=query)
 
 
 @dataclass
 class OptimizationResult:
-    """Outcome of one optimization run with provenance and counters."""
+    """Outcome of one optimization run with provenance and counters.
 
-    plan: JoinTree
+    ``plan`` is ``None`` exactly when ``error`` is set — batch execution
+    isolates per-item failures into such results instead of raising.
+    ``cache_hit`` and ``signature`` are populated by the service layer;
+    direct facade calls leave them at their defaults.
+    """
+
+    plan: Optional[JoinTree]
     algorithm: str
     elapsed_seconds: float
     memo_entries: int
     cost_evaluations: int
     cardinality_estimations: int
     details: Dict[str, int] = field(default_factory=dict)
+    cache_hit: bool = False
+    signature: Optional[str] = None
+    error: Optional[str] = None
+    tag: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff optimization produced a plan."""
+        return self.error is None
 
     @property
     def cost(self) -> float:
         """Cost of the winning plan."""
+        if self.plan is None:
+            raise OptimizationError(f"no plan: optimization failed ({self.error})")
         return self.plan.cost
 
     def summary(self) -> str:
         """One-line human-readable report."""
-        return (
+        if self.plan is None:
+            return f"{self.algorithm}: failed ({self.error})"
+        line = (
             f"{self.algorithm}: cost={self.plan.cost:.6g} "
             f"joins={self.plan.n_joins()} memo={self.memo_entries} "
             f"cost_evals={self.cost_evaluations} "
             f"card_estimations={self.cardinality_estimations} "
             f"time={self.elapsed_seconds * 1e3:.2f}ms"
         )
+        if self.cache_hit:
+            line += " [cached]"
+        return line
 
 
 def choose_algorithm(catalog: Catalog, enable_pruning: bool = False) -> str:
@@ -139,6 +276,8 @@ def choose_algorithm(catalog: Catalog, enable_pruning: bool = False) -> str:
     Rules of thumb distilled from the paper's Tables IV/V and this
     library's own measurements:
 
+    * single relation → nothing to enumerate → any top-down driver
+      (the facade short-circuits to a trivial plan before it runs);
     * pruning requested → top-down is the only option → MinCutBranch;
     * sparse or moderate graphs → TDMinCutBranch (at or below DPccp,
       and it keeps the top-down pruning door open);
@@ -146,23 +285,43 @@ def choose_algorithm(catalog: Catalog, enable_pruning: bool = False) -> str:
       enumeration carries the smallest constant in this implementation.
     """
     graph = catalog.graph
+    n = graph.n_vertices
+    if n <= 1:
+        # Explicit fast path: with no joins there is no density to
+        # compute (max_edges would be 0) and no partitioner to choose.
+        return "tdmincutbranch"
     if enable_pruning:
         return "tdmincutbranch"
-    n = graph.n_vertices
     max_edges = n * (n - 1) // 2
-    density = graph.n_edges / max_edges if max_edges else 0.0
+    density = graph.n_edges / max_edges
     if n >= 10 and density > 0.5:
         return "dpccp"
     return "tdmincutbranch"
 
 
 def make_optimizer(
-    algorithm: str,
-    catalog: Catalog,
+    algorithm: Union[str, OptimizationRequest],
+    catalog: Optional[Catalog] = None,
     cost_model: Optional[CostModel] = None,
     enable_pruning: bool = False,
 ):
-    """Instantiate a plan generator by registry name (or "auto")."""
+    """Instantiate a plan generator by registry name (or "auto").
+
+    Also accepts a single :class:`OptimizationRequest`, from which the
+    algorithm name, catalog, cost model, and pruning flag are taken.
+    """
+    if isinstance(algorithm, OptimizationRequest):
+        request = algorithm
+        if catalog is not None:
+            raise OptimizationError(
+                "pass either an OptimizationRequest or (algorithm, catalog), not both"
+            )
+        catalog = request.resolved_catalog()
+        algorithm = request.algorithm
+        cost_model = request.cost_model
+        enable_pruning = request.enable_pruning
+    if catalog is None:
+        raise OptimizationError("make_optimizer needs a catalog")
     if algorithm == "auto":
         algorithm = choose_algorithm(catalog, enable_pruning=enable_pruning)
     try:
@@ -174,43 +333,53 @@ def make_optimizer(
     return factory(catalog, cost_model=cost_model, enable_pruning=enable_pruning)
 
 
-def optimize_query(
-    query: Union[Catalog, QueryInstance, QueryGraph],
-    algorithm: str = "tdmincutbranch",
-    cost_model: Optional[CostModel] = None,
-    enable_pruning: bool = False,
-    allow_cross_products: bool = False,
-) -> OptimizationResult:
-    """Optimize a query and return the plan with run statistics.
+def trivial_plan(catalog: Catalog) -> JoinTree:
+    """Return the single-relation plan for an n=1 catalog.
 
-    ``query`` may be a :class:`Catalog`, a :class:`QueryInstance`, or a
-    bare :class:`QueryGraph` (which gets uniform placeholder statistics —
-    handy for structural experiments where, as in the paper, the numbers
-    do not influence the search space).
-
-    ``allow_cross_products=True`` accepts disconnected query graphs by
-    stitching their components with artificial selectivity-1 edges (see
-    :mod:`repro.catalog.crossproduct`); the paper's search space itself
-    is cross-product-free.
+    A one-relation query has an empty join search space; no enumerator or
+    partitioner needs to run.  The plan is a bare scan leaf with cost 0,
+    matching what every registered enumerator produces for n=1.
     """
-    if isinstance(query, QueryInstance):
-        catalog = query.catalog
-    elif isinstance(query, Catalog):
-        catalog = query
-    elif isinstance(query, QueryGraph):
-        catalog = uniform_statistics(query)
-    else:
+    if catalog.graph.n_vertices != 1:
         raise OptimizationError(
-            f"cannot optimize object of type {type(query).__name__}"
+            f"trivial_plan needs a single-relation catalog, "
+            f"got {catalog.graph.n_vertices} relations"
         )
-    if allow_cross_products:
-        from repro.catalog.crossproduct import connect_components
-
-        catalog = connect_components(catalog)
-    optimizer = make_optimizer(
-        algorithm, catalog, cost_model=cost_model, enable_pruning=enable_pruning
+    return JoinTree(
+        vertex_set=1,
+        cardinality=catalog.cardinality(0),
+        cost=0.0,
+        relation=catalog.relations[0].name,
     )
+
+
+def optimize_request(request: OptimizationRequest) -> OptimizationResult:
+    """Optimize one :class:`OptimizationRequest` and return the result.
+
+    This is the core execution path; :func:`optimize_query` and the
+    service layer both route through it.  Single-relation queries take a
+    fast path that builds the trivial scan plan directly.
+    """
+    catalog = request.resolved_catalog()
     started = time.perf_counter()
+    if catalog.graph.n_vertices <= 1:
+        plan = trivial_plan(catalog)
+        return OptimizationResult(
+            plan=plan,
+            algorithm=request.algorithm,
+            elapsed_seconds=time.perf_counter() - started,
+            memo_entries=1,
+            cost_evaluations=0,
+            cardinality_estimations=0,
+            details={"trivial": 1},
+            tag=request.tag,
+        )
+    optimizer = make_optimizer(
+        request.algorithm,
+        catalog,
+        cost_model=request.cost_model,
+        enable_pruning=request.enable_pruning,
+    )
     plan = optimizer.optimize()
     elapsed = time.perf_counter() - started
     builder = optimizer.builder
@@ -223,10 +392,49 @@ def optimize_query(
         details["pruned_sets"] = optimizer.pruned_sets
     return OptimizationResult(
         plan=plan,
-        algorithm=algorithm,
+        algorithm=request.algorithm,
         elapsed_seconds=elapsed,
         memo_entries=len(builder.memo),
         cost_evaluations=builder.cost_evaluations,
         cardinality_estimations=builder.estimator.estimations,
         details=details,
+        tag=request.tag,
+    )
+
+
+def optimize_query(
+    query: Union[Catalog, QueryInstance, QueryGraph],
+    algorithm: str = "tdmincutbranch",
+    cost_model: Optional[CostModel] = None,
+    enable_pruning: bool = False,
+    allow_cross_products: bool = False,
+) -> OptimizationResult:
+    """Optimize a query and return the plan with run statistics.
+
+    Backward-compatible keyword shim over :func:`optimize_request`; see
+    :class:`OptimizationRequest` for the meaning of each parameter.
+
+    .. deprecated:: 1.1
+       Passing a bare :class:`QueryGraph` where a :class:`Catalog` is
+       expected still works (uniform placeholder statistics are attached)
+       but now emits a :class:`DeprecationWarning`; build an explicit
+       ``OptimizationRequest`` — or a catalog via
+       :func:`repro.catalog.workload.uniform_statistics` — instead.
+    """
+    if isinstance(query, QueryGraph):
+        warnings.warn(
+            "passing a bare QueryGraph to optimize_query is deprecated; "
+            "attach statistics with uniform_statistics(graph) or build an "
+            "OptimizationRequest",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return optimize_request(
+        OptimizationRequest(
+            query=query,
+            algorithm=algorithm,
+            cost_model=cost_model,
+            enable_pruning=enable_pruning,
+            allow_cross_products=allow_cross_products,
+        )
     )

@@ -8,6 +8,7 @@ custom encoder needed):
 * :func:`graph_to_dict` / :func:`graph_from_dict`
 * :func:`catalog_to_dict` / :func:`catalog_from_dict`
 * :func:`plan_to_dict` / :func:`plan_from_dict`
+* :func:`plan_cache_to_dict` / :func:`plan_cache_from_dict`
 * :func:`hypergraph_to_dict` / :func:`hypergraph_from_dict`
 
 All ``*_from_dict`` functions validate through the ordinary constructors,
@@ -33,6 +34,8 @@ __all__ = [
     "catalog_from_dict",
     "plan_to_dict",
     "plan_from_dict",
+    "plan_cache_to_dict",
+    "plan_cache_from_dict",
     "hypergraph_to_dict",
     "hypergraph_from_dict",
 ]
@@ -162,6 +165,60 @@ def plan_from_dict(document: Dict[str, Any]) -> JoinTree:
     plan = decode(document["root"])
     plan.validate()
     return plan
+
+
+# ----------------------------------------------------------------------
+# Plan caches (the service layer's warm state)
+# ----------------------------------------------------------------------
+
+def plan_cache_to_dict(cache) -> Dict[str, Any]:
+    """Serialize a :class:`repro.service.PlanCache`.
+
+    Entries are emitted least- to most-recently used so a reload
+    reconstructs the LRU order.  Plans are stored in the cache's own
+    canonical vertex space; signatures are opaque keys.
+    """
+    return {
+        "kind": "plan_cache",
+        "version": _FORMAT_VERSION,
+        "capacity": cache.capacity,
+        "entries": [
+            {
+                "signature": entry.signature,
+                "algorithm": entry.algorithm,
+                "memo_entries": entry.memo_entries,
+                "cost_evaluations": entry.cost_evaluations,
+                "cardinality_estimations": entry.cardinality_estimations,
+                "details": dict(entry.details),
+                "plan": plan_to_dict(entry.plan),
+            }
+            for entry in cache.entries()
+        ],
+    }
+
+
+def plan_cache_from_dict(document: Dict[str, Any]) -> List:
+    """Deserialize plan-cache entries (plans re-validated on the way in).
+
+    Returns a list of :class:`repro.service.CacheEntry` in the stored
+    recency order; feed them to :meth:`repro.service.PlanCache.put` (or
+    use :meth:`repro.service.PlanCache.load`, which does).
+    """
+    _check_kind(document, "plan_cache")
+    from repro.service.cache import CacheEntry
+
+    return [
+        CacheEntry(
+            signature=item["signature"],
+            plan=plan_from_dict(item["plan"]),
+            algorithm=item["algorithm"],
+            memo_entries=item.get("memo_entries", 0),
+            cost_evaluations=item.get("cost_evaluations", 0),
+            cardinality_estimations=item.get("cardinality_estimations", 0),
+            details=dict(item.get("details", {})),
+        )
+        for item in document["entries"]
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,41 @@
+"""Long-lived optimizer service: plan cache, batching, observability.
+
+The facade in :mod:`repro.optimizer.api` optimizes one query and throws
+everything away.  A production deployment sees the same query *shapes*
+over and over — the paper's point is that enumeration cost is driven by
+graph shape, not statistics — so this package adds the serving layer:
+
+* :class:`OptimizerService` — wraps the algorithm registry behind the
+  :class:`~repro.optimizer.api.OptimizationRequest` /
+  :class:`~repro.optimizer.api.OptimizationResult` objects, with
+  ``optimize``, ``optimize_batch`` and ``stats_snapshot``.
+* :class:`PlanCache` — bounded, thread-safe LRU keyed by a canonical
+  signature of (graph shape, rounded statistics, cost model, algorithm,
+  pruning flag); JSON persistence via :mod:`repro.serialize`.
+* :class:`ServiceMetrics` / :class:`LatencyHistogram` — monotonic
+  counters and p50/p95/p99 latency tracking per algorithm.
+
+Quickstart::
+
+    from repro import WorkloadGenerator
+    from repro.service import OptimizerService
+
+    service = OptimizerService(cache_capacity=256)
+    instance = WorkloadGenerator(seed=1).fixed_shape("chain", 10)
+    cold = service.optimize(instance.catalog)       # enumerates
+    warm = service.optimize(instance.catalog)       # cache hit
+    print(warm.cache_hit, service.stats_snapshot()["cache"])
+"""
+
+from repro.service.cache import CacheEntry, PlanCache
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.core import OptimizerService, request_signature
+
+__all__ = [
+    "CacheEntry",
+    "LatencyHistogram",
+    "OptimizerService",
+    "PlanCache",
+    "ServiceMetrics",
+    "request_signature",
+]

@@ -1,0 +1,155 @@
+"""Bounded, thread-safe LRU cache of optimized plans.
+
+Entries are keyed by the canonical request signature computed in
+:mod:`repro.service.core` and store the winning plan *in canonical
+vertex space* — vertex ``p`` of a cached plan is canonical position
+``p``, not any particular query's numbering.  On a hit the service maps
+the plan back through the requesting query's own canonical order, so one
+entry serves every isomorphic relabeling of the shape it was built from.
+
+The cache is an ``OrderedDict`` LRU under a single lock with monotonic
+hit/miss/eviction counters, and round-trips to JSON through
+:func:`repro.serialize.plan_cache_to_dict` /
+:func:`repro.serialize.plan_cache_from_dict` so warm state survives
+process restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import OptimizationError
+from repro.plan.jointree import JoinTree
+
+__all__ = ["CacheEntry", "PlanCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached optimization outcome.
+
+    ``plan`` lives in canonical vertex space (leaf relation names are
+    ``C0..Cn-1`` placeholders); the run counters are the provenance of
+    the producing run and are echoed on cache-hit results.
+    """
+
+    signature: str
+    plan: JoinTree
+    algorithm: str
+    memo_entries: int = 0
+    cost_evaluations: int = 0
+    cardinality_estimations: int = 0
+    details: Dict[str, int] = field(default_factory=dict)
+
+
+class PlanCache:
+    """Bounded LRU mapping request signatures to :class:`CacheEntry`.
+
+    ``get`` refreshes recency and counts a hit or miss; ``put`` inserts
+    (or refreshes) and evicts the least-recently-used entry beyond
+    ``capacity``.  All operations and counters are guarded by one lock,
+    so the cache is safe under :class:`~repro.service.OptimizerService`'s
+    thread pool.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise OptimizationError(
+                f"plan cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def get(self, signature: str) -> Optional[CacheEntry]:
+        """Return the entry for ``signature`` (refreshing recency) or None."""
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self._hits += 1
+            return entry
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert or refresh an entry, evicting LRU entries over capacity."""
+        with self._lock:
+            if entry.signature in self._entries:
+                self._entries.move_to_end(entry.signature)
+            self._entries[entry.signature] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, signature: str) -> bool:
+        """Membership test; does not touch recency or counters."""
+        with self._lock:
+            return signature in self._entries
+
+    def clear(self) -> None:
+        """Drop all entries (counters keep their lifetime values)."""
+        with self._lock:
+            self._entries.clear()
+
+    def signatures(self) -> List[str]:
+        """Return cached signatures, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def entries(self) -> List[CacheEntry]:
+        """Return a snapshot of entries, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Return size/capacity plus monotonic hit/miss/eviction counts."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> int:
+        """Write all entries to a JSON file; returns the entry count."""
+        from repro.serialize import plan_cache_to_dict
+
+        document = plan_cache_to_dict(self)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        return len(document["entries"])
+
+    def load(self, path: str) -> int:
+        """Merge entries from a JSON file in the file's recency order.
+
+        Returns the number of entries read; if capacity is exceeded the
+        usual LRU eviction applies (and is counted).
+        """
+        from repro.serialize import plan_cache_from_dict
+
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        entries = plan_cache_from_dict(document)
+        for entry in entries:
+            self.put(entry)
+        return len(entries)

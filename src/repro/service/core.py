@@ -1,0 +1,367 @@
+"""The long-lived optimizer service: cached, batched, observable.
+
+:class:`OptimizerService` is the serving-layer counterpart of
+:func:`repro.optimizer.api.optimize_request`.  It keeps a bounded LRU of
+optimized plans keyed by :func:`request_signature` — a canonical digest
+of everything that determines the answer:
+
+* the query graph's **canonical form** (degree-refinement labeling from
+  :mod:`repro.graph.canonical`), so isomorphic relabelings share a key;
+* the **statistics rounded** to a configurable number of significant
+  digits, serialized in canonical vertex order — near-identical
+  workloads share plans, materially different ones do not;
+* the **cost model** class, the **algorithm** (with ``"auto"`` resolved
+  first), and the **pruning flag**.
+
+Cached plans are stored in canonical vertex space and rebound to each
+requesting query's numbering and relation names on a hit, so a hit costs
+one canonical labeling plus a tree copy — orders of magnitude below
+enumeration for anything non-trivial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro import bitset
+from repro.catalog.statistics import Catalog
+from repro.catalog.workload import QueryInstance
+from repro.cost.base import CostModel
+from repro.errors import OptimizationError, ReproError
+from repro.graph.canonical import canonical_form, signature_of_form
+from repro.graph.query_graph import QueryGraph
+from repro.optimizer.api import (
+    OptimizationRequest,
+    OptimizationResult,
+    choose_algorithm,
+    optimize_request,
+)
+from repro.plan.jointree import JoinTree
+from repro.service.cache import CacheEntry, PlanCache
+from repro.service.metrics import ServiceMetrics
+
+__all__ = ["OptimizerService", "request_signature"]
+
+
+def _round_significant(value: float, digits: int) -> float:
+    """Round to ``digits`` significant figures (0 stays 0)."""
+    if value == 0:
+        return 0.0
+    magnitude = math.floor(math.log10(abs(value)))
+    return round(value, digits - 1 - magnitude)
+
+
+def request_signature(
+    catalog: Catalog,
+    algorithm: str,
+    cost_model: Optional[CostModel] = None,
+    enable_pruning: bool = False,
+    round_digits: int = 4,
+) -> Tuple[str, Tuple[int, ...]]:
+    """Return ``(signature, order)`` for a fully resolved request.
+
+    ``signature`` is a hex digest over the canonical graph form, the
+    rounded statistics in canonical order, the cost model class, the
+    algorithm name, and the pruning flag.  ``order`` is the canonical
+    vertex order used (``order[p]`` = this catalog's vertex at canonical
+    position ``p``), which the service needs to rebind cached plans.
+
+    Rounded base cardinalities seed the labeling as vertex colors, so
+    statistics both sharpen the canonical form (less symmetry to branch
+    over) and participate in key identity.
+    """
+    graph = catalog.graph
+    n = graph.n_vertices
+    cards = [
+        _round_significant(catalog.cardinality(v), round_digits) for v in range(n)
+    ]
+    ranking = {c: i for i, c in enumerate(sorted(set(cards)))}
+    order, edges = canonical_form(graph, initial_colors=[ranking[c] for c in cards])
+    position = [0] * n
+    for pos, vertex in enumerate(order):
+        position[vertex] = pos
+    canonical_sels = sorted(
+        (
+            min(position[u], position[v]),
+            max(position[u], position[v]),
+            _round_significant(catalog.selectivity(u, v), round_digits),
+        )
+        for (u, v) in graph.edges
+    )
+    payload = {
+        "shape": signature_of_form(n, edges),
+        "cards": [cards[order[p]] for p in range(n)],
+        "sels": canonical_sels,
+        "cost_model": type(cost_model).__name__ if cost_model else "default",
+        "algorithm": algorithm,
+        "pruning": bool(enable_pruning),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest(), order
+
+
+def _rebind_plan(
+    node: JoinTree,
+    vertex_of_position: Sequence[int],
+    catalog: Optional[Catalog],
+) -> JoinTree:
+    """Map a plan between vertex spaces through ``vertex_of_position``.
+
+    With a ``catalog``, leaf relation names are taken from it (canonical →
+    query space); with ``None`` leaves get ``C<position>`` placeholders
+    (query → canonical space, for storage).
+    """
+    mapped_set = 0
+    for pos in bitset.iter_indices(node.vertex_set):
+        mapped_set |= 1 << vertex_of_position[pos]
+    if node.is_leaf:
+        vertex = mapped_set.bit_length() - 1
+        name = catalog.relations[vertex].name if catalog else f"C{vertex}"
+        return JoinTree(
+            vertex_set=mapped_set,
+            cardinality=node.cardinality,
+            cost=node.cost,
+            relation=name,
+        )
+    return JoinTree(
+        vertex_set=mapped_set,
+        cardinality=node.cardinality,
+        cost=node.cost,
+        left=_rebind_plan(node.left, vertex_of_position, catalog),
+        right=_rebind_plan(node.right, vertex_of_position, catalog),
+        implementation=node.implementation,
+    )
+
+
+class OptimizerService:
+    """Long-lived optimization endpoint with caching and observability.
+
+    Parameters
+    ----------
+    cache_capacity:
+        Maximum number of cached plans (LRU beyond that).
+    default_algorithm:
+        Registry name (or ``"auto"``) used when a raw query — rather than
+        an :class:`OptimizationRequest` — is submitted.
+    default_cost_model:
+        Cost model injected into requests that carry none.
+    round_digits:
+        Significant digits statistics are rounded to for cache keying;
+        lower values trade plan-quality fidelity for a higher hit rate.
+
+    The service is thread-safe: ``optimize`` may be called concurrently,
+    and ``optimize_batch`` runs items on its own thread pool with
+    per-item error isolation (a failing query yields a result with
+    ``error`` set instead of poisoning the batch).
+    """
+
+    def __init__(
+        self,
+        cache_capacity: int = 512,
+        default_algorithm: str = "auto",
+        default_cost_model: Optional[CostModel] = None,
+        round_digits: int = 4,
+    ):
+        self.cache = PlanCache(cache_capacity)
+        self.metrics = ServiceMetrics()
+        self.default_algorithm = default_algorithm
+        self.default_cost_model = default_cost_model
+        self.round_digits = round_digits
+
+    # ------------------------------------------------------------------
+
+    def _as_request(
+        self,
+        query: Union[OptimizationRequest, Catalog, QueryInstance, QueryGraph],
+        **overrides,
+    ) -> OptimizationRequest:
+        if isinstance(query, OptimizationRequest):
+            return replace(query, **overrides) if overrides else query
+        overrides.setdefault("algorithm", self.default_algorithm)
+        return OptimizationRequest(query=query, **overrides)
+
+    def optimize(
+        self,
+        query: Union[OptimizationRequest, Catalog, QueryInstance, QueryGraph],
+        **overrides,
+    ) -> OptimizationResult:
+        """Optimize one query, consulting and feeding the plan cache.
+
+        ``query`` may be a ready :class:`OptimizationRequest` (keyword
+        overrides are applied on top) or any raw query object the request
+        accepts.  Raises the library's usual typed errors on failure; use
+        :meth:`optimize_batch` for isolated per-item errors.
+        """
+        request = self._as_request(query, **overrides)
+        started = time.perf_counter()
+        try:
+            result, effective = self._execute(request)
+        except ReproError:
+            self.metrics.observe(
+                request.algorithm, time.perf_counter() - started, error=True
+            )
+            raise
+        self.metrics.observe(
+            effective, time.perf_counter() - started, cache_hit=result.cache_hit
+        )
+        return result
+
+    def _execute(
+        self, request: OptimizationRequest
+    ) -> Tuple[OptimizationResult, str]:
+        started = time.perf_counter()
+        catalog = request.resolved_catalog()
+        cost_model = (
+            request.cost_model
+            if request.cost_model is not None
+            else self.default_cost_model
+        )
+        effective = request.algorithm
+        if effective == "auto":
+            effective = choose_algorithm(
+                catalog, enable_pruning=request.enable_pruning
+            )
+        signature, order = request_signature(
+            catalog,
+            effective,
+            cost_model,
+            request.enable_pruning,
+            self.round_digits,
+        )
+        entry = self.cache.get(signature)
+        if entry is not None:
+            plan = _rebind_plan(entry.plan, order, catalog)
+            hit = OptimizationResult(
+                plan=plan,
+                algorithm=request.algorithm,
+                elapsed_seconds=time.perf_counter() - started,
+                memo_entries=entry.memo_entries,
+                cost_evaluations=entry.cost_evaluations,
+                cardinality_estimations=entry.cardinality_estimations,
+                details=dict(entry.details),
+                cache_hit=True,
+                signature=signature,
+                tag=request.tag,
+            )
+            return hit, effective
+        run_request = replace(
+            request, query=catalog, cost_model=cost_model, algorithm=effective
+        )
+        result = optimize_request(run_request)
+        position = [0] * catalog.graph.n_vertices
+        for pos, vertex in enumerate(order):
+            position[vertex] = pos
+        self.cache.put(
+            CacheEntry(
+                signature=signature,
+                plan=_rebind_plan(result.plan, position, None),
+                algorithm=effective,
+                memo_entries=result.memo_entries,
+                cost_evaluations=result.cost_evaluations,
+                cardinality_estimations=result.cardinality_estimations,
+                details=dict(result.details),
+            )
+        )
+        result.algorithm = request.algorithm
+        result.signature = signature
+        result.tag = request.tag
+        return result, effective
+
+    # ------------------------------------------------------------------
+
+    def optimize_batch(
+        self,
+        queries: Iterable[
+            Union[OptimizationRequest, Catalog, QueryInstance, QueryGraph]
+        ],
+        workers: int = 4,
+    ) -> List[OptimizationResult]:
+        """Optimize many queries, isolating per-item failures.
+
+        Results come back in submission order.  An item that raises — a
+        disconnected graph without ``allow_cross_products``, an unknown
+        algorithm, a malformed query object — produces an
+        :class:`OptimizationResult` with ``plan=None`` and ``error`` set;
+        the other items are unaffected.  ``workers <= 1`` runs serially
+        on the calling thread.
+        """
+        requests: List[OptimizationRequest] = []
+        prepared: List[Optional[OptimizationResult]] = []
+        for query in queries:
+            try:
+                requests.append(self._as_request(query))
+                prepared.append(None)
+            except ReproError as exc:
+                # The query object itself is malformed; synthesize the
+                # error result without a request.
+                requests.append(None)  # type: ignore[arg-type]
+                prepared.append(self._error_result("?", None, exc, 0.0))
+        if workers <= 1:
+            return [
+                prepared[i]
+                if prepared[i] is not None
+                else self._optimize_isolated(requests[i])
+                for i in range(len(requests))
+            ]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                i: pool.submit(self._optimize_isolated, requests[i])
+                for i in range(len(requests))
+                if prepared[i] is None
+            }
+            return [
+                prepared[i] if prepared[i] is not None else futures[i].result()
+                for i in range(len(requests))
+            ]
+
+    def _optimize_isolated(self, request: OptimizationRequest) -> OptimizationResult:
+        started = time.perf_counter()
+        try:
+            result, effective = self._execute(request)
+        except Exception as exc:  # per-item isolation: never kill the batch
+            elapsed = time.perf_counter() - started
+            self.metrics.observe(request.algorithm, elapsed, error=True)
+            return self._error_result(request.algorithm, request.tag, exc, elapsed)
+        self.metrics.observe(
+            effective, time.perf_counter() - started, cache_hit=result.cache_hit
+        )
+        return result
+
+    @staticmethod
+    def _error_result(algorithm, tag, exc, elapsed) -> OptimizationResult:
+        return OptimizationResult(
+            plan=None,
+            algorithm=algorithm,
+            elapsed_seconds=elapsed,
+            memo_entries=0,
+            cost_evaluations=0,
+            cardinality_estimations=0,
+            error=f"{type(exc).__name__}: {exc}",
+            tag=tag,
+        )
+
+    # ------------------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict:
+        """Return a JSON-ready snapshot of cache and request metrics."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.stats()
+        return snapshot
+
+    def reset_stats(self) -> None:
+        """Start a fresh metrics epoch (the cache contents survive)."""
+        self.metrics.reset()
+
+    def save_cache(self, path: str) -> int:
+        """Persist the plan cache to a JSON file; returns entry count."""
+        return self.cache.save(path)
+
+    def load_cache(self, path: str) -> int:
+        """Warm the plan cache from a JSON file; returns entries loaded."""
+        return self.cache.load(path)

@@ -1,0 +1,160 @@
+"""Run-stats observability: counters and latency histograms.
+
+Everything here is in-process and dependency-free: monotonic counters
+plus a bounded-window latency recorder per algorithm, all guarded by one
+lock so a multi-threaded :class:`~repro.service.OptimizerService` can
+record from its worker pool.  ``snapshot()`` returns plain dicts that are
+``json.dumps``-able as-is (the CLI's ``serve-stats`` subcommand does
+exactly that).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+#: Samples kept per histogram; percentiles describe the most recent
+#: window once a histogram overflows (count/total keep growing).
+DEFAULT_MAX_SAMPLES = 8192
+
+
+class LatencyHistogram:
+    """Latency recorder with nearest-rank percentile queries.
+
+    Stores up to ``max_samples`` most-recent observations in a ring
+    buffer; ``count`` and ``total`` are cumulative over the histogram's
+    lifetime, so throughput math stays exact even after the window rolls.
+    Not thread-safe on its own — :class:`ServiceMetrics` serializes
+    access.
+    """
+
+    __slots__ = ("_samples", "_count", "_total", "_max")
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES):
+        self._samples: Deque[float] = deque(maxlen=max_samples)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one latency observation (in seconds)."""
+        self._samples.append(seconds)
+        self._count += 1
+        self._total += seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    @property
+    def count(self) -> int:
+        """Total observations ever recorded."""
+        return self._count
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile over the retained window, in seconds."""
+        if not self._samples:
+            return None
+        ordered: List[float] = sorted(self._samples)
+        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return count/mean/p50/p95/p99/max in milliseconds."""
+        if self._count == 0:
+            return {"count": 0}
+        ordered = sorted(self._samples)
+
+        def rank(p: float) -> float:
+            idx = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+            return ordered[min(idx, len(ordered) - 1)] * 1e3
+
+        return {
+            "count": self._count,
+            "mean_ms": self._total / self._count * 1e3,
+            "p50_ms": rank(50),
+            "p95_ms": rank(95),
+            "p99_ms": rank(99),
+            "max_ms": self._max * 1e3,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters and per-algorithm latency histograms.
+
+    One instance lives inside each :class:`~repro.service.OptimizerService`;
+    ``observe`` is the single write path, ``snapshot`` the single read
+    path.  Counters are monotonic — ``reset()`` starts a new observation
+    epoch rather than mutating in place, which keeps concurrent readers
+    coherent.
+    """
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES):
+        self._lock = threading.Lock()
+        self._max_samples = max_samples
+        self._totals: Dict[str, int] = {
+            "requests": 0,
+            "errors": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+        self._algorithms: Dict[str, Dict] = {}
+
+    def _algorithm_slot(self, algorithm: str) -> Dict:
+        slot = self._algorithms.get(algorithm)
+        if slot is None:
+            slot = {
+                "count": 0,
+                "errors": 0,
+                "cache_hits": 0,
+                "histogram": LatencyHistogram(self._max_samples),
+            }
+            self._algorithms[algorithm] = slot
+        return slot
+
+    def observe(
+        self,
+        algorithm: str,
+        seconds: float,
+        cache_hit: bool = False,
+        error: bool = False,
+    ) -> None:
+        """Record one request outcome under the given algorithm label."""
+        with self._lock:
+            self._totals["requests"] += 1
+            slot = self._algorithm_slot(algorithm)
+            slot["count"] += 1
+            slot["histogram"].record(seconds)
+            if error:
+                self._totals["errors"] += 1
+                slot["errors"] += 1
+            elif cache_hit:
+                self._totals["cache_hits"] += 1
+                slot["cache_hits"] += 1
+            else:
+                self._totals["cache_misses"] += 1
+
+    def snapshot(self) -> Dict:
+        """Return a JSON-ready copy of all counters and histograms."""
+        with self._lock:
+            return {
+                "totals": dict(self._totals),
+                "algorithms": {
+                    name: {
+                        "count": slot["count"],
+                        "errors": slot["errors"],
+                        "cache_hits": slot["cache_hits"],
+                        "latency": slot["histogram"].snapshot(),
+                    }
+                    for name, slot in sorted(self._algorithms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop all counters and histograms (new observation epoch)."""
+        with self._lock:
+            for key in self._totals:
+                self._totals[key] = 0
+            self._algorithms.clear()

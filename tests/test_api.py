@@ -6,12 +6,16 @@ from repro import (
     ALGORITHMS,
     Catalog,
     CoutCostModel,
+    OptimizationRequest,
     QueryGraph,
     WorkloadGenerator,
     chain_graph,
     make_optimizer,
     optimize_query,
+    optimize_request,
+    register_algorithm,
     uniform_statistics,
+    unregister_algorithm,
 )
 from repro.errors import OptimizationError
 
@@ -38,6 +42,103 @@ class TestRegistry:
         optimizer = make_optimizer("dpccp", catalog)
         assert optimizer.name == "dpccp"
 
+    def test_register_algorithm_decorator_is_live(self):
+        @register_algorithm("plugin-td")
+        def make_plugin(catalog, cost_model=None, enable_pruning=False):
+            return ALGORITHMS["tdmincutbranch"](
+                catalog, cost_model=cost_model, enable_pruning=enable_pruning
+            )
+
+        try:
+            assert "plugin-td" in ALGORITHMS  # dict is the live view
+            catalog = uniform_statistics(chain_graph(4))
+            result = optimize_query(catalog, algorithm="plugin-td")
+            assert result.plan.n_joins() == 3
+        finally:
+            assert unregister_algorithm("plugin-td") is make_plugin
+        assert "plugin-td" not in ALGORITHMS
+
+    def test_register_duplicate_name_rejected(self):
+        with pytest.raises(OptimizationError):
+            register_algorithm("dpccp")(lambda *a, **k: None)
+
+    def test_register_replace_existing(self):
+        original = ALGORITHMS["dpccp"]
+        try:
+            register_algorithm("dpccp", replace_existing=True)(original)
+            assert ALGORITHMS["dpccp"] is original
+        finally:
+            ALGORITHMS["dpccp"] = original
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(OptimizationError):
+            unregister_algorithm("no-such-algorithm")
+
+
+class TestOptimizationRequest:
+    def test_request_round_trip(self):
+        catalog = uniform_statistics(chain_graph(5))
+        request = OptimizationRequest(query=catalog, algorithm="dpsub", tag="r1")
+        result = optimize_request(request)
+        assert result.algorithm == "dpsub"
+        assert result.tag == "r1"
+        assert result.ok and result.error is None
+        assert result.plan.n_joins() == 4
+
+    def test_request_rejects_garbage_query(self):
+        with pytest.raises(OptimizationError):
+            OptimizationRequest(query=object())
+
+    def test_request_rejects_non_string_algorithm(self):
+        with pytest.raises(OptimizationError):
+            OptimizationRequest(query=chain_graph(3), algorithm=7)
+
+    def test_request_is_frozen(self):
+        request = OptimizationRequest(query=uniform_statistics(chain_graph(3)))
+        with pytest.raises(Exception):
+            request.algorithm = "dpccp"
+
+    def test_with_query_copies_settings(self):
+        request = OptimizationRequest(
+            query=uniform_statistics(chain_graph(3)),
+            algorithm="dpccp",
+            enable_pruning=False,
+        )
+        other = request.with_query(uniform_statistics(chain_graph(4)))
+        assert other.algorithm == "dpccp"
+        assert other.query is not request.query
+
+    def test_make_optimizer_accepts_request(self):
+        request = OptimizationRequest(
+            query=uniform_statistics(chain_graph(3)), algorithm="dpccp"
+        )
+        assert make_optimizer(request).name == "dpccp"
+
+    def test_make_optimizer_rejects_request_plus_catalog(self):
+        catalog = uniform_statistics(chain_graph(3))
+        request = OptimizationRequest(query=catalog)
+        with pytest.raises(OptimizationError):
+            make_optimizer(request, catalog)
+
+    def test_single_relation_fast_path(self):
+        catalog = uniform_statistics(QueryGraph(1, []), cardinality=77.0)
+        for algorithm in ("tdmincutbranch", "dpccp", "auto"):
+            result = optimize_request(
+                OptimizationRequest(query=catalog, algorithm=algorithm)
+            )
+            assert result.plan.is_leaf
+            assert result.plan.cardinality == 77.0
+            assert result.plan.cost == 0.0
+            assert result.details == {"trivial": 1}
+            assert result.memo_entries == 1
+
+    def test_choose_algorithm_single_relation(self):
+        from repro.optimizer.api import choose_algorithm
+
+        catalog = uniform_statistics(QueryGraph(1, []))
+        assert choose_algorithm(catalog) == "tdmincutbranch"
+        assert choose_algorithm(catalog, enable_pruning=True) == "tdmincutbranch"
+
 
 class TestOptimizeQuery:
     def test_accepts_catalog(self):
@@ -47,8 +148,17 @@ class TestOptimizeQuery:
         assert result.plan.n_joins() == 3
 
     def test_accepts_bare_graph(self):
-        result = optimize_query(chain_graph(4))
+        with pytest.warns(DeprecationWarning):
+            result = optimize_query(chain_graph(4))
         assert result.plan.n_joins() == 3
+
+    def test_catalog_does_not_warn(self):
+        import warnings
+
+        catalog = uniform_statistics(chain_graph(4))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            optimize_query(catalog)
 
     def test_accepts_query_instance(self):
         instance = WorkloadGenerator(seed=0).fixed_shape("cycle", 5)

@@ -1,0 +1,144 @@
+"""Tests for degree-refinement canonical labeling (repro.graph.canonical)."""
+
+import random
+
+import pytest
+
+from repro import (
+    QueryGraph,
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    grid_graph,
+    random_acyclic_graph,
+    random_cyclic_graph,
+    star_graph,
+)
+from repro.errors import GraphError
+from repro.graph.canonical import canonical_form, canonical_signature, refine_colors
+
+
+def shuffled(graph: QueryGraph, seed: int) -> QueryGraph:
+    permutation = list(range(graph.n_vertices))
+    random.Random(seed).shuffle(permutation)
+    return graph.relabelled(permutation)
+
+
+class TestRefinement:
+    def test_chain_endpoints_separate_from_middle(self):
+        colors = refine_colors(chain_graph(5), [0] * 5)
+        # 0-1-2-3-4: endpoints, their neighbors, and the center all split.
+        assert colors[0] == colors[4]
+        assert colors[1] == colors[3]
+        assert len(set(colors)) == 3
+
+    def test_star_hub_isolated(self):
+        colors = refine_colors(star_graph(6), [0] * 6)
+        hub_color = colors[0]
+        assert all(c != hub_color for c in colors[1:])
+        assert len(set(colors[1:])) == 1
+
+    def test_clique_stays_monochrome(self):
+        assert len(set(refine_colors(clique_graph(7), [0] * 7))) == 1
+
+    def test_initial_colors_respected(self):
+        graph = cycle_graph(6)
+        colors = refine_colors(graph, [0, 1, 0, 1, 0, 1])
+        assert colors[0] == colors[2] == colors[4]
+        assert colors[1] == colors[3] == colors[5]
+        assert colors[0] != colors[1]
+
+    def test_wrong_color_count_rejected(self):
+        with pytest.raises(GraphError):
+            refine_colors(chain_graph(4), [0, 0])
+
+
+class TestCanonicalForm:
+    @pytest.mark.parametrize("builder,n", [
+        (chain_graph, 9),
+        (star_graph, 9),
+        (cycle_graph, 9),
+        (clique_graph, 9),
+        (chain_graph, 14),
+        (clique_graph, 14),
+    ])
+    def test_relabeling_invariance_fixed_shapes(self, builder, n):
+        graph = builder(n)
+        _, edges = canonical_form(graph)
+        for seed in range(6):
+            _, relabeled_edges = canonical_form(shuffled(graph, seed))
+            assert relabeled_edges == edges
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_relabeling_invariance_random_graphs(self, seed):
+        for graph in (
+            random_cyclic_graph(11, 18, seed=seed),
+            random_acyclic_graph(11, seed=seed),
+        ):
+            _, edges = canonical_form(graph)
+            _, relabeled_edges = canonical_form(shuffled(graph, seed + 100))
+            assert relabeled_edges == edges
+
+    def test_order_is_permutation_and_edges_match(self):
+        graph = grid_graph(3, 3)
+        order, edges = canonical_form(graph)
+        assert sorted(order) == list(range(9))
+        position = {vertex: p for p, vertex in enumerate(order)}
+        expected = sorted(
+            (min(position[u], position[v]), max(position[u], position[v]))
+            for (u, v) in graph.edges
+        )
+        assert list(edges) == expected
+
+    def test_single_vertex(self):
+        order, edges = canonical_form(QueryGraph(1, []))
+        assert order == (0,)
+        assert edges == ()
+
+    def test_initial_colors_break_symmetry(self):
+        # A 4-cycle with one distinguished vertex: the distinguished vertex
+        # must land in the same canonical position for every relabeling.
+        graph = cycle_graph(4)
+        order, _ = canonical_form(graph, initial_colors=[0, 1, 1, 1])
+        relabeled = graph.relabelled([2, 3, 0, 1])
+        r_order, _ = canonical_form(relabeled, initial_colors=[1, 1, 0, 1])
+        assert order.index(0) == r_order.index(2)
+
+
+class TestSignature:
+    def test_isomorphic_graphs_share_signature(self):
+        graph = random_cyclic_graph(10, 16, seed=3)
+        assert (
+            canonical_signature(graph)
+            == canonical_signature(shuffled(graph, 5))
+            == graph.canonical_signature()
+        )
+
+    def test_non_isomorphic_graphs_differ(self):
+        signatures = {
+            canonical_signature(g)
+            for g in (
+                chain_graph(6),
+                star_graph(6),
+                cycle_graph(6),
+                clique_graph(6),
+                chain_graph(7),
+            )
+        }
+        assert len(signatures) == 5
+
+    def test_color_vector_participates(self):
+        graph = chain_graph(4)
+        plain = canonical_signature(graph)
+        colored = canonical_signature(graph, initial_colors=[0, 1, 1, 0])
+        other = canonical_signature(graph, initial_colors=[1, 0, 0, 1])
+        assert plain != colored
+        assert colored != other
+
+    def test_query_graph_method_caches(self):
+        graph = chain_graph(8)
+        first = graph.canonical_signature()
+        assert graph.canonical_signature() is first  # cached string object
+        order, edges = graph.canonical_form()
+        assert sorted(order) == list(range(8))
+        assert len(edges) == 7

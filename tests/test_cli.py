@@ -59,6 +59,62 @@ class TestOptimizeCli:
         assert "error:" in capsys.readouterr().err
 
 
+class TestServeStatsCli:
+    def test_basic_run(self, capsys):
+        code = cli_main(
+            ["serve-stats", "--shape", "chain", "--n", "5", "--count", "3",
+             "--repeat", "2", "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out
+        assert "hits=" in out and "evictions=" in out
+        assert "p95=" in out
+
+    def test_json_snapshot(self, capsys):
+        import json
+
+        code = cli_main(
+            ["serve-stats", "--shape", "star", "--n", "5", "--count", "2",
+             "--repeat", "3", "--json"]
+        )
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["totals"]["requests"] == 6
+        assert snapshot["cache"]["misses"] == 2
+        assert snapshot["cache"]["hits"] == 4
+        algorithms = snapshot["algorithms"]
+        assert all("p99_ms" in a["latency"] for a in algorithms.values())
+
+    def test_cache_persistence_flags(self, capsys, tmp_path):
+        path = tmp_path / "cache.json"
+        assert cli_main(
+            ["serve-stats", "--shape", "chain", "--n", "4", "--count", "2",
+             "--repeat", "1", "--save-cache", str(path)]
+        ) == 0
+        assert path.exists()
+        assert cli_main(
+            ["serve-stats", "--shape", "chain", "--n", "4", "--count", "2",
+             "--repeat", "1", "--load-cache", str(path), "--json"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        import json
+
+        snapshot = json.loads(payload)
+        # Same seed regenerates the same queries: all hits after warmup.
+        assert snapshot["cache"]["hits"] == 2
+        assert snapshot["cache"]["misses"] == 0
+
+    def test_unknown_algorithm_reports_error(self, capsys):
+        code = cli_main(
+            ["serve-stats", "--shape", "chain", "--n", "4", "--count", "1",
+             "--algorithm", "nope"]
+        )
+        assert code == 0  # batch isolates the failure per item
+        assert "failed queries" in capsys.readouterr().err
+
+
 class TestReportCli:
     def test_list(self, capsys):
         assert report_main(["--list"]) == 0
