@@ -5,13 +5,19 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-service verify
+.PHONY: test bench-service bench-batch verify
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service_cache.py
+
+# Multi-core speedup demo: process vs. thread batch backends.  Asserts
+# the >= 1.5x floor only on multi-core hosts (pass --require-speedup in
+# CI); result parity across backends is always enforced.
+bench-batch:
+	$(PYTHON) benchmarks/bench_batch_parallel.py
 
 verify: test bench-service
 	@echo "verify: ok"

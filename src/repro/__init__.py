@@ -29,6 +29,7 @@ from repro.errors import (
     DisconnectedGraphError,
     CatalogError,
     OptimizationError,
+    DeadlineExceededError,
 )
 from repro.graph import (
     QueryGraph,
@@ -108,6 +109,7 @@ __all__ = [
     "DisconnectedGraphError",
     "CatalogError",
     "OptimizationError",
+    "DeadlineExceededError",
     # graph
     "QueryGraph",
     "chain_graph",

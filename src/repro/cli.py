@@ -116,7 +116,28 @@ def _serve_stats_main(argv: List[str]) -> int:
         default=3,
         help="batch passes over the query set (passes > 1 hit the cache)",
     )
-    parser.add_argument("--workers", type=int, default=4, help="batch threads")
+    parser.add_argument("--workers", type=int, default=4, help="batch workers")
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default="thread",
+        help="batch backend: process = one worker process per item "
+        "(true multi-core, hard deadlines), thread = shared-GIL pool "
+        "(soft deadlines), serial = calling thread",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="per-item wall-clock budget; items past it resolve to an "
+        "error (or heuristic fallback) instead of stalling the batch",
+    )
+    parser.add_argument(
+        "--fallback",
+        action="store_true",
+        help="serve a greedy (GOO) heuristic plan for items that "
+        "exceed --deadline instead of an error result",
+    )
     parser.add_argument(
         "--algorithm",
         default="auto",
@@ -162,7 +183,13 @@ def _serve_stats_main(argv: List[str]) -> int:
             for i, instance in enumerate(instances)
         ]
         for _ in range(max(1, args.repeat)):
-            results = service.optimize_batch(requests, workers=args.workers)
+            results = service.optimize_batch(
+                requests,
+                workers=args.workers,
+                executor=args.executor,
+                deadline_seconds=args.deadline,
+                fallback="goo" if args.fallback else None,
+            )
         failed = [r for r in results if not r.ok]
         snapshot = service.stats_snapshot()
         if args.save_cache:
@@ -175,7 +202,9 @@ def _serve_stats_main(argv: List[str]) -> int:
         print(
             f"requests={totals['requests']} errors={totals['errors']} "
             f"cache_hits={totals['cache_hits']} "
-            f"cache_misses={totals['cache_misses']}"
+            f"cache_misses={totals['cache_misses']} "
+            f"timeouts={totals.get('timeouts', 0)} "
+            f"fallbacks={totals.get('fallbacks', 0)}"
         )
         print(
             f"cache: size={cache['size']}/{cache['capacity']} "

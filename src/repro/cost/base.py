@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Any, Dict, Tuple
 
 __all__ = ["CostModel", "JoinImplementation"]
 
@@ -63,3 +63,18 @@ class CostModel(abc.ABC):
         the paper's BuildTree does, to keep algorithms comparable.
         """
         return False
+
+    def signature_fields(self) -> Dict[str, Any]:
+        """Return the parameters that influence this model's costs.
+
+        The plan cache keys on the cost-model *class name* plus this
+        dict, so two differently-parameterized instances of the same
+        class (say, :class:`~repro.cost.physical.PhysicalCostModel` with
+        different output weights) must not collide to one cache entry.
+        Parameterless models keep the default ``{}``; parameterized
+        models must override and return every knob, JSON-serializable.
+        The same dict is what :func:`repro.serialize.cost_model_to_dict`
+        ships to process-pool workers, so the fields should be accepted
+        by the class constructor as keyword arguments.
+        """
+        return {}

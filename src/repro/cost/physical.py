@@ -18,8 +18,8 @@ symmetric ccp (Fig. 2's two CreateTree calls) genuinely matters here.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Sequence, Tuple
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Sequence, Tuple
 
 from repro.cost.base import CostModel, JoinImplementation
 from repro.errors import OptimizationError
@@ -110,3 +110,12 @@ class PhysicalCostModel(CostModel):
 
     def is_symmetric(self) -> bool:
         return False
+
+    def signature_fields(self) -> Dict[str, Any]:
+        return {
+            "output_weight": self._output_weight,
+            "implementations": [
+                {"class": type(impl).__name__, **asdict(impl)}
+                for impl in self._implementations
+            ],
+        }

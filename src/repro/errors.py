@@ -12,6 +12,7 @@ __all__ = [
     "DisconnectedGraphError",
     "CatalogError",
     "OptimizationError",
+    "DeadlineExceededError",
 ]
 
 
@@ -38,3 +39,14 @@ class CatalogError(ReproError):
 
 class OptimizationError(ReproError):
     """Raised when plan generation cannot complete."""
+
+
+class DeadlineExceededError(OptimizationError):
+    """Raised (or recorded on a batch result) when a request exceeds its
+    per-item deadline.
+
+    The service layer's batch executors convert this into an
+    :class:`~repro.optimizer.api.OptimizationResult` with ``error`` set —
+    or into a heuristic fallback plan when one was requested — instead of
+    letting one slow query stall the whole batch.
+    """

@@ -1,15 +1,20 @@
 """JSON-friendly serialization of query graphs, catalogs, and plans.
 
 A downstream system needs to persist optimizer inputs and outputs: test
-fixtures, regression corpora, plan caches.  This module round-trips the
-library's core objects through plain dicts (``json.dumps``-able, no
-custom encoder needed):
+fixtures, regression corpora, plan caches — and the service layer's
+process-pool executor ships whole optimization jobs across process
+boundaries in this format.  This module round-trips the library's core
+objects through plain dicts (``json.dumps``-able, no custom encoder
+needed):
 
 * :func:`graph_to_dict` / :func:`graph_from_dict`
 * :func:`catalog_to_dict` / :func:`catalog_from_dict`
 * :func:`plan_to_dict` / :func:`plan_from_dict`
 * :func:`plan_cache_to_dict` / :func:`plan_cache_from_dict`
 * :func:`hypergraph_to_dict` / :func:`hypergraph_from_dict`
+* :func:`cost_model_to_dict` / :func:`cost_model_from_dict`
+* :func:`request_to_dict` / :func:`request_from_dict`
+* :func:`result_to_dict` / :func:`result_from_dict`
 
 All ``*_from_dict`` functions validate through the ordinary constructors,
 so a corrupted document raises the library's usual typed errors rather
@@ -18,7 +23,7 @@ than producing a half-built object.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro import bitset
 from repro.catalog.statistics import Catalog, Relation
@@ -38,6 +43,12 @@ __all__ = [
     "plan_cache_from_dict",
     "hypergraph_to_dict",
     "hypergraph_from_dict",
+    "cost_model_to_dict",
+    "cost_model_from_dict",
+    "request_to_dict",
+    "request_from_dict",
+    "result_to_dict",
+    "result_from_dict",
 ]
 
 _FORMAT_VERSION = 1
@@ -251,3 +262,193 @@ def hypergraph_from_dict(document: Dict[str, Any]) -> Hypergraph:
         for item in document["edges"]
     ]
     return Hypergraph(document["n_vertices"], edges)
+
+
+# ----------------------------------------------------------------------
+# Cost models (for shipping requests to worker processes)
+# ----------------------------------------------------------------------
+
+def _join_implementation_classes() -> Dict[str, type]:
+    from repro.cost.physical import HashJoin, NestedLoopJoin, SortMergeJoin
+
+    return {
+        cls.__name__: cls for cls in (NestedLoopJoin, HashJoin, SortMergeJoin)
+    }
+
+
+def _cost_model_classes() -> Dict[str, type]:
+    from repro.cost.cout import CoutCostModel
+    from repro.cost.physical import PhysicalCostModel
+
+    return {cls.__name__: cls for cls in (CoutCostModel, PhysicalCostModel)}
+
+
+def cost_model_to_dict(cost_model) -> Dict[str, Any]:
+    """Serialize a cost model as its class name plus signature fields.
+
+    Only the library's built-in models round-trip; a custom
+    :class:`~repro.cost.base.CostModel` subclass raises, because the
+    receiving process could not reconstruct it.  (Thread and serial
+    executors share the address space and have no such restriction.)
+    """
+    name = type(cost_model).__name__
+    if name not in _cost_model_classes():
+        raise ReproError(
+            f"cost model {name!r} is not serializable; the process "
+            "executor can only ship the library's built-in cost models "
+            "(use executor='thread' for custom models)"
+        )
+    return {
+        "kind": "cost_model",
+        "version": _FORMAT_VERSION,
+        "class": name,
+        "params": cost_model.signature_fields(),
+    }
+
+
+def cost_model_from_dict(document: Dict[str, Any]):
+    """Deserialize a cost model serialized by :func:`cost_model_to_dict`."""
+    _check_kind(document, "cost_model")
+    classes = _cost_model_classes()
+    name = document["class"]
+    if name not in classes:
+        raise ReproError(f"unknown cost model class {name!r}")
+    params = dict(document.get("params", {}))
+    if "implementations" in params:
+        implementation_classes = _join_implementation_classes()
+        implementations = []
+        for item in params["implementations"]:
+            impl_name = item.get("class")
+            if impl_name not in implementation_classes:
+                raise ReproError(
+                    f"unknown join implementation class {impl_name!r}"
+                )
+            kwargs = {k: v for k, v in item.items() if k != "class"}
+            implementations.append(implementation_classes[impl_name](**kwargs))
+        params["implementations"] = implementations
+    return classes[name](**params)
+
+
+# ----------------------------------------------------------------------
+# Optimization requests and results (the process executor's wire format)
+# ----------------------------------------------------------------------
+
+def request_to_dict(request) -> Dict[str, Any]:
+    """Serialize an :class:`~repro.optimizer.api.OptimizationRequest`.
+
+    ``query`` may be a catalog, a bare graph, or a workload
+    :class:`~repro.catalog.workload.QueryInstance` (whose shape/seed
+    provenance is preserved).  The cost model must be serializable per
+    :func:`cost_model_to_dict`; ``None`` round-trips as ``None``.
+    """
+    from repro.catalog.workload import QueryInstance
+
+    query = request.query
+    if isinstance(query, QueryInstance):
+        query_document: Dict[str, Any] = {
+            "kind": "query_instance",
+            "catalog": catalog_to_dict(query.catalog),
+            "shape": query.shape,
+            "seed": query.seed,
+        }
+    elif isinstance(query, Catalog):
+        query_document = catalog_to_dict(query)
+    elif isinstance(query, QueryGraph):
+        query_document = graph_to_dict(query)
+    else:
+        raise ReproError(
+            f"cannot serialize query of type {type(query).__name__}"
+        )
+    return {
+        "kind": "optimization_request",
+        "version": _FORMAT_VERSION,
+        "query": query_document,
+        "algorithm": request.algorithm,
+        "cost_model": (
+            cost_model_to_dict(request.cost_model)
+            if request.cost_model is not None
+            else None
+        ),
+        "enable_pruning": request.enable_pruning,
+        "allow_cross_products": request.allow_cross_products,
+        "tag": request.tag,
+    }
+
+
+def request_from_dict(document: Dict[str, Any]):
+    """Deserialize an :class:`~repro.optimizer.api.OptimizationRequest`."""
+    _check_kind(document, "optimization_request")
+    from repro.catalog.workload import QueryInstance
+    from repro.optimizer.api import OptimizationRequest
+
+    query_document = document["query"]
+    if not isinstance(query_document, dict):
+        raise ReproError("request query must be a serialized document")
+    query_kind = query_document.get("kind")
+    if query_kind == "query_instance":
+        catalog = catalog_from_dict(query_document["catalog"])
+        query: Any = QueryInstance(
+            graph=catalog.graph,
+            catalog=catalog,
+            shape=query_document.get("shape", "unknown"),
+            seed=query_document.get("seed"),
+        )
+    elif query_kind == "catalog":
+        query = catalog_from_dict(query_document)
+    elif query_kind == "query_graph":
+        query = graph_from_dict(query_document)
+    else:
+        raise ReproError(f"unknown request query kind {query_kind!r}")
+    cost_model_document = document.get("cost_model")
+    return OptimizationRequest(
+        query=query,
+        algorithm=document["algorithm"],
+        cost_model=(
+            cost_model_from_dict(cost_model_document)
+            if cost_model_document is not None
+            else None
+        ),
+        enable_pruning=document.get("enable_pruning", False),
+        allow_cross_products=document.get("allow_cross_products", False),
+        tag=document.get("tag"),
+    )
+
+
+def result_to_dict(result) -> Dict[str, Any]:
+    """Serialize an :class:`~repro.optimizer.api.OptimizationResult`."""
+    return {
+        "kind": "optimization_result",
+        "version": _FORMAT_VERSION,
+        "plan": plan_to_dict(result.plan) if result.plan is not None else None,
+        "algorithm": result.algorithm,
+        "elapsed_seconds": result.elapsed_seconds,
+        "memo_entries": result.memo_entries,
+        "cost_evaluations": result.cost_evaluations,
+        "cardinality_estimations": result.cardinality_estimations,
+        "details": dict(result.details),
+        "cache_hit": result.cache_hit,
+        "signature": result.signature,
+        "error": result.error,
+        "tag": result.tag,
+    }
+
+
+def result_from_dict(document: Dict[str, Any]):
+    """Deserialize an :class:`~repro.optimizer.api.OptimizationResult`."""
+    _check_kind(document, "optimization_result")
+    from repro.optimizer.api import OptimizationResult
+
+    plan_document: Optional[Dict[str, Any]] = document.get("plan")
+    return OptimizationResult(
+        plan=plan_from_dict(plan_document) if plan_document is not None else None,
+        algorithm=document["algorithm"],
+        elapsed_seconds=document.get("elapsed_seconds", 0.0),
+        memo_entries=document.get("memo_entries", 0),
+        cost_evaluations=document.get("cost_evaluations", 0),
+        cardinality_estimations=document.get("cardinality_estimations", 0),
+        details=dict(document.get("details", {})),
+        cache_hit=document.get("cache_hit", False),
+        signature=document.get("signature"),
+        error=document.get("error"),
+        tag=document.get("tag"),
+    )

@@ -9,11 +9,17 @@ graph shape, not statistics — so this package adds the serving layer:
   :class:`~repro.optimizer.api.OptimizationRequest` /
   :class:`~repro.optimizer.api.OptimizationResult` objects, with
   ``optimize``, ``optimize_batch`` and ``stats_snapshot``.
+* :class:`ProcessPoolExecutor` — batch backend that runs items in worker
+  processes (true multi-core for CPU-bound enumeration) with per-item
+  deadlines and worker recycling; ``optimize_batch`` selects it via
+  ``executor="process"`` next to ``"thread"`` and ``"serial"``.
 * :class:`PlanCache` — bounded, thread-safe LRU keyed by a canonical
-  signature of (graph shape, rounded statistics, cost model, algorithm,
-  pruning flag); JSON persistence via :mod:`repro.serialize`.
+  signature of (graph shape, rounded statistics, cost model class and
+  parameters, algorithm, pruning flag, cross-product flag); JSON
+  persistence via :mod:`repro.serialize`.
 * :class:`ServiceMetrics` / :class:`LatencyHistogram` — monotonic
-  counters and p50/p95/p99 latency tracking per algorithm.
+  counters (including deadline timeouts and heuristic fallbacks) and
+  p50/p95/p99 latency tracking per algorithm.
 
 Quickstart::
 
@@ -28,14 +34,18 @@ Quickstart::
 """
 
 from repro.service.cache import CacheEntry, PlanCache
+from repro.service.executor import EXECUTORS, JobOutcome, ProcessPoolExecutor
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.core import OptimizerService, request_signature
 
 __all__ = [
     "CacheEntry",
+    "EXECUTORS",
+    "JobOutcome",
     "LatencyHistogram",
     "OptimizerService",
     "PlanCache",
+    "ProcessPoolExecutor",
     "ServiceMetrics",
     "request_signature",
 ]

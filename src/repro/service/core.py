@@ -10,13 +10,23 @@ of everything that determines the answer:
 * the **statistics rounded** to a configurable number of significant
   digits, serialized in canonical vertex order — near-identical
   workloads share plans, materially different ones do not;
-* the **cost model** class, the **algorithm** (with ``"auto"`` resolved
-  first), and the **pruning flag**.
+* the **cost model** class *and its parameters* (via
+  :meth:`~repro.cost.base.CostModel.signature_fields`), the **algorithm**
+  (with ``"auto"`` resolved first), the **pruning flag**, and the
+  **cross-product flag**.
 
 Cached plans are stored in canonical vertex space and rebound to each
 requesting query's numbering and relation names on a hit, so a hit costs
 one canonical labeling plus a tree copy — orders of magnitude below
 enumeration for anything non-trivial.
+
+Batches run on one of three executors — ``"serial"``, ``"thread"``, or
+``"process"`` — with optional per-item ``deadline_seconds`` and an
+optional greedy-heuristic fallback plan for items that blow the budget.
+The process executor (:mod:`repro.service.executor`) is the one that
+actually uses multiple cores and the only one that can reclaim a hung
+worker; the cache always lives in the parent, so hit behaviour is
+identical across executors.
 """
 
 from __future__ import annotations
@@ -26,14 +36,15 @@ import json
 import math
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from concurrent.futures import TimeoutError as _FutureTimeoutError
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro import bitset
 from repro.catalog.statistics import Catalog
 from repro.catalog.workload import QueryInstance
 from repro.cost.base import CostModel
-from repro.errors import OptimizationError, ReproError
+from repro.errors import DeadlineExceededError, OptimizationError, ReproError
 from repro.graph.canonical import canonical_form, signature_of_form
 from repro.graph.query_graph import QueryGraph
 from repro.optimizer.api import (
@@ -44,13 +55,17 @@ from repro.optimizer.api import (
 )
 from repro.plan.jointree import JoinTree
 from repro.service.cache import CacheEntry, PlanCache
+from repro.service.executor import EXECUTORS, ProcessPoolExecutor
 from repro.service.metrics import ServiceMetrics
 
 __all__ = ["OptimizerService", "request_signature"]
 
+#: Accepted ``fallback=`` values for ``optimize_batch``.
+_FALLBACKS = (None, "goo")
+
 
 def _round_significant(value: float, digits: int) -> float:
-    """Round to ``digits`` significant figures (0 stays 0)."""
+    """Round a finite value to ``digits`` significant figures (0 stays 0)."""
     if value == 0:
         return 0.0
     magnitude = math.floor(math.log10(abs(value)))
@@ -63,21 +78,46 @@ def request_signature(
     cost_model: Optional[CostModel] = None,
     enable_pruning: bool = False,
     round_digits: int = 4,
+    allow_cross_products: bool = False,
 ) -> Tuple[str, Tuple[int, ...]]:
     """Return ``(signature, order)`` for a fully resolved request.
 
     ``signature`` is a hex digest over the canonical graph form, the
-    rounded statistics in canonical order, the cost model class, the
-    algorithm name, and the pruning flag.  ``order`` is the canonical
-    vertex order used (``order[p]`` = this catalog's vertex at canonical
-    position ``p``), which the service needs to rebind cached plans.
+    rounded statistics in canonical order, the cost model class *and its
+    parameters* (:meth:`~repro.cost.base.CostModel.signature_fields`),
+    the algorithm name, the pruning flag, and the cross-product flag.
+    ``order`` is the canonical vertex order used (``order[p]`` = this
+    catalog's vertex at canonical position ``p``), which the service
+    needs to rebind cached plans.
 
     Rounded base cardinalities seed the labeling as vertex colors, so
     statistics both sharpen the canonical form (less symmetry to branch
     over) and participate in key identity.
+
+    Statistics are validated here: a non-finite cardinality or
+    selectivity raises :class:`~repro.errors.OptimizationError` naming
+    the offending relation(s) instead of surfacing as a bare
+    ``OverflowError``/``ValueError`` from the rounding math.
     """
     graph = catalog.graph
     n = graph.n_vertices
+    for vertex in range(n):
+        cardinality = catalog.cardinality(vertex)
+        if not math.isfinite(cardinality):
+            raise OptimizationError(
+                f"non-finite cardinality {cardinality!r} for relation "
+                f"{catalog.relations[vertex].name!r}; fix the catalog "
+                "statistics before optimizing"
+            )
+    for (u, v) in graph.edges:
+        selectivity = catalog.selectivity(u, v)
+        if not math.isfinite(selectivity):
+            raise OptimizationError(
+                f"non-finite selectivity {selectivity!r} on the edge "
+                f"between relations {catalog.relations[u].name!r} and "
+                f"{catalog.relations[v].name!r}; fix the catalog "
+                "statistics before optimizing"
+            )
     cards = [
         _round_significant(catalog.cardinality(v), round_digits) for v in range(n)
     ]
@@ -99,8 +139,12 @@ def request_signature(
         "cards": [cards[order[p]] for p in range(n)],
         "sels": canonical_sels,
         "cost_model": type(cost_model).__name__ if cost_model else "default",
+        "cost_model_params": (
+            cost_model.signature_fields() if cost_model else {}
+        ),
         "algorithm": algorithm,
         "pruning": bool(enable_pruning),
+        "cross_products": bool(allow_cross_products),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest(), order
@@ -139,6 +183,26 @@ def _rebind_plan(
     )
 
 
+@dataclass
+class _PreparedJob:
+    """One batch item after parent-side resolution and cache lookup.
+
+    ``hit`` is the ready cache-hit result (``run_request`` then never
+    runs); otherwise ``run_request`` is the fully resolved request —
+    catalog materialized, ``"auto"`` resolved, cost model injected — that
+    an executor backend should feed to
+    :func:`~repro.optimizer.api.optimize_request`.
+    """
+
+    request: OptimizationRequest
+    run_request: OptimizationRequest
+    catalog: Catalog
+    effective: str
+    signature: str
+    order: Tuple[int, ...]
+    hit: Optional[OptimizationResult] = None
+
+
 class OptimizerService:
     """Long-lived optimization endpoint with caching and observability.
 
@@ -154,11 +218,21 @@ class OptimizerService:
     round_digits:
         Significant digits statistics are rounded to for cache keying;
         lower values trade plan-quality fidelity for a higher hit rate.
+    default_executor:
+        Batch backend when ``optimize_batch`` is not told otherwise:
+        ``"thread"`` (default), ``"process"``, or ``"serial"``.
+    default_deadline_seconds:
+        Per-item wall-clock budget applied to batches that do not pass
+        their own ``deadline_seconds`` (``None`` = no deadline).
+    process_start_method:
+        ``multiprocessing`` start method for the process executor
+        (``None`` = platform default; ``fork`` on Linux keeps plugin
+        algorithms registered in the parent visible to workers).
 
     The service is thread-safe: ``optimize`` may be called concurrently,
-    and ``optimize_batch`` runs items on its own thread pool with
-    per-item error isolation (a failing query yields a result with
-    ``error`` set instead of poisoning the batch).
+    and ``optimize_batch`` runs items on a worker pool with per-item
+    error isolation (a failing query yields a result with ``error`` set
+    instead of poisoning the batch).
     """
 
     def __init__(
@@ -167,12 +241,23 @@ class OptimizerService:
         default_algorithm: str = "auto",
         default_cost_model: Optional[CostModel] = None,
         round_digits: int = 4,
+        default_executor: str = "thread",
+        default_deadline_seconds: Optional[float] = None,
+        process_start_method: Optional[str] = None,
     ):
+        if default_executor not in EXECUTORS:
+            raise OptimizationError(
+                f"unknown executor {default_executor!r}; "
+                f"choose from {sorted(EXECUTORS)}"
+            )
         self.cache = PlanCache(cache_capacity)
         self.metrics = ServiceMetrics()
         self.default_algorithm = default_algorithm
         self.default_cost_model = default_cost_model
         self.round_digits = round_digits
+        self.default_executor = default_executor
+        self.default_deadline_seconds = default_deadline_seconds
+        self.process_start_method = process_start_method
 
     # ------------------------------------------------------------------
 
@@ -185,6 +270,23 @@ class OptimizerService:
             return replace(query, **overrides) if overrides else query
         overrides.setdefault("algorithm", self.default_algorithm)
         return OptimizationRequest(query=query, **overrides)
+
+    def _effective_label(self, request: OptimizationRequest) -> str:
+        """Resolve the metrics label for a request, ``"auto"`` included.
+
+        Successes are recorded under the effective algorithm, so errors
+        must be too — otherwise per-algorithm error rates are skewed by
+        a phantom ``"auto"`` bucket.  Resolution itself is best-effort:
+        if the query is too broken to resolve, the raw name is used.
+        """
+        if request.algorithm != "auto":
+            return request.algorithm
+        try:
+            return choose_algorithm(
+                request.resolved_catalog(), enable_pruning=request.enable_pruning
+            )
+        except Exception:
+            return request.algorithm
 
     def optimize(
         self,
@@ -204,7 +306,9 @@ class OptimizerService:
             result, effective = self._execute(request)
         except ReproError:
             self.metrics.observe(
-                request.algorithm, time.perf_counter() - started, error=True
+                self._effective_label(request),
+                time.perf_counter() - started,
+                error=True,
             )
             raise
         self.metrics.observe(
@@ -212,9 +316,12 @@ class OptimizerService:
         )
         return result
 
-    def _execute(
-        self, request: OptimizationRequest
-    ) -> Tuple[OptimizationResult, str]:
+    def _prepare(self, request: OptimizationRequest) -> _PreparedJob:
+        """Resolve a request and consult the cache (parent-side, cheap).
+
+        Returns a :class:`_PreparedJob`; on a cache hit ``job.hit`` is
+        the ready result and nothing needs to be executed.
+        """
         started = time.perf_counter()
         catalog = request.resolved_catalog()
         cost_model = (
@@ -233,11 +340,23 @@ class OptimizerService:
             cost_model,
             request.enable_pruning,
             self.round_digits,
+            allow_cross_products=request.allow_cross_products,
+        )
+        run_request = replace(
+            request, query=catalog, cost_model=cost_model, algorithm=effective
+        )
+        job = _PreparedJob(
+            request=request,
+            run_request=run_request,
+            catalog=catalog,
+            effective=effective,
+            signature=signature,
+            order=tuple(order),
         )
         entry = self.cache.get(signature)
         if entry is not None:
             plan = _rebind_plan(entry.plan, order, catalog)
-            hit = OptimizationResult(
+            job.hit = OptimizationResult(
                 plan=plan,
                 algorithm=request.algorithm,
                 elapsed_seconds=time.perf_counter() - started,
@@ -249,29 +368,37 @@ class OptimizerService:
                 signature=signature,
                 tag=request.tag,
             )
-            return hit, effective
-        run_request = replace(
-            request, query=catalog, cost_model=cost_model, algorithm=effective
-        )
-        result = optimize_request(run_request)
-        position = [0] * catalog.graph.n_vertices
-        for pos, vertex in enumerate(order):
+        return job
+
+    def _store(self, job: _PreparedJob, result: OptimizationResult) -> None:
+        """Cache a fresh result and stamp its service-layer fields."""
+        position = [0] * job.catalog.graph.n_vertices
+        for pos, vertex in enumerate(job.order):
             position[vertex] = pos
         self.cache.put(
             CacheEntry(
-                signature=signature,
+                signature=job.signature,
                 plan=_rebind_plan(result.plan, position, None),
-                algorithm=effective,
+                algorithm=job.effective,
                 memo_entries=result.memo_entries,
                 cost_evaluations=result.cost_evaluations,
                 cardinality_estimations=result.cardinality_estimations,
                 details=dict(result.details),
             )
         )
-        result.algorithm = request.algorithm
-        result.signature = signature
-        result.tag = request.tag
-        return result, effective
+        result.algorithm = job.request.algorithm
+        result.signature = job.signature
+        result.tag = job.request.tag
+
+    def _execute(
+        self, request: OptimizationRequest
+    ) -> Tuple[OptimizationResult, str]:
+        job = self._prepare(request)
+        if job.hit is not None:
+            return job.hit, job.effective
+        result = optimize_request(job.run_request)
+        self._store(job, result)
+        return result, job.effective
 
     # ------------------------------------------------------------------
 
@@ -281,57 +408,285 @@ class OptimizerService:
             Union[OptimizationRequest, Catalog, QueryInstance, QueryGraph]
         ],
         workers: int = 4,
+        executor: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        fallback: Optional[str] = None,
     ) -> List[OptimizationResult]:
         """Optimize many queries, isolating per-item failures.
 
         Results come back in submission order.  An item that raises — a
         disconnected graph without ``allow_cross_products``, an unknown
-        algorithm, a malformed query object — produces an
+        algorithm, a malformed query object of any type — produces an
         :class:`OptimizationResult` with ``plan=None`` and ``error`` set;
-        the other items are unaffected.  ``workers <= 1`` runs serially
-        on the calling thread.
+        the other items are unaffected.
+
+        Parameters
+        ----------
+        workers:
+            Pool width.  With ``executor=None``, ``workers <= 1`` runs
+            serially on the calling thread (legacy behaviour).
+        executor:
+            ``"serial"``, ``"thread"``, or ``"process"`` (``None`` uses
+            the service default).  ``"process"`` runs items in worker
+            processes — the only mode where CPU-bound enumeration
+            actually uses multiple cores, and the only one that can
+            reclaim a hung item by recycling its worker.  It requires
+            requests to be serializable (built-in cost models only).
+        deadline_seconds:
+            Per-item wall-clock budget (``None`` = service default).
+            In process mode the deadline is enforced by terminating the
+            worker; the item resolves within roughly the deadline plus
+            scheduling slack, never hanging the batch.  In thread mode
+            the deadline is *soft*: the result is synthesized on time
+            but the abandoned computation finishes in the background
+            (CPython threads cannot be killed) and may still warm the
+            cache; its metrics observation is suppressed.  Serial mode
+            ignores deadlines — items run to completion one by one.
+        fallback:
+            ``"goo"`` to serve a greedy-operator-ordering heuristic plan
+            (:func:`repro.heuristics.greedy_operator_ordering`) for items
+            that exceed the deadline instead of an error result.  The
+            fallback plan is marked ``details={"deadline_timeout": 1,
+            "fallback_goo": 1}`` and is **not** cached (it is not the
+            exact optimum the cache promises).
         """
-        requests: List[OptimizationRequest] = []
-        prepared: List[Optional[OptimizationResult]] = []
+        if executor is None:
+            executor = "serial" if workers <= 1 else self.default_executor
+        if executor not in EXECUTORS:
+            raise OptimizationError(
+                f"unknown executor {executor!r}; choose from {sorted(EXECUTORS)}"
+            )
+        if fallback not in _FALLBACKS:
+            raise OptimizationError(
+                f"unknown fallback {fallback!r}; choose from "
+                f"{[f for f in _FALLBACKS if f]} or None"
+            )
+        if deadline_seconds is None:
+            deadline_seconds = self.default_deadline_seconds
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise OptimizationError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
+        requests: List[Optional[OptimizationRequest]] = []
+        slots: List[Optional[OptimizationResult]] = []
         for query in queries:
             try:
                 requests.append(self._as_request(query))
-                prepared.append(None)
-            except ReproError as exc:
-                # The query object itself is malformed; synthesize the
-                # error result without a request.
-                requests.append(None)  # type: ignore[arg-type]
-                prepared.append(self._error_result("?", None, exc, 0.0))
-        if workers <= 1:
-            return [
-                prepared[i]
-                if prepared[i] is not None
-                else self._optimize_isolated(requests[i])
-                for i in range(len(requests))
-            ]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                i: pool.submit(self._optimize_isolated, requests[i])
-                for i in range(len(requests))
-                if prepared[i] is None
-            }
-            return [
-                prepared[i] if prepared[i] is not None else futures[i].result()
-                for i in range(len(requests))
-            ]
+                slots.append(None)
+            except Exception as exc:
+                # The query object itself is malformed — possibly not
+                # even raising a library error (e.g. a TypeError from a
+                # garbage object).  Mirror _run_isolated: synthesize the
+                # error result instead of poisoning the batch.
+                requests.append(None)
+                slots.append(self._error_result("invalid", None, exc, 0.0))
+                self.metrics.observe("invalid", 0.0, error=True)
+        if executor == "serial":
+            for index, request in enumerate(requests):
+                if slots[index] is None:
+                    slots[index] = self._run_isolated(request)
+        elif executor == "thread":
+            self._run_batch_threaded(
+                requests, slots, workers, deadline_seconds, fallback
+            )
+        else:
+            self._run_batch_process(
+                requests, slots, workers, deadline_seconds, fallback
+            )
+        return slots  # type: ignore[return-value]
 
-    def _optimize_isolated(self, request: OptimizationRequest) -> OptimizationResult:
+    # -- thread / serial backends --------------------------------------
+
+    def _run_isolated(
+        self,
+        request: OptimizationRequest,
+        abandoned: Optional[Set[int]] = None,
+        index: Optional[int] = None,
+    ) -> OptimizationResult:
+        """Run one request, converting any exception into an error result.
+
+        ``abandoned`` is the soft-deadline coordination set of the
+        threaded backend: if our index appears there by the time we
+        finish, the caller already synthesized a timeout result for this
+        item, so the (completed) work only warms the cache and must not
+        be double-counted in the metrics.
+        """
         started = time.perf_counter()
         try:
             result, effective = self._execute(request)
         except Exception as exc:  # per-item isolation: never kill the batch
             elapsed = time.perf_counter() - started
-            self.metrics.observe(request.algorithm, elapsed, error=True)
+            label = self._effective_label(request)
+            if abandoned is None or index not in abandoned:
+                self.metrics.observe(label, elapsed, error=True)
             return self._error_result(request.algorithm, request.tag, exc, elapsed)
-        self.metrics.observe(
-            effective, time.perf_counter() - started, cache_hit=result.cache_hit
-        )
+        if abandoned is None or index not in abandoned:
+            self.metrics.observe(
+                effective, time.perf_counter() - started, cache_hit=result.cache_hit
+            )
         return result
+
+    def _run_batch_threaded(
+        self,
+        requests: List[Optional[OptimizationRequest]],
+        slots: List[Optional[OptimizationResult]],
+        workers: int,
+        deadline_seconds: Optional[float],
+        fallback: Optional[str],
+    ) -> None:
+        abandoned: Set[int] = set()
+        pool = ThreadPoolExecutor(max_workers=max(1, workers))
+        try:
+            futures = {
+                index: pool.submit(
+                    self._run_isolated, requests[index], abandoned, index
+                )
+                for index in range(len(requests))
+                if slots[index] is None
+            }
+            for index, future in futures.items():
+                try:
+                    slots[index] = future.result(timeout=deadline_seconds)
+                except _FutureTimeoutError:
+                    abandoned.add(index)
+                    slots[index] = self._deadline_result(
+                        requests[index],
+                        deadline_seconds,
+                        fallback,
+                        elapsed=deadline_seconds,
+                    )
+        finally:
+            # Do NOT wait: a straggler past its deadline keeps running
+            # (threads cannot be killed) but must not block the batch.
+            pool.shutdown(wait=False)
+
+    # -- process backend -----------------------------------------------
+
+    def _run_batch_process(
+        self,
+        requests: List[Optional[OptimizationRequest]],
+        slots: List[Optional[OptimizationResult]],
+        workers: int,
+        deadline_seconds: Optional[float],
+        fallback: Optional[str],
+    ) -> None:
+        from repro.serialize import request_to_dict, result_from_dict
+
+        jobs: Dict[int, _PreparedJob] = {}
+        documents: List[Tuple[int, Dict]] = []
+        for index, request in enumerate(requests):
+            if slots[index] is not None:
+                continue
+            started = time.perf_counter()
+            try:
+                job = self._prepare(request)
+            except Exception as exc:
+                elapsed = time.perf_counter() - started
+                self.metrics.observe(
+                    self._effective_label(request), elapsed, error=True
+                )
+                slots[index] = self._error_result(
+                    request.algorithm, request.tag, exc, elapsed
+                )
+                continue
+            if job.hit is not None:
+                self.metrics.observe(
+                    job.effective, job.hit.elapsed_seconds, cache_hit=True
+                )
+                slots[index] = job.hit
+                continue
+            try:
+                document = request_to_dict(job.run_request)
+            except Exception as exc:
+                elapsed = time.perf_counter() - started
+                self.metrics.observe(job.effective, elapsed, error=True)
+                slots[index] = self._error_result(
+                    request.algorithm, request.tag, exc, elapsed
+                )
+                continue
+            jobs[index] = job
+            documents.append((index, document))
+        if not documents:
+            return
+        backend = ProcessPoolExecutor(
+            workers=max(1, workers),
+            deadline_seconds=deadline_seconds,
+            start_method=self.process_start_method,
+        )
+        outcomes = backend.run(documents)
+        for index, outcome in outcomes.items():
+            job = jobs[index]
+            if outcome.status == "ok":
+                result = result_from_dict(outcome.document)
+                self._store(job, result)
+                self.metrics.observe(
+                    job.effective, outcome.elapsed_seconds, cache_hit=False
+                )
+                slots[index] = result
+            elif outcome.status == "timeout":
+                slots[index] = self._deadline_result(
+                    job.request,
+                    deadline_seconds,
+                    fallback,
+                    catalog=job.catalog,
+                    effective=job.effective,
+                    elapsed=outcome.elapsed_seconds,
+                )
+            else:  # "error" or "crashed"
+                self.metrics.observe(
+                    job.effective, outcome.elapsed_seconds, error=True
+                )
+                slots[index] = OptimizationResult(
+                    plan=None,
+                    algorithm=job.request.algorithm,
+                    elapsed_seconds=outcome.elapsed_seconds,
+                    memo_entries=0,
+                    cost_evaluations=0,
+                    cardinality_estimations=0,
+                    error=outcome.error,
+                    tag=job.request.tag,
+                )
+
+    # -- deadline handling ---------------------------------------------
+
+    def _deadline_result(
+        self,
+        request: OptimizationRequest,
+        deadline_seconds: Optional[float],
+        fallback: Optional[str],
+        catalog: Optional[Catalog] = None,
+        effective: Optional[str] = None,
+        elapsed: Optional[float] = None,
+    ) -> OptimizationResult:
+        """Resolve a timed-out item: heuristic fallback plan or error."""
+        label = effective if effective is not None else self._effective_label(request)
+        elapsed = elapsed if elapsed is not None else (deadline_seconds or 0.0)
+        if fallback == "goo":
+            from repro.heuristics.goo import greedy_operator_ordering
+
+            try:
+                if catalog is None:
+                    catalog = request.resolved_catalog()
+                plan = greedy_operator_ordering(catalog)
+            except Exception:
+                plan = None
+            if plan is not None:
+                self.metrics.observe(label, elapsed, timeout=True, fallback=True)
+                return OptimizationResult(
+                    plan=plan,
+                    algorithm=request.algorithm,
+                    elapsed_seconds=elapsed,
+                    memo_entries=0,
+                    cost_evaluations=0,
+                    cardinality_estimations=0,
+                    details={"deadline_timeout": 1, "fallback_goo": 1},
+                    tag=request.tag,
+                )
+        self.metrics.observe(label, elapsed, error=True, timeout=True)
+        exc = DeadlineExceededError(
+            f"optimization exceeded the deadline of {deadline_seconds}s"
+        )
+        return self._error_result(request.algorithm, request.tag, exc, elapsed)
 
     @staticmethod
     def _error_result(algorithm, tag, exc, elapsed) -> OptimizationResult:

@@ -1,0 +1,325 @@
+"""Process-pool batch execution with per-item deadlines.
+
+CPython's GIL serializes CPU-bound work across threads, so the service's
+threaded ``optimize_batch`` never uses more than one core for the actual
+enumeration — the very hot path the paper is about.  This module runs
+batch items in **worker processes** instead: requests travel to workers
+as :mod:`repro.serialize` documents (plain dicts), results travel back
+the same way, and the parent enforces a wall-clock **deadline** per item.
+
+Design notes:
+
+* One duplex :func:`multiprocessing.Pipe` per worker, no shared queues.
+  Killing a worker mid-task can only corrupt its own pipe (which is
+  discarded with it), never a sibling's channel — the classic hazard of
+  ``Process.terminate`` with a shared ``multiprocessing.Queue``.
+* A worker that exceeds its deadline is **terminated and replaced**; the
+  batch keeps draining on the remaining workers.  A worker that dies on
+  its own (OOM kill, segfault) is detected via EOF and likewise
+  replaced.  Either way the batch finishes; a single pathological query
+  can no longer stall it.
+* Workers run :func:`repro.optimizer.api.optimize_request` directly —
+  plan caching, metrics, and heuristic fallbacks stay in the parent
+  (:mod:`repro.service.core`), which is what keeps cache behaviour
+  identical across the serial/thread/process executors.
+
+The default start method is the platform default (``fork`` on Linux), so
+algorithms registered before the batch are visible to workers.  Under
+``spawn`` workers re-import :mod:`repro` and only built-in registry names
+are available.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import OptimizationError
+
+__all__ = ["ProcessPoolExecutor", "JobOutcome", "EXECUTORS"]
+
+#: Recognised ``executor=`` names for ``OptimizerService.optimize_batch``.
+EXECUTORS = ("serial", "thread", "process")
+
+#: How long (seconds) to wait for a worker to exit politely before
+#: escalating terminate → kill during shutdown/recycling.
+_JOIN_GRACE = 5.0
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one dispatched job.
+
+    Exactly one of the states holds:
+
+    * ``status == "ok"`` — ``document`` is the serialized
+      :class:`~repro.optimizer.api.OptimizationResult`;
+    * ``status == "error"`` — the worker raised; ``error`` is
+      ``"ExcType: message"``;
+    * ``status == "timeout"`` — the deadline expired and the worker was
+      recycled;
+    * ``status == "crashed"`` — the worker process died without
+      reporting (killed, segfault); treated like an error by the caller.
+
+    ``elapsed_seconds`` is wall-clock from dispatch to resolution as
+    seen by the parent.
+    """
+
+    status: str
+    elapsed_seconds: float
+    document: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+
+def _process_worker_main(connection) -> None:
+    """Worker loop: recv (index, request document), send (index, payload).
+
+    Runs in the child process.  ``None`` is the shutdown sentinel.  All
+    failures — including deserialization errors — are reported back as
+    ``("error", type_name, message)`` payloads so the parent can isolate
+    them per item.
+    """
+    # Imported here so the module import itself stays cheap in the
+    # parent and works under the ``spawn`` start method.
+    from repro.optimizer.api import optimize_request
+    from repro.serialize import request_from_dict, result_to_dict
+
+    while True:
+        try:
+            item = connection.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if item is None:
+            return
+        index, document = item
+        try:
+            result = optimize_request(request_from_dict(document))
+            payload: Tuple = ("ok", result_to_dict(result))
+        except KeyboardInterrupt:
+            return
+        except BaseException as exc:
+            payload = ("error", type(exc).__name__, str(exc))
+        try:
+            connection.send((index, payload))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _Worker:
+    """One recyclable worker process plus its private pipe."""
+
+    __slots__ = ("connection", "process", "busy_index", "started_at")
+
+    def __init__(self, context):
+        self.connection, child_connection = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_process_worker_main,
+            args=(child_connection,),
+            daemon=True,
+            name="repro-optimizer-worker",
+        )
+        self.process.start()
+        child_connection.close()
+        self.busy_index: Optional[int] = None
+        self.started_at: Optional[float] = None
+
+    def assign(self, index: int, document: Dict[str, Any]) -> None:
+        self.busy_index = index
+        self.started_at = time.monotonic()
+        self.connection.send((index, document))
+
+    def elapsed(self) -> float:
+        return 0.0 if self.started_at is None else time.monotonic() - self.started_at
+
+    def stop(self, graceful: bool = True) -> None:
+        """Shut the worker down; escalate if it will not die."""
+        try:
+            if graceful and self.process.is_alive():
+                try:
+                    self.connection.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                self.process.join(timeout=0.5)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join(timeout=_JOIN_GRACE)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=_JOIN_GRACE)
+        finally:
+            try:
+                self.connection.close()
+            except OSError:
+                pass
+
+
+class ProcessPoolExecutor:
+    """Run serialized optimization jobs on worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (capped by the job count at run time).
+    deadline_seconds:
+        Per-item wall-clock budget measured from dispatch.  ``None``
+        disables enforcement.  An expired item's worker is terminated and
+        replaced; the item resolves to a ``"timeout"`` outcome.
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default,
+        i.e. ``fork`` on Linux so registered plugins carry over).
+
+    Use as a context manager or call :meth:`run` directly — the pool is
+    created per call and torn down afterwards, so no state leaks between
+    batches.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        deadline_seconds: Optional[float] = None,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise OptimizationError(
+                f"process executor needs >= 1 worker, got {workers}"
+            )
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise OptimizationError(
+                f"deadline_seconds must be positive, got {deadline_seconds}"
+            )
+        self.workers = workers
+        self.deadline_seconds = deadline_seconds
+        self._context = multiprocessing.get_context(start_method)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, jobs: Sequence[Tuple[int, Dict[str, Any]]]
+    ) -> Dict[int, JobOutcome]:
+        """Execute ``(index, request_document)`` jobs; return outcomes by index.
+
+        Dispatch order follows the given sequence; resolution order is
+        whatever the workers produce.  The call returns only when every
+        job has an outcome — a hung worker is reaped at its deadline, so
+        with a deadline set the batch provably terminates.
+        """
+        if not jobs:
+            return {}
+        outcomes: Dict[int, JobOutcome] = {}
+        pending: Deque[Tuple[int, Dict[str, Any]]] = deque(jobs)
+        pool: List[_Worker] = [
+            _Worker(self._context) for _ in range(min(self.workers, len(jobs)))
+        ]
+        idle: List[_Worker] = list(pool)
+        busy: List[_Worker] = []
+        try:
+            while pending or busy:
+                while idle and pending:
+                    worker = idle.pop()
+                    index, document = pending.popleft()
+                    try:
+                        worker.assign(index, document)
+                    except (BrokenPipeError, OSError) as exc:
+                        # Worker died before it could accept work; put
+                        # the job back and replace the worker.
+                        pending.appendleft((index, document))
+                        pool.remove(worker)
+                        worker.stop(graceful=False)
+                        replacement = _Worker(self._context)
+                        pool.append(replacement)
+                        idle.append(replacement)
+                        continue
+                    busy.append(worker)
+                ready = _connection_wait(
+                    [worker.connection for worker in busy],
+                    timeout=self._poll_timeout(busy),
+                )
+                for connection in ready:
+                    worker = next(
+                        w for w in busy if w.connection is connection
+                    )
+                    try:
+                        index, payload = worker.connection.recv()
+                    except (EOFError, OSError):
+                        outcomes[worker.busy_index] = JobOutcome(
+                            status="crashed",
+                            elapsed_seconds=worker.elapsed(),
+                            error=(
+                                "worker process died unexpectedly "
+                                f"(exit code {worker.process.exitcode})"
+                            ),
+                        )
+                        self._recycle(worker, pool, busy, idle, bool(pending))
+                        continue
+                    if payload[0] == "ok":
+                        outcomes[index] = JobOutcome(
+                            status="ok",
+                            elapsed_seconds=worker.elapsed(),
+                            document=payload[1],
+                        )
+                    else:
+                        outcomes[index] = JobOutcome(
+                            status="error",
+                            elapsed_seconds=worker.elapsed(),
+                            error=f"{payload[1]}: {payload[2]}",
+                        )
+                    worker.busy_index = None
+                    worker.started_at = None
+                    busy.remove(worker)
+                    idle.append(worker)
+                if self.deadline_seconds is not None:
+                    for worker in list(busy):
+                        if worker.elapsed() >= self.deadline_seconds:
+                            outcomes[worker.busy_index] = JobOutcome(
+                                status="timeout",
+                                elapsed_seconds=worker.elapsed(),
+                            )
+                            self._recycle(
+                                worker, pool, busy, idle, bool(pending)
+                            )
+        finally:
+            for worker in pool:
+                worker.stop(graceful=worker.busy_index is None)
+        return outcomes
+
+    # ------------------------------------------------------------------
+
+    def _poll_timeout(self, busy: Sequence[_Worker]) -> Optional[float]:
+        """Sleep until the next result or the earliest in-flight deadline."""
+        if self.deadline_seconds is None:
+            return None
+        if not busy:
+            return 0.0
+        next_expiry = min(
+            self.deadline_seconds - worker.elapsed() for worker in busy
+        )
+        # A small floor keeps the loop from busy-spinning when a
+        # deadline is imminent; expiry is re-checked right after.
+        return max(0.01, next_expiry)
+
+    def _recycle(
+        self,
+        worker: _Worker,
+        pool: List[_Worker],
+        busy: List[_Worker],
+        idle: List[_Worker],
+        need_replacement: bool,
+    ) -> None:
+        """Kill a worker and, if jobs are still queued, replace it."""
+        busy.remove(worker)
+        pool.remove(worker)
+        worker.stop(graceful=False)
+        if need_replacement:
+            replacement = _Worker(self._context)
+            pool.append(replacement)
+            idle.append(replacement)
+
+    def __enter__(self) -> "ProcessPoolExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None

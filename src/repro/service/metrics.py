@@ -99,6 +99,8 @@ class ServiceMetrics:
             "errors": 0,
             "cache_hits": 0,
             "cache_misses": 0,
+            "timeouts": 0,
+            "fallbacks": 0,
         }
         self._algorithms: Dict[str, Dict] = {}
 
@@ -109,6 +111,8 @@ class ServiceMetrics:
                 "count": 0,
                 "errors": 0,
                 "cache_hits": 0,
+                "timeouts": 0,
+                "fallbacks": 0,
                 "histogram": LatencyHistogram(self._max_samples),
             }
             self._algorithms[algorithm] = slot
@@ -120,13 +124,27 @@ class ServiceMetrics:
         seconds: float,
         cache_hit: bool = False,
         error: bool = False,
+        timeout: bool = False,
+        fallback: bool = False,
     ) -> None:
-        """Record one request outcome under the given algorithm label."""
+        """Record one request outcome under the given algorithm label.
+
+        ``timeout`` marks a request that exceeded its deadline; it is
+        orthogonal to ``error``/``fallback`` because a timed-out request
+        either failed (``error=True``) or was served a heuristic plan
+        (``fallback=True``) — both still count one timeout.
+        """
         with self._lock:
             self._totals["requests"] += 1
             slot = self._algorithm_slot(algorithm)
             slot["count"] += 1
             slot["histogram"].record(seconds)
+            if timeout:
+                self._totals["timeouts"] += 1
+                slot["timeouts"] += 1
+            if fallback:
+                self._totals["fallbacks"] += 1
+                slot["fallbacks"] += 1
             if error:
                 self._totals["errors"] += 1
                 slot["errors"] += 1
@@ -146,6 +164,8 @@ class ServiceMetrics:
                         "count": slot["count"],
                         "errors": slot["errors"],
                         "cache_hits": slot["cache_hits"],
+                        "timeouts": slot["timeouts"],
+                        "fallbacks": slot["fallbacks"],
                         "latency": slot["histogram"].snapshot(),
                     }
                     for name, slot in sorted(self._algorithms.items())

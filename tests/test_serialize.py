@@ -16,12 +16,18 @@ from repro.errors import ReproError
 from repro.serialize import (
     catalog_from_dict,
     catalog_to_dict,
+    cost_model_from_dict,
+    cost_model_to_dict,
     graph_from_dict,
     graph_to_dict,
     hypergraph_from_dict,
     hypergraph_to_dict,
     plan_from_dict,
     plan_to_dict,
+    request_from_dict,
+    request_to_dict,
+    result_from_dict,
+    result_to_dict,
 )
 
 from .conftest import random_connected_graph
@@ -109,3 +115,119 @@ class TestHypergraphRoundTrip:
         hypergraph = Hypergraph.from_query_graph(chain_graph(5))
         restored = hypergraph_from_dict(hypergraph_to_dict(hypergraph))
         assert restored.is_plain_graph
+
+
+class TestCostModelRoundTrip:
+    def test_cout_round_trip(self):
+        from repro.cost.cout import CoutCostModel
+
+        document = json.loads(json.dumps(cost_model_to_dict(CoutCostModel())))
+        restored = cost_model_from_dict(document)
+        assert isinstance(restored, CoutCostModel)
+
+    def test_physical_round_trip_preserves_parameters(self):
+        from repro.cost.physical import HashJoin, PhysicalCostModel
+
+        model = PhysicalCostModel(
+            implementations=[HashJoin(build_factor=7.0, probe_factor=3.0)],
+            output_weight=2.5,
+        )
+        document = json.loads(json.dumps(cost_model_to_dict(model)))
+        restored = cost_model_from_dict(document)
+        assert restored.signature_fields() == model.signature_fields()
+        assert restored.join_cost(10.0, 20.0, 5.0) == model.join_cost(
+            10.0, 20.0, 5.0
+        )
+
+    def test_custom_cost_model_rejected(self):
+        from repro.cost.cout import CoutCostModel
+
+        class Custom(CoutCostModel):
+            pass
+
+        with pytest.raises(ReproError):
+            cost_model_to_dict(Custom())
+        with pytest.raises(ReproError):
+            cost_model_from_dict(
+                {"kind": "cost_model", "class": "Custom", "params": {}}
+            )
+
+
+class TestRequestResultRoundTrip:
+    def test_request_round_trip_catalog_query(self):
+        from repro.cost.physical import PhysicalCostModel
+        from repro.optimizer.api import OptimizationRequest, optimize_request
+
+        catalog = attach_random_statistics(chain_graph(6), seed=3)
+        request = OptimizationRequest(
+            query=catalog,
+            algorithm="dpccp",
+            cost_model=PhysicalCostModel(output_weight=2.0),
+            tag="rt",
+        )
+        document = json.loads(json.dumps(request_to_dict(request)))
+        restored = request_from_dict(document)
+        assert restored.algorithm == "dpccp" and restored.tag == "rt"
+        original = optimize_request(request)
+        replayed = optimize_request(restored)
+        assert math.isclose(replayed.plan.cost, original.plan.cost, rel_tol=1e-9)
+
+    def test_request_round_trip_query_instance(self):
+        from repro.catalog.workload import QueryInstance, WorkloadGenerator
+        from repro.optimizer.api import OptimizationRequest
+
+        instance = WorkloadGenerator(seed=2).fixed_shape("star", 5)
+        request = OptimizationRequest(query=instance, enable_pruning=True)
+        restored = request_from_dict(
+            json.loads(json.dumps(request_to_dict(request)))
+        )
+        assert isinstance(restored.query, QueryInstance)
+        assert restored.query.shape == "star"
+        assert restored.enable_pruning
+
+    def test_request_round_trip_bare_graph(self):
+        from repro.optimizer.api import OptimizationRequest
+
+        request = OptimizationRequest(
+            query=chain_graph(4), allow_cross_products=True
+        )
+        restored = request_from_dict(
+            json.loads(json.dumps(request_to_dict(request)))
+        )
+        assert restored.query == chain_graph(4)
+        assert restored.allow_cross_products
+
+    def test_result_round_trip(self):
+        catalog = attach_random_statistics(chain_graph(5), seed=1)
+        result = optimize_query(catalog, algorithm="tdmincutbranch")
+        document = json.loads(json.dumps(result_to_dict(result)))
+        restored = result_from_dict(document)
+        assert math.isclose(restored.plan.cost, result.plan.cost, rel_tol=1e-9)
+        assert restored.memo_entries == result.memo_entries
+        assert restored.cost_evaluations == result.cost_evaluations
+        assert restored.ok
+
+    def test_error_result_round_trip(self):
+        from repro.optimizer.api import OptimizationResult
+
+        failed = OptimizationResult(
+            plan=None,
+            algorithm="dpccp",
+            elapsed_seconds=0.1,
+            memo_entries=0,
+            cost_evaluations=0,
+            cardinality_estimations=0,
+            error="OptimizationError: nope",
+            tag="bad",
+        )
+        restored = result_from_dict(
+            json.loads(json.dumps(result_to_dict(failed)))
+        )
+        assert not restored.ok and restored.plan is None
+        assert restored.error == failed.error and restored.tag == "bad"
+
+    def test_kind_checks(self):
+        with pytest.raises(ReproError):
+            request_from_dict({"kind": "join_tree"})
+        with pytest.raises(ReproError):
+            result_from_dict({"kind": "optimization_request"})

@@ -16,6 +16,7 @@ from repro import (
     chain_graph,
     uniform_statistics,
 )
+from repro.cost.physical import HashJoin, PhysicalCostModel
 from repro.errors import OptimizationError
 from repro.service import PlanCache, CacheEntry, request_signature
 from repro.service.metrics import LatencyHistogram
@@ -99,6 +100,125 @@ class TestCacheHits:
         assert service.optimize(catalog).cache_hit
 
 
+class TestSignatureCoverage:
+    """Regression: the cache key must cover every answer-changing knob."""
+
+    def test_cost_model_parameters_distinguish_signatures(self):
+        # Two differently-parameterized instances of the same class used
+        # to collide to one key (only the class name was hashed) and be
+        # served each other's plans.
+        catalog = uniform_statistics(chain_graph(6))
+        light, _ = request_signature(
+            catalog, "dpccp", PhysicalCostModel(output_weight=1.0)
+        )
+        heavy, _ = request_signature(
+            catalog, "dpccp", PhysicalCostModel(output_weight=50.0)
+        )
+        assert light != heavy
+        again, _ = request_signature(
+            catalog, "dpccp", PhysicalCostModel(output_weight=1.0)
+        )
+        assert light == again
+
+    def test_join_implementation_parameters_distinguish_signatures(self):
+        catalog = uniform_statistics(chain_graph(6))
+        cheap, _ = request_signature(
+            catalog,
+            "dpccp",
+            PhysicalCostModel(implementations=[HashJoin(build_factor=2.0)]),
+        )
+        costly, _ = request_signature(
+            catalog,
+            "dpccp",
+            PhysicalCostModel(implementations=[HashJoin(build_factor=9.0)]),
+        )
+        assert cheap != costly
+
+    def test_cross_product_flag_distinguishes_signatures(self):
+        catalog = uniform_statistics(chain_graph(6))
+        without, _ = request_signature(catalog, "dpccp")
+        with_cp, _ = request_signature(
+            catalog, "dpccp", allow_cross_products=True
+        )
+        assert without != with_cp
+
+    def test_service_misses_on_reparameterized_cost_model(self):
+        service = OptimizerService()
+        catalog = WorkloadGenerator(seed=8).fixed_shape("cycle", 6).catalog
+        first = service.optimize(
+            catalog, algorithm="dpccp", cost_model=PhysicalCostModel(output_weight=1.0)
+        )
+        second = service.optimize(
+            catalog,
+            algorithm="dpccp",
+            cost_model=PhysicalCostModel(output_weight=50.0),
+        )
+        assert not first.cache_hit and not second.cache_hit
+        assert first.signature != second.signature
+        # Identical parameterization still hits.
+        assert service.optimize(
+            catalog, algorithm="dpccp", cost_model=PhysicalCostModel(output_weight=1.0)
+        ).cache_hit
+
+
+class TestStatisticsValidation:
+    """Regression: non-finite statistics must fail with a typed error
+    naming the relation, not an OverflowError/ValueError from log10."""
+
+    @pytest.mark.parametrize("bad", [float("inf"), float("nan")])
+    def test_non_finite_cardinality_is_a_typed_error(self, bad):
+        graph = chain_graph(3)
+        relations = [Relation("r0", 10.0), Relation("bad_rel", bad), Relation("r2", 30.0)]
+        catalog = Catalog(graph, relations, {e: 0.1 for e in graph.edges})
+        service = OptimizerService()
+        with pytest.raises(OptimizationError, match="bad_rel"):
+            service.optimize(catalog)
+
+    def test_non_finite_statistics_isolated_in_batch(self):
+        graph = chain_graph(3)
+        poisoned = Catalog(
+            graph,
+            [Relation("a", 10.0), Relation("b", float("nan")), Relation("c", 5.0)],
+            {e: 0.1 for e in graph.edges},
+        )
+        healthy = uniform_statistics(chain_graph(4))
+        for executor in ("serial", "thread", "process"):
+            results = OptimizerService().optimize_batch(
+                [healthy, poisoned, healthy], workers=2, executor=executor
+            )
+            assert results[0].ok and results[2].ok, executor
+            assert not results[1].ok
+            assert "OptimizationError" in results[1].error
+            assert "'b'" in results[1].error
+
+
+class TestErrorLabelResolution:
+    """Regression: errors were recorded under the unresolved "auto"
+    label while successes used the effective algorithm, skewing
+    per-algorithm error rates."""
+
+    def test_single_optimize_error_uses_effective_label(self):
+        service = OptimizerService()  # default algorithm is "auto"
+        disconnected = uniform_statistics(QueryGraph(4, [(0, 1), (2, 3)]))
+        with pytest.raises(OptimizationError):
+            service.optimize(disconnected)
+        algorithms = service.stats_snapshot()["algorithms"]
+        assert "auto" not in algorithms
+        # choose_algorithm resolves this small sparse graph to the
+        # paper's top-down default.
+        assert algorithms["tdmincutbranch"]["errors"] == 1
+
+    def test_batch_errors_use_effective_label(self):
+        service = OptimizerService()
+        disconnected = uniform_statistics(QueryGraph(4, [(0, 1), (2, 3)]))
+        healthy = uniform_statistics(chain_graph(5))
+        service.optimize_batch([healthy, disconnected], workers=2)
+        algorithms = service.stats_snapshot()["algorithms"]
+        assert "auto" not in algorithms
+        slot = algorithms["tdmincutbranch"]
+        assert slot["errors"] == 1 and slot["count"] == 2
+
+
 class TestLru:
     def test_eviction_at_capacity(self):
         service = OptimizerService(cache_capacity=2)
@@ -179,6 +299,23 @@ class TestBatch:
         )
         assert results[0].ok
         assert not results[1].ok
+
+    def test_non_repro_exception_during_build_is_isolated(self):
+        # Regression: the build loop used to catch only ReproError, so a
+        # malformed object raising TypeError poisoned the whole batch,
+        # contradicting the docstring's isolation promise.
+        class Liar:
+            @property
+            def __class__(self):
+                raise TypeError("boom")
+
+        healthy = uniform_statistics(chain_graph(5))
+        service = OptimizerService()
+        results = service.optimize_batch([healthy, Liar(), healthy], workers=2)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert "TypeError" in results[1].error and "boom" in results[1].error
+        assert service.stats_snapshot()["totals"]["errors"] == 1
 
     def test_serial_batch_matches_threaded(self):
         generator = WorkloadGenerator(seed=3)

@@ -1,0 +1,292 @@
+"""Tests for batch execution backends: serial/thread/process, deadlines.
+
+The process backend is the one that truly parallelizes CPU-bound
+enumeration and the only one that can reclaim a hung item (by recycling
+the worker process); these tests pin down backend parity, deadline
+semantics, heuristic fallback, cache behaviour across executors, and
+worker-crash isolation.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import (
+    OptimizationRequest,
+    OptimizerService,
+    QueryGraph,
+    chain_graph,
+    uniform_statistics,
+)
+from repro.catalog.workload import WorkloadGenerator
+from repro.errors import OptimizationError
+from repro.optimizer.api import register_algorithm, unregister_algorithm
+from repro.service.executor import ProcessPoolExecutor
+
+
+def mixed_batch():
+    """Healthy queries of several shapes plus a poisoned and a garbage item."""
+    generator = WorkloadGenerator(seed=17)
+    items = [
+        OptimizationRequest(query=generator.fixed_shape("chain", 6), tag="chain"),
+        OptimizationRequest(query=generator.fixed_shape("cycle", 6), tag="cycle"),
+        uniform_statistics(QueryGraph(4, [(0, 1), (2, 3)])),  # disconnected
+        OptimizationRequest(query=generator.fixed_shape("star", 6), tag="star"),
+        42,  # garbage item mid-batch
+        OptimizationRequest(query=generator.fixed_shape("clique", 6), tag="clique"),
+    ]
+    return items
+
+
+def slow_request(n=13, tag="slow"):
+    """A request whose exact enumeration takes seconds (naive partitioning
+    on a clique is Theta(3^n) partitioner steps)."""
+    instance = WorkloadGenerator(seed=5).fixed_shape("clique", n)
+    return OptimizationRequest(
+        query=instance, algorithm="memoizationbasic", tag=tag
+    )
+
+
+def fast_request(tag="fast"):
+    instance = WorkloadGenerator(seed=6).fixed_shape("chain", 5)
+    return OptimizationRequest(query=instance, tag=tag)
+
+
+class TestBackendParity:
+    def test_all_executors_agree_on_mixed_batch(self):
+        outcomes = {}
+        for executor in ("serial", "thread", "process"):
+            results = OptimizerService().optimize_batch(
+                mixed_batch(), workers=2, executor=executor
+            )
+            outcomes[executor] = [
+                round(r.cost, 6) if r.ok else f"error:{r.error.split(':')[0]}"
+                for r in results
+            ]
+        assert outcomes["serial"] == outcomes["thread"] == outcomes["process"]
+        # The two bad items failed, everything else planned.
+        serial = outcomes["serial"]
+        assert [isinstance(o, float) for o in serial] == [
+            True, True, False, True, False, True,
+        ]
+
+    def test_process_batch_preserves_order_and_tags(self):
+        generator = WorkloadGenerator(seed=7)
+        requests = [
+            OptimizationRequest(
+                query=generator.fixed_shape("chain", 4 + i), tag=f"q{i}"
+            )
+            for i in range(4)
+        ]
+        results = OptimizerService().optimize_batch(
+            requests, workers=2, executor="process"
+        )
+        assert [r.tag for r in results] == ["q0", "q1", "q2", "q3"]
+        assert [r.plan.n_joins() for r in results] == [3, 4, 5, 6]
+        for result in results:
+            result.plan.validate()
+
+    def test_explicit_process_executor_with_one_worker(self):
+        results = OptimizerService().optimize_batch(
+            [fast_request()], workers=1, executor="process"
+        )
+        assert results[0].ok
+
+
+class TestCacheAcrossExecutors:
+    def test_process_results_feed_the_shared_cache(self):
+        service = OptimizerService()
+        request = fast_request()
+        cold = service.optimize_batch([request], workers=2, executor="process")
+        assert not cold[0].cache_hit
+        for executor in ("process", "thread", "serial"):
+            warm = service.optimize_batch([request], workers=2, executor=executor)
+            assert warm[0].cache_hit, executor
+            assert warm[0].cost == pytest.approx(cold[0].cost)
+        # Single-query path hits the same entry too.
+        assert service.optimize(request).cache_hit
+
+    def test_thread_results_hit_in_process_mode(self):
+        service = OptimizerService()
+        request = fast_request()
+        service.optimize_batch([request], workers=2, executor="thread")
+        warm = service.optimize_batch([request], workers=2, executor="process")
+        assert warm[0].cache_hit
+        snapshot = service.stats_snapshot()
+        assert snapshot["totals"]["cache_hits"] == 1
+
+
+class TestDeadlines:
+    def test_process_deadline_yields_error_within_budget(self):
+        service = OptimizerService()
+        deadline = 0.4
+        started = time.perf_counter()
+        results = service.optimize_batch(
+            [fast_request("f0"), slow_request(), fast_request("f1")],
+            workers=2,
+            executor="process",
+            deadline_seconds=deadline,
+        )
+        wall = time.perf_counter() - started
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert "DeadlineExceededError" in results[1].error
+        assert results[1].tag == "slow"
+        # The slow item alone needs seconds; the deadline must have cut
+        # it off within ~2x the budget (plus worker startup slack).
+        assert wall < 2 * deadline + 1.5
+        totals = service.stats_snapshot()["totals"]
+        assert totals["timeouts"] == 1
+        assert totals["errors"] == 1
+        # The service stays fully usable after recycling the worker.
+        follow_up = service.optimize(fast_request("followup"))
+        assert follow_up.ok
+
+    def test_process_deadline_fallback_serves_goo_plan(self):
+        service = OptimizerService()
+        results = service.optimize_batch(
+            [slow_request()],
+            workers=1,
+            executor="process",
+            deadline_seconds=0.4,
+            fallback="goo",
+        )
+        result = results[0]
+        assert result.ok and result.error is None
+        assert result.details == {"deadline_timeout": 1, "fallback_goo": 1}
+        result.plan.validate()
+        assert result.plan.n_joins() == 12  # clique-13 joined completely
+        totals = service.stats_snapshot()["totals"]
+        assert totals["timeouts"] == 1
+        assert totals["fallbacks"] == 1
+        assert totals["errors"] == 0
+
+    def test_fallback_plans_are_not_cached(self):
+        service = OptimizerService()
+        service.optimize_batch(
+            [slow_request()],
+            workers=1,
+            executor="process",
+            deadline_seconds=0.4,
+            fallback="goo",
+        )
+        assert service.cache.stats()["size"] == 0
+
+    def test_thread_soft_deadline(self):
+        # Threads cannot be killed, so the deadline is soft: the batch
+        # returns a timeout result promptly and the abandoned thread
+        # finishes in the background.  Keep the stray work short (~1s).
+        service = OptimizerService()
+        started = time.perf_counter()
+        results = service.optimize_batch(
+            [fast_request(), slow_request(n=12, tag="s12")],
+            workers=2,
+            executor="thread",
+            deadline_seconds=0.15,
+        )
+        wall = time.perf_counter() - started
+        assert results[0].ok
+        assert not results[1].ok
+        assert "DeadlineExceededError" in results[1].error
+        assert wall < 1.0
+        assert service.stats_snapshot()["totals"]["timeouts"] == 1
+
+    def test_no_deadline_means_no_timeouts(self):
+        service = OptimizerService()
+        results = service.optimize_batch(
+            [fast_request() for _ in range(3)], workers=2, executor="process"
+        )
+        assert all(r.ok for r in results)
+        assert service.stats_snapshot()["totals"]["timeouts"] == 0
+
+
+class TestWorkerFailures:
+    def test_dying_worker_is_isolated_and_replaced(self):
+        # An "algorithm" that kills its own worker process exercises the
+        # crash path: the batch must report the item as failed and still
+        # complete the remaining items on a replacement worker.
+        @register_algorithm("_test_suicide")
+        def _make_suicide(catalog, cost_model=None, enable_pruning=False):
+            class Suicide:
+                builder = None
+
+                def optimize(self):
+                    os._exit(17)
+
+            return Suicide()
+
+        try:
+            generator = WorkloadGenerator(seed=9)
+            killer = OptimizationRequest(
+                query=generator.fixed_shape("chain", 5),
+                algorithm="_test_suicide",
+                tag="boom",
+            )
+            results = OptimizerService().optimize_batch(
+                [fast_request("a"), killer, fast_request("b")],
+                workers=1,
+                executor="process",
+            )
+            assert results[0].ok and results[2].ok
+            assert not results[1].ok
+            assert "worker process died" in results[1].error
+        finally:
+            unregister_algorithm("_test_suicide")
+
+    def test_custom_cost_model_is_rejected_per_item(self):
+        # Process mode cannot ship arbitrary cost models; the affected
+        # item fails with a typed message, the rest of the batch runs.
+        from repro.cost.cout import CoutCostModel
+
+        class Custom(CoutCostModel):
+            pass
+
+        generator = WorkloadGenerator(seed=4)
+        custom = OptimizationRequest(
+            query=generator.fixed_shape("chain", 5),
+            cost_model=Custom(),
+            algorithm="dpccp",
+            tag="custom",
+        )
+        results = OptimizerService().optimize_batch(
+            [fast_request(), custom], workers=2, executor="process"
+        )
+        assert results[0].ok
+        assert not results[1].ok
+        assert "not serializable" in results[1].error
+
+
+class TestValidation:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(OptimizationError):
+            OptimizerService().optimize_batch([], executor="gpu")
+        with pytest.raises(OptimizationError):
+            OptimizerService(default_executor="gpu")
+
+    def test_unknown_fallback_rejected(self):
+        with pytest.raises(OptimizationError):
+            OptimizerService().optimize_batch([], fallback="ikkbz")
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(OptimizationError):
+            OptimizerService().optimize_batch([], deadline_seconds=0.0)
+        with pytest.raises(OptimizationError):
+            ProcessPoolExecutor(workers=2, deadline_seconds=-1.0)
+        with pytest.raises(OptimizationError):
+            ProcessPoolExecutor(workers=0)
+
+    def test_empty_job_list(self):
+        assert ProcessPoolExecutor(workers=2).run([]) == {}
+
+    def test_service_defaults_flow_into_batches(self):
+        service = OptimizerService(
+            default_executor="process", default_deadline_seconds=0.4
+        )
+        results = service.optimize_batch(
+            [slow_request(n=12)], workers=1
+        )  # workers<=1 + no explicit executor → legacy serial, no deadline
+        assert results[0].ok
+        results = service.optimize_batch([slow_request()], workers=2)
+        assert not results[0].ok
+        assert "DeadlineExceededError" in results[0].error
