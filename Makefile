@@ -5,10 +5,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-service bench-batch verify
+.PHONY: test chaos bench-service bench-batch bench-resilience verify
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Chaos suite: scripted worker crashes/hangs/corrupted payloads through
+# the fault-injection layer, breaker and admission behaviour, crash-safe
+# cache persistence.
+chaos:
+	$(PYTHON) -m pytest -x -q tests/test_resilience.py
 
 bench-service:
 	$(PYTHON) benchmarks/bench_service_cache.py
@@ -19,5 +25,10 @@ bench-service:
 bench-batch:
 	$(PYTHON) benchmarks/bench_batch_parallel.py
 
-verify: test bench-service
+# Admission-control demo: an over-budget clique must be answered from
+# the degradation ladder in < 10% of the exact enumeration time.
+bench-resilience:
+	$(PYTHON) benchmarks/bench_resilience.py
+
+verify: test bench-service bench-resilience
 	@echo "verify: ok"

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Smoke benchmark: admission control pays for itself on hostile queries.
+
+Runs one clique query (the paper's worst-case shape) through two
+services: one with no admission budget (full exact enumeration) and one
+whose ``max_ccp_budget`` the clique blows past, so it is served from the
+degradation ladder instead.  Doubles as the acceptance gate for the
+resilience layer: the degraded answer must arrive in **under 10% of the
+exact enumeration time**, must name its rung and reason, and the exact
+run must confirm the admission estimate was correct (the clique's
+closed-form #ccp really does exceed the budget).
+
+Run:  python benchmarks/bench_resilience.py [--n 12] [--budget 10000]
+
+Exit status is non-zero if any gate fails, so `make verify` can gate
+on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.formulas import ccp_count
+from repro.catalog.workload import WorkloadGenerator
+from repro.service import OptimizerService, ResilienceConfig
+
+#: Acceptance: degraded latency must be below this fraction of exact.
+DEGRADED_FRACTION_CEILING = 0.10
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=12, help="clique size")
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=10_000,
+        help="admission ccp budget the clique must exceed",
+    )
+    args = parser.parse_args(argv)
+
+    instance = WorkloadGenerator(seed=20110411).fixed_shape("clique", args.n)
+    expected_ccps = ccp_count("clique", args.n)
+    print(
+        f"resilience smoke bench (clique n={args.n}, "
+        f"#ccp={expected_ccps}, budget={args.budget})"
+    )
+    failures = []
+    if expected_ccps <= args.budget:
+        failures.append(
+            f"clique #ccp {expected_ccps} does not exceed the budget "
+            f"{args.budget}; pick a larger --n or smaller --budget"
+        )
+
+    exact_service = OptimizerService()
+    started = time.perf_counter()
+    exact = exact_service.optimize(instance.catalog)
+    exact_seconds = time.perf_counter() - started
+    exact.plan.validate()
+
+    degraded_service = OptimizerService(
+        resilience=ResilienceConfig(max_ccp_budget=args.budget)
+    )
+    started = time.perf_counter()
+    degraded = degraded_service.optimize(instance.catalog)
+    degraded_seconds = time.perf_counter() - started
+    degraded.plan.validate()
+
+    fraction = degraded_seconds / max(exact_seconds, 1e-12)
+    print(
+        f"exact:    {exact_seconds * 1e3:10.2f}ms  "
+        f"cost={exact.cost:.4g}"
+    )
+    print(
+        f"degraded: {degraded_seconds * 1e3:10.2f}ms  "
+        f"cost={degraded.cost:.4g}  ({fraction * 100:.2f}% of exact)"
+    )
+    print(f"degraded details: {degraded.details}")
+
+    if degraded.details.get("degraded") != 1:
+        failures.append("over-budget clique was not served degraded")
+    if degraded.details.get("rung") != "goo":
+        failures.append(
+            f"expected the goo rung for a clique, got "
+            f"{degraded.details.get('rung')!r}"
+        )
+    if degraded.details.get("degrade_reason") != "over_budget":
+        failures.append(
+            f"expected reason 'over_budget', got "
+            f"{degraded.details.get('degrade_reason')!r}"
+        )
+    if degraded.details.get("admission_estimate") != expected_ccps:
+        failures.append(
+            f"admission estimate {degraded.details.get('admission_estimate')} "
+            f"!= closed-form #ccp {expected_ccps}"
+        )
+    if fraction >= DEGRADED_FRACTION_CEILING:
+        failures.append(
+            f"degraded answer took {fraction * 100:.1f}% of exact time "
+            f"(ceiling {DEGRADED_FRACTION_CEILING * 100:.0f}%)"
+        )
+    if degraded.cost < exact.cost * (1 - 1e-9):
+        failures.append(
+            "degraded plan costs less than the exact optimum — "
+            "the enumerator is broken"
+        )
+    snapshot = degraded_service.stats_snapshot()
+    if snapshot["totals"]["degraded"] != 1:
+        failures.append("degraded counter did not record the serving")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("ok: degradation ladder beat the 10% latency ceiling")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,11 @@ Subcommands (``repro-optimize <subcommand> ...`` or
 ``python -m repro.cli <subcommand> ...``)::
 
     serve-stats    drive an OptimizerService over a workload and report
-                   cache hit/miss/eviction counts and per-algorithm
-                   latency percentiles (optionally as JSON)
+                   cache hit/miss/eviction counts, degradation/retry
+                   counters, breaker states, and per-algorithm latency
+                   percentiles (optionally as JSON); resilience knobs:
+                   --max-ccp-budget, --breaker-threshold,
+                   --breaker-cooldown, --retries
 """
 
 from __future__ import annotations
@@ -151,6 +154,39 @@ def _serve_stats_main(argv: List[str]) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed")
     parser.add_argument(
+        "--max-ccp-budget",
+        type=int,
+        metavar="CCPS",
+        help="admission budget: requests whose estimated csg-cmp-pair "
+        "count exceeds this are served from the degradation ladder "
+        "(IKKBZ for acyclic graphs, GOO otherwise) instead of the "
+        "exact enumerator",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="K",
+        help="consecutive failures/timeouts per algorithm label before "
+        "its circuit breaker opens (default 5)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="seconds an open breaker waits before admitting a "
+        "half-open probe (default 30)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="max retries per item for transient process-worker "
+        "failures (crashes/corrupt payloads; default 0 = off)",
+    )
+    parser.add_argument(
         "--load-cache", metavar="PATH", help="warm the cache from a JSON file"
     )
     parser.add_argument(
@@ -162,14 +198,22 @@ def _serve_stats_main(argv: List[str]) -> int:
     args = parser.parse_args(argv)
 
     from repro.optimizer.api import OptimizationRequest
-    from repro.service import OptimizerService
+    from repro.service import OptimizerService, ResilienceConfig
 
     try:
         generator = WorkloadGenerator(seed=args.seed)
         instances = list(
             generator.series(args.shape, [args.n], per_size=args.count)
         )
-        service = OptimizerService(cache_capacity=args.capacity)
+        resilience = ResilienceConfig(
+            max_ccp_budget=args.max_ccp_budget,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_seconds=args.breaker_cooldown,
+            max_retries=args.retries,
+        )
+        service = OptimizerService(
+            cache_capacity=args.capacity, resilience=resilience
+        )
         if args.load_cache:
             loaded = service.load_cache(args.load_cache)
             print(f"warmed cache with {loaded} entries from {args.load_cache}")
@@ -204,8 +248,22 @@ def _serve_stats_main(argv: List[str]) -> int:
             f"cache_hits={totals['cache_hits']} "
             f"cache_misses={totals['cache_misses']} "
             f"timeouts={totals.get('timeouts', 0)} "
-            f"fallbacks={totals.get('fallbacks', 0)}"
+            f"fallbacks={totals.get('fallbacks', 0)} "
+            f"degraded={totals.get('degraded', 0)} "
+            f"retries={totals.get('retries', 0)}"
         )
+        breakers = snapshot.get("breaker", {})
+        open_breakers = {
+            name: slot
+            for name, slot in breakers.items()
+            if slot.get("state") != "closed"
+        }
+        if open_breakers:
+            for name, slot in sorted(open_breakers.items()):
+                print(
+                    f"breaker: {name} state={slot['state']} "
+                    f"consecutive_failures={slot['consecutive_failures']}"
+                )
         print(
             f"cache: size={cache['size']}/{cache['capacity']} "
             f"hits={cache['hits']} misses={cache['misses']} "
@@ -223,7 +281,10 @@ def _serve_stats_main(argv: List[str]) -> int:
         if failed:
             print(f"failed queries: {[r.tag for r in failed]}", file=sys.stderr)
         return 0
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
+        # OSError covers --load-cache/--save-cache path problems (missing
+        # file, unwritable directory); corruption inside an existing cache
+        # file is NOT an error — it loads as empty/partial with a warning.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -13,6 +13,9 @@ __all__ = [
     "CatalogError",
     "OptimizationError",
     "DeadlineExceededError",
+    "AdmissionError",
+    "CircuitOpenError",
+    "RetryExhaustedError",
 ]
 
 
@@ -50,3 +53,28 @@ class DeadlineExceededError(OptimizationError):
     or into a heuristic fallback plan when one was requested — instead of
     letting one slow query stall the whole batch.
     """
+
+
+class AdmissionError(OptimizationError):
+    """Raised when a request is rejected by admission control and no
+    degradation rung can serve it either.
+
+    The common case — an over-budget request with a usable heuristic
+    rung — does *not* raise: the service silently degrades and records
+    the rung and reason on the result.  This error surfaces only when
+    every rung of the ladder is unusable for the query.
+    """
+
+
+class CircuitOpenError(OptimizationError):
+    """Raised when a request is refused because the circuit breaker for
+    its algorithm label is open and no degradation rung applies.
+
+    Like :class:`AdmissionError`, the usual outcome of an open breaker
+    is a degraded (heuristic) plan, not an exception.
+    """
+
+
+class RetryExhaustedError(OptimizationError):
+    """Recorded when a transient worker failure persisted through every
+    allowed retry attempt (or the per-batch retry budget ran out)."""

@@ -228,6 +228,11 @@ class OptimizationResult:
     isolates per-item failures into such results instead of raising.
     ``cache_hit`` and ``signature`` are populated by the service layer;
     direct facade calls leave them at their defaults.
+
+    ``details`` carries run provenance: enumeration counters from the
+    facade, and — for plans served by the service's degradation ladder —
+    the JSON-safe markers ``degraded``/``rung``/``degrade_reason`` plus
+    the admission estimate that triggered them.
     """
 
     plan: Optional[JoinTree]
@@ -236,7 +241,7 @@ class OptimizationResult:
     memo_entries: int
     cost_evaluations: int
     cardinality_estimations: int
-    details: Dict[str, int] = field(default_factory=dict)
+    details: Dict[str, object] = field(default_factory=dict)
     cache_hit: bool = False
     signature: Optional[str] = None
     error: Optional[str] = None

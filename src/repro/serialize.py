@@ -23,7 +23,8 @@ than producing a half-built object.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+import json
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import bitset
 from repro.catalog.statistics import Catalog, Relation
@@ -41,6 +42,8 @@ __all__ = [
     "plan_from_dict",
     "plan_cache_to_dict",
     "plan_cache_from_dict",
+    "plan_cache_from_dict_tolerant",
+    "plan_cache_entry_checksum",
     "hypergraph_to_dict",
     "hypergraph_from_dict",
     "cost_model_to_dict",
@@ -182,30 +185,73 @@ def plan_from_dict(document: Dict[str, Any]) -> JoinTree:
 # Plan caches (the service layer's warm state)
 # ----------------------------------------------------------------------
 
+def plan_cache_entry_checksum(item: Dict[str, Any]) -> str:
+    """SHA-256 over one entry's canonical JSON, ``checksum`` field excluded.
+
+    The checksum detects torn or bit-rotted entries at load time; it is
+    computed over ``json.dumps(..., sort_keys=True)`` so key order and
+    whitespace cannot change it.
+    """
+    import hashlib
+
+    stripped = {key: value for key, value in item.items() if key != "checksum"}
+    blob = json.dumps(stripped, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 def plan_cache_to_dict(cache) -> Dict[str, Any]:
     """Serialize a :class:`repro.service.PlanCache`.
 
     Entries are emitted least- to most-recently used so a reload
     reconstructs the LRU order.  Plans are stored in the cache's own
-    canonical vertex space; signatures are opaque keys.
+    canonical vertex space; signatures are opaque keys.  Every entry
+    carries a ``checksum`` (see :func:`plan_cache_entry_checksum`) so a
+    partially written or corrupted file can be detected entry by entry.
     """
+    entries = []
+    for entry in cache.entries():
+        item = {
+            "signature": entry.signature,
+            "algorithm": entry.algorithm,
+            "memo_entries": entry.memo_entries,
+            "cost_evaluations": entry.cost_evaluations,
+            "cardinality_estimations": entry.cardinality_estimations,
+            "details": dict(entry.details),
+            "plan": plan_to_dict(entry.plan),
+        }
+        item["checksum"] = plan_cache_entry_checksum(item)
+        entries.append(item)
     return {
         "kind": "plan_cache",
         "version": _FORMAT_VERSION,
         "capacity": cache.capacity,
-        "entries": [
-            {
-                "signature": entry.signature,
-                "algorithm": entry.algorithm,
-                "memo_entries": entry.memo_entries,
-                "cost_evaluations": entry.cost_evaluations,
-                "cardinality_estimations": entry.cardinality_estimations,
-                "details": dict(entry.details),
-                "plan": plan_to_dict(entry.plan),
-            }
-            for entry in cache.entries()
-        ],
+        "entries": entries,
     }
+
+
+def _plan_cache_entry_from_dict(item: Dict[str, Any]):
+    """Decode and verify one plan-cache entry (checksum when present)."""
+    from repro.service.cache import CacheEntry
+
+    if not isinstance(item, dict):
+        raise ReproError(
+            f"plan cache entry must be an object, got {type(item).__name__}"
+        )
+    stored = item.get("checksum")
+    if stored is not None and stored != plan_cache_entry_checksum(item):
+        raise ReproError(
+            f"plan cache entry {item.get('signature', '<unknown>')!r} "
+            "failed its checksum (torn write or corruption)"
+        )
+    return CacheEntry(
+        signature=item["signature"],
+        plan=plan_from_dict(item["plan"]),
+        algorithm=item["algorithm"],
+        memo_entries=item.get("memo_entries", 0),
+        cost_evaluations=item.get("cost_evaluations", 0),
+        cardinality_estimations=item.get("cardinality_estimations", 0),
+        details=dict(item.get("details", {})),
+    )
 
 
 def plan_cache_from_dict(document: Dict[str, Any]) -> List:
@@ -213,23 +259,42 @@ def plan_cache_from_dict(document: Dict[str, Any]) -> List:
 
     Returns a list of :class:`repro.service.CacheEntry` in the stored
     recency order; feed them to :meth:`repro.service.PlanCache.put` (or
-    use :meth:`repro.service.PlanCache.load`, which does).
+    use :meth:`repro.service.PlanCache.load`, which does).  Entries with
+    checksums are verified; any corruption raises :class:`ReproError`.
+    For quarantine-and-continue semantics use
+    :func:`plan_cache_from_dict_tolerant`.
     """
     _check_kind(document, "plan_cache")
-    from repro.service.cache import CacheEntry
+    return [_plan_cache_entry_from_dict(item) for item in document["entries"]]
 
-    return [
-        CacheEntry(
-            signature=item["signature"],
-            plan=plan_from_dict(item["plan"]),
-            algorithm=item["algorithm"],
-            memo_entries=item.get("memo_entries", 0),
-            cost_evaluations=item.get("cost_evaluations", 0),
-            cardinality_estimations=item.get("cardinality_estimations", 0),
-            details=dict(item.get("details", {})),
-        )
-        for item in document["entries"]
-    ]
+
+def plan_cache_from_dict_tolerant(
+    document: Dict[str, Any],
+) -> "Tuple[List, List[Dict[str, Any]]]":
+    """Deserialize a plan cache, skipping (not raising on) bad entries.
+
+    Returns ``(entries, rejected)``: ``entries`` are the good
+    :class:`~repro.service.cache.CacheEntry` objects in stored recency
+    order; ``rejected`` holds one ``{"error": ..., "entry": ...}`` record
+    per entry that failed its checksum or could not be decoded —
+    :meth:`repro.service.PlanCache.load` quarantines those to a sidecar
+    file and keeps going.  A document that is not a plan-cache at all
+    still raises.
+    """
+    _check_kind(document, "plan_cache")
+    items = document.get("entries")
+    if not isinstance(items, list):
+        raise ReproError("plan cache document has no 'entries' list")
+    entries: List = []
+    rejected: List[Dict[str, Any]] = []
+    for item in items:
+        try:
+            entries.append(_plan_cache_entry_from_dict(item))
+        except Exception as exc:
+            rejected.append(
+                {"error": f"{type(exc).__name__}: {exc}", "entry": item}
+            )
+    return entries, rejected
 
 
 # ----------------------------------------------------------------------

@@ -18,8 +18,15 @@ graph shape, not statistics — so this package adds the serving layer:
   parameters, algorithm, pruning flag, cross-product flag); JSON
   persistence via :mod:`repro.serialize`.
 * :class:`ServiceMetrics` / :class:`LatencyHistogram` — monotonic
-  counters (including deadline timeouts and heuristic fallbacks) and
-  p50/p95/p99 latency tracking per algorithm.
+  counters (including deadline timeouts, heuristic fallbacks, degraded
+  servings and retries) and p50/p95/p99 latency tracking per algorithm.
+* :mod:`repro.service.resilience` — admission control against a ccp
+  budget, the exact→IKKBZ→GOO degradation ladder, a per-algorithm
+  circuit breaker, and retry policy/budget types
+  (:class:`ResilienceConfig` bundles the knobs).
+* :mod:`repro.service.faults` — deterministic fault injection
+  (:class:`FaultSpec` / :class:`FaultInjector`) honored by the process
+  executor for chaos testing.
 
 Quickstart::
 
@@ -35,17 +42,34 @@ Quickstart::
 
 from repro.service.cache import CacheEntry, PlanCache
 from repro.service.executor import EXECUTORS, JobOutcome, ProcessPoolExecutor
+from repro.service.faults import FaultInjector, FaultSpec
 from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.resilience import (
+    AdmissionEstimate,
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryBudget,
+    RetryPolicy,
+    estimate_ccps,
+)
 from repro.service.core import OptimizerService, request_signature
 
 __all__ = [
+    "AdmissionEstimate",
     "CacheEntry",
+    "CircuitBreaker",
     "EXECUTORS",
+    "FaultInjector",
+    "FaultSpec",
     "JobOutcome",
     "LatencyHistogram",
     "OptimizerService",
     "PlanCache",
     "ProcessPoolExecutor",
+    "ResilienceConfig",
+    "RetryBudget",
+    "RetryPolicy",
     "ServiceMetrics",
+    "estimate_ccps",
     "request_signature",
 ]

@@ -11,18 +11,24 @@ The cache is an ``OrderedDict`` LRU under a single lock with monotonic
 hit/miss/eviction counters, and round-trips to JSON through
 :func:`repro.serialize.plan_cache_to_dict` /
 :func:`repro.serialize.plan_cache_from_dict` so warm state survives
-process restarts.
+process restarts.  Persistence is crash-safe: ``save`` writes through a
+temp file and :func:`os.replace`, and ``load`` tolerates torn files
+(warn + empty) and quarantines individually corrupt entries instead of
+refusing the whole file.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import OptimizationError
+from repro.errors import OptimizationError, ReproError
 from repro.plan.jointree import JoinTree
 
 __all__ = ["CacheEntry", "PlanCache"]
@@ -131,25 +137,106 @@ class PlanCache:
     # ------------------------------------------------------------------
 
     def save(self, path: str) -> int:
-        """Write all entries to a JSON file; returns the entry count."""
+        """Atomically write all entries to a JSON file; returns entry count.
+
+        The document is written to a same-directory temp file, fsynced,
+        and moved into place with :func:`os.replace`, so a crash at any
+        instant leaves either the old file or the new one — never a torn
+        half-write.  Each entry carries a checksum (see
+        :func:`repro.serialize.plan_cache_entry_checksum`) that ``load``
+        verifies.
+        """
         from repro.serialize import plan_cache_to_dict
 
         document = plan_cache_to_dict(self)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(document, handle)
+        _atomic_write_json(path, document)
         return len(document["entries"])
 
-    def load(self, path: str) -> int:
+    def load(self, path: str, quarantine_path: Optional[str] = None) -> int:
         """Merge entries from a JSON file in the file's recency order.
 
-        Returns the number of entries read; if capacity is exceeded the
-        usual LRU eviction applies (and is counted).
-        """
-        from repro.serialize import plan_cache_from_dict
+        Returns the number of entries loaded; if capacity is exceeded
+        the usual LRU eviction applies (and is counted).
 
-        with open(path, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
-        entries = plan_cache_from_dict(document)
+        Corruption never poisons a warm start:
+
+        * a truncated or garbage **file** (half-written by a crashed
+          process, wrong format) loads as *zero entries* with a
+          :class:`RuntimeWarning` instead of raising;
+        * a corrupt **entry** (checksum mismatch, undecodable plan) is
+          quarantined — appended to ``<path>.quarantine`` (or
+          ``quarantine_path``) with the decode error — and the remaining
+          entries load normally.
+
+        A missing file still raises :class:`FileNotFoundError`: pointing
+        the service at the wrong path is a caller bug, not corruption.
+        """
+        from repro.serialize import plan_cache_from_dict_tolerant
+
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            raise
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            warnings.warn(
+                f"plan cache file {path!r} is corrupt ({exc}); "
+                "starting with an empty cache",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 0
+        try:
+            entries, rejected = plan_cache_from_dict_tolerant(document)
+        except ReproError as exc:
+            warnings.warn(
+                f"plan cache file {path!r} is not a plan cache ({exc}); "
+                "starting with an empty cache",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 0
+        if rejected:
+            destination = quarantine_path or f"{path}.quarantine"
+            try:
+                _atomic_write_json(
+                    destination,
+                    {"kind": "plan_cache_quarantine", "rejected": rejected},
+                )
+                where = f"quarantined to {destination!r}"
+            except OSError as exc:
+                where = f"quarantine write failed ({exc}); entries dropped"
+            warnings.warn(
+                f"plan cache file {path!r}: skipped {len(rejected)} corrupt "
+                f"entr{'y' if len(rejected) == 1 else 'ies'} ({where}); "
+                f"loaded the remaining {len(entries)}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         for entry in entries:
             self.put(entry)
         return len(entries)
+
+
+def _atomic_write_json(path: str, document: Dict) -> None:
+    """Write JSON via temp file + fsync + :func:`os.replace` (crash-safe)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding="utf-8",
+        dir=directory,
+        prefix=os.path.basename(path) + ".tmp.",
+        delete=False,
+    )
+    try:
+        with handle:
+            json.dump(document, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise

@@ -27,6 +27,19 @@ The process executor (:mod:`repro.service.executor`) is the one that
 actually uses multiple cores and the only one that can reclaim a hung
 worker; the cache always lives in the parent, so hit behaviour is
 identical across executors.
+
+On top of that sits the **resilience layer**
+(:mod:`repro.service.resilience`): before any exact enumeration the
+service estimates the search-space size (#ccp) and compares it against
+the configured admission budget, consults the per-algorithm-label
+**circuit breaker**, and — when either says exact is unaffordable —
+serves the request from a **degradation ladder** rung instead
+(IKKBZ for acyclic graphs, GOO otherwise), recording the rung and the
+reason on the result's ``details`` and in the metrics.  Transient
+process-worker failures are retried with exponential backoff under a
+per-batch budget, and a deterministic fault-injection layer
+(:mod:`repro.service.faults`) lets the chaos tests script worker
+crashes, hangs, corrupted payloads, and latency spikes.
 """
 
 from __future__ import annotations
@@ -38,7 +51,17 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeoutError
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro import bitset
 from repro.catalog.statistics import Catalog
@@ -56,7 +79,16 @@ from repro.optimizer.api import (
 from repro.plan.jointree import JoinTree
 from repro.service.cache import CacheEntry, PlanCache
 from repro.service.executor import EXECUTORS, ProcessPoolExecutor
+from repro.service.faults import FaultInjector
 from repro.service.metrics import ServiceMetrics
+from repro.service.resilience import (
+    CircuitBreaker,
+    ResilienceConfig,
+    RetryBudget,
+    estimate_ccps,
+    heuristic_rung_for,
+    run_rung,
+)
 
 __all__ = ["OptimizerService", "request_signature"]
 
@@ -228,6 +260,15 @@ class OptimizerService:
         ``multiprocessing`` start method for the process executor
         (``None`` = platform default; ``fork`` on Linux keeps plugin
         algorithms registered in the parent visible to workers).
+    resilience:
+        :class:`~repro.service.resilience.ResilienceConfig` with the
+        admission budget, breaker, and retry knobs (``None`` = defaults:
+        no admission budget, no retries, breaker armed at 5 consecutive
+        failures).
+    fault_injector:
+        Chaos-test fault directives for the process executor
+        (``None`` = read ``REPRO_FAULTS`` from the environment, which is
+        empty in production).
 
     The service is thread-safe: ``optimize`` may be called concurrently,
     and ``optimize_batch`` runs items on a worker pool with per-item
@@ -244,6 +285,8 @@ class OptimizerService:
         default_executor: str = "thread",
         default_deadline_seconds: Optional[float] = None,
         process_start_method: Optional[str] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if default_executor not in EXECUTORS:
             raise OptimizationError(
@@ -258,6 +301,14 @@ class OptimizerService:
         self.default_executor = default_executor
         self.default_deadline_seconds = default_deadline_seconds
         self.process_start_method = process_start_method
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
+        self.breaker = CircuitBreaker(
+            threshold=self.resilience.breaker_threshold,
+            cooldown_seconds=self.resilience.breaker_cooldown_seconds,
+        )
+        self.fault_injector = (
+            fault_injector if fault_injector is not None else FaultInjector.from_env()
+        )
 
     # ------------------------------------------------------------------
 
@@ -312,7 +363,10 @@ class OptimizerService:
             )
             raise
         self.metrics.observe(
-            effective, time.perf_counter() - started, cache_hit=result.cache_hit
+            effective,
+            time.perf_counter() - started,
+            cache_hit=result.cache_hit,
+            degraded=bool(result.details.get("degraded")),
         )
         return result
 
@@ -390,14 +444,108 @@ class OptimizerService:
         result.signature = job.signature
         result.tag = job.request.tag
 
+    # -- resilience: admission control and the degradation ladder ------
+
+    def _select_degradation(
+        self, job: _PreparedJob
+    ) -> Optional[Tuple[str, str, Dict]]:
+        """Decide whether this job must skip exact enumeration.
+
+        Returns ``None`` to run the exact algorithm, else
+        ``(rung, reason, extra_details)``.  The admission budget is
+        checked *before* the breaker so that over-budget requests never
+        consume a half-open probe slot.  When the breaker's ``allow``
+        admits the job, the caller owes it a matching
+        ``record_success``/``record_failure``.
+        """
+        graph = job.catalog.graph
+        if graph.n_vertices <= 1 or not graph.is_connected(graph.all_vertices):
+            # Trivial queries take the n<=1 fast path; disconnected ones
+            # (without cross products) fail identically on every rung —
+            # let the exact path raise its precise typed error.
+            return None
+        cfg = self.resilience
+        if cfg.max_ccp_budget is not None:
+            estimate = estimate_ccps(graph, cfg.admission_exact_max_n)
+            if estimate.ccps > cfg.max_ccp_budget:
+                return (
+                    heuristic_rung_for(graph),
+                    "over_budget",
+                    {
+                        "admission_estimate": estimate.ccps,
+                        "admission_method": estimate.method,
+                        "admission_budget": cfg.max_ccp_budget,
+                    },
+                )
+        if not self.breaker.allow(job.effective):
+            return (heuristic_rung_for(graph), "breaker_open", {})
+        return None
+
+    def _run_degraded(
+        self, job: _PreparedJob, rung: str, reason: str, extra: Dict
+    ) -> OptimizationResult:
+        """Serve one request from a heuristic ladder rung.
+
+        The result names the rung and the reason in ``details`` and is
+        **not** cached (the cache promises the exact optimum).  A rung
+        failure is wrapped in the reason's typed error so callers can
+        tell "the ladder had nothing for this query" apart from ordinary
+        optimization failures.
+        """
+        started = time.perf_counter()
+        try:
+            plan, rung_used = run_rung(rung, job.catalog)
+        except ReproError as exc:
+            from repro.errors import AdmissionError, CircuitOpenError
+
+            error_type = (
+                CircuitOpenError if reason == "breaker_open" else AdmissionError
+            )
+            raise error_type(
+                f"request was degraded ({reason}) but the {rung!r} rung "
+                f"failed too: {exc}"
+            ) from exc
+        details: Dict = {"degraded": 1, "rung": rung_used, "degrade_reason": reason}
+        details.update(extra)
+        return OptimizationResult(
+            plan=plan,
+            algorithm=job.request.algorithm,
+            elapsed_seconds=time.perf_counter() - started,
+            memo_entries=0,
+            cost_evaluations=0,
+            cardinality_estimations=0,
+            details=details,
+            tag=job.request.tag,
+        )
+
     def _execute(
-        self, request: OptimizationRequest
+        self,
+        request: OptimizationRequest,
+        cancelled: Optional[Callable[[], bool]] = None,
     ) -> Tuple[OptimizationResult, str]:
+        """Run one request: cache hit, degraded rung, or exact enumeration.
+
+        ``cancelled`` is the soft-deadline guard of the threaded backend:
+        when it reports True after the enumeration finished, the caller
+        has already synthesized a timeout result for this item, so the
+        late result must not warm the cache, feed the breaker, or touch
+        anything else shared — it is simply discarded.
+        """
         job = self._prepare(request)
         if job.hit is not None:
             return job.hit, job.effective
-        result = optimize_request(job.run_request)
-        self._store(job, result)
+        degrade = self._select_degradation(job)
+        if degrade is not None:
+            return self._run_degraded(job, *degrade), job.effective
+        try:
+            result = optimize_request(job.run_request)
+        except Exception:
+            if cancelled is None or not cancelled():
+                self.breaker.record_failure(job.effective)
+            raise
+        if cancelled is None or not cancelled():
+            self.breaker.record_success(job.effective)
+            self._store(job, result)
         return result, job.effective
 
     # ------------------------------------------------------------------
@@ -439,9 +587,10 @@ class OptimizerService:
             scheduling slack, never hanging the batch.  In thread mode
             the deadline is *soft*: the result is synthesized on time
             but the abandoned computation finishes in the background
-            (CPython threads cannot be killed) and may still warm the
-            cache; its metrics observation is suppressed.  Serial mode
-            ignores deadlines — items run to completion one by one.
+            (CPython threads cannot be killed); its late result is
+            discarded — it does not warm the cache, feed the circuit
+            breaker, or appear in the metrics.  Serial mode ignores
+            deadlines — items run to completion one by one.
         fallback:
             ``"goo"`` to serve a greedy-operator-ordering heuristic plan
             (:func:`repro.heuristics.greedy_operator_ordering`) for items
@@ -508,21 +657,28 @@ class OptimizerService:
         ``abandoned`` is the soft-deadline coordination set of the
         threaded backend: if our index appears there by the time we
         finish, the caller already synthesized a timeout result for this
-        item, so the (completed) work only warms the cache and must not
-        be double-counted in the metrics.
+        item, so the (completed) work is discarded — it must not warm
+        the cache, feed the circuit breaker, or be double-counted in the
+        metrics (see the ``cancelled`` guard in :meth:`_execute`).
         """
         started = time.perf_counter()
+        cancelled: Optional[Callable[[], bool]] = None
+        if abandoned is not None:
+            cancelled = lambda: index in abandoned  # noqa: E731
         try:
-            result, effective = self._execute(request)
+            result, effective = self._execute(request, cancelled=cancelled)
         except Exception as exc:  # per-item isolation: never kill the batch
             elapsed = time.perf_counter() - started
             label = self._effective_label(request)
-            if abandoned is None or index not in abandoned:
+            if cancelled is None or not cancelled():
                 self.metrics.observe(label, elapsed, error=True)
             return self._error_result(request.algorithm, request.tag, exc, elapsed)
-        if abandoned is None or index not in abandoned:
+        if cancelled is None or not cancelled():
             self.metrics.observe(
-                effective, time.perf_counter() - started, cache_hit=result.cache_hit
+                effective,
+                time.perf_counter() - started,
+                cache_hit=result.cache_hit,
+                degraded=bool(result.details.get("degraded")),
             )
         return result
 
@@ -595,10 +751,29 @@ class OptimizerService:
                 )
                 slots[index] = job.hit
                 continue
+            degrade = self._select_degradation(job)
+            if degrade is not None:
+                try:
+                    result = self._run_degraded(job, *degrade)
+                except Exception as exc:
+                    elapsed = time.perf_counter() - started
+                    self.metrics.observe(job.effective, elapsed, error=True)
+                    slots[index] = self._error_result(
+                        request.algorithm, request.tag, exc, elapsed
+                    )
+                    continue
+                self.metrics.observe(
+                    job.effective, result.elapsed_seconds, degraded=True
+                )
+                slots[index] = result
+                continue
             try:
                 document = request_to_dict(job.run_request)
             except Exception as exc:
                 elapsed = time.perf_counter() - started
+                # The breaker admitted this job (possibly as a half-open
+                # probe); resolve the slot it holds.
+                self.breaker.record_failure(job.effective)
                 self.metrics.observe(job.effective, elapsed, error=True)
                 slots[index] = self._error_result(
                     request.algorithm, request.tag, exc, elapsed
@@ -608,10 +783,18 @@ class OptimizerService:
             documents.append((index, document))
         if not documents:
             return
+        cfg = self.resilience
         backend = ProcessPoolExecutor(
             workers=max(1, workers),
             deadline_seconds=deadline_seconds,
             start_method=self.process_start_method,
+            retry_policy=cfg.retry_policy(),
+            retry_budget=(
+                RetryBudget(cfg.retry_budget_per_batch)
+                if cfg.max_retries > 0
+                else None
+            ),
+            fault_injector=self.fault_injector,
         )
         outcomes = backend.run(documents)
         for index, outcome in outcomes.items():
@@ -619,8 +802,12 @@ class OptimizerService:
             if outcome.status == "ok":
                 result = result_from_dict(outcome.document)
                 self._store(job, result)
+                self.breaker.record_success(job.effective)
                 self.metrics.observe(
-                    job.effective, outcome.elapsed_seconds, cache_hit=False
+                    job.effective,
+                    outcome.elapsed_seconds,
+                    cache_hit=False,
+                    retries=outcome.retries,
                 )
                 slots[index] = result
             elif outcome.status == "timeout":
@@ -631,10 +818,15 @@ class OptimizerService:
                     catalog=job.catalog,
                     effective=job.effective,
                     elapsed=outcome.elapsed_seconds,
+                    retries=outcome.retries,
                 )
             else:  # "error" or "crashed"
+                self.breaker.record_failure(job.effective)
                 self.metrics.observe(
-                    job.effective, outcome.elapsed_seconds, error=True
+                    job.effective,
+                    outcome.elapsed_seconds,
+                    error=True,
+                    retries=outcome.retries,
                 )
                 slots[index] = OptimizationResult(
                     plan=None,
@@ -657,10 +849,17 @@ class OptimizerService:
         catalog: Optional[Catalog] = None,
         effective: Optional[str] = None,
         elapsed: Optional[float] = None,
+        retries: int = 0,
     ) -> OptimizationResult:
-        """Resolve a timed-out item: heuristic fallback plan or error."""
+        """Resolve a timed-out item: heuristic fallback plan or error.
+
+        A deadline timeout counts as a breaker failure for the item's
+        algorithm label — repeated hangs on the same path open the
+        circuit just like repeated crashes do.
+        """
         label = effective if effective is not None else self._effective_label(request)
         elapsed = elapsed if elapsed is not None else (deadline_seconds or 0.0)
+        self.breaker.record_failure(label)
         if fallback == "goo":
             from repro.heuristics.goo import greedy_operator_ordering
 
@@ -671,7 +870,9 @@ class OptimizerService:
             except Exception:
                 plan = None
             if plan is not None:
-                self.metrics.observe(label, elapsed, timeout=True, fallback=True)
+                self.metrics.observe(
+                    label, elapsed, timeout=True, fallback=True, retries=retries
+                )
                 return OptimizationResult(
                     plan=plan,
                     algorithm=request.algorithm,
@@ -682,7 +883,9 @@ class OptimizerService:
                     details={"deadline_timeout": 1, "fallback_goo": 1},
                     tag=request.tag,
                 )
-        self.metrics.observe(label, elapsed, error=True, timeout=True)
+        self.metrics.observe(
+            label, elapsed, error=True, timeout=True, retries=retries
+        )
         exc = DeadlineExceededError(
             f"optimization exceeded the deadline of {deadline_seconds}s"
         )
@@ -704,13 +907,16 @@ class OptimizerService:
     # ------------------------------------------------------------------
 
     def stats_snapshot(self) -> Dict:
-        """Return a JSON-ready snapshot of cache and request metrics."""
+        """Return a JSON-ready snapshot of cache, breaker, and request metrics."""
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = self.cache.stats()
+        snapshot["breaker"] = self.breaker.snapshot()
         return snapshot
 
     def reset_stats(self) -> None:
-        """Start a fresh metrics epoch (the cache contents survive)."""
+        """Start a fresh metrics epoch (the cache contents survive; the
+        circuit breaker keeps its state — it models path health, not an
+        observation window)."""
         self.metrics.reset()
 
     def save_cache(self, path: str) -> int:

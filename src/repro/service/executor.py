@@ -1,4 +1,4 @@
-"""Process-pool batch execution with per-item deadlines.
+"""Process-pool batch execution with per-item deadlines and retries.
 
 CPython's GIL serializes CPU-bound work across threads, so the service's
 threaded ``optimize_batch`` never uses more than one core for the actual
@@ -18,6 +18,23 @@ Design notes:
   its own (OOM kill, segfault) is detected via EOF and likewise
   replaced.  Either way the batch finishes; a single pathological query
   can no longer stall it.
+* **Transient failures are retried**: with a :class:`~repro.service.resilience.RetryPolicy`
+  installed, a crash, pipe EOF, or corrupted payload re-queues the item
+  with exponential backoff + deterministic jitter, up to the policy's
+  attempt cap and the batch-wide :class:`~repro.service.resilience.RetryBudget`.
+  Deadline timeouts are *not* retried — the time budget is already
+  spent; the service's degradation ladder owns that case.
+* A **corrupted payload** — a message that is not the protocol's
+  ``(index, ("ok"|"error", ...))`` shape, or that names the wrong job —
+  is isolated to its item: the worker is recycled (its pipe can no
+  longer be trusted) and the item resolves or retries on its own,
+  leaving its batch siblings untouched.
+* Deterministic **fault injection** for chaos tests: the parent resolves
+  a :class:`~repro.service.faults.FaultInjector` directive per
+  ``(tag, attempt)`` and ships it with the job message; the worker
+  executes it (crash/hang/corrupt/slow) before touching the optimizer.
+  With no injector configured the wire field is ``None`` and workers
+  skip the machinery.
 * Workers run :func:`repro.optimizer.api.optimize_request` directly —
   plan caching, metrics, and heuristic fallbacks stay in the parent
   (:mod:`repro.service.core`), which is what keeps cache behaviour
@@ -63,30 +80,37 @@ class JobOutcome:
     * ``status == "timeout"`` — the deadline expired and the worker was
       recycled;
     * ``status == "crashed"`` — the worker process died without
-      reporting (killed, segfault); treated like an error by the caller.
+      reporting (killed, segfault) or returned a corrupted payload, and
+      every allowed retry did the same; treated like an error by the
+      caller.
 
-    ``elapsed_seconds`` is wall-clock from dispatch to resolution as
-    seen by the parent.
+    ``elapsed_seconds`` is wall-clock for the **final attempt** as seen
+    by the parent; ``retries`` is how many extra attempts the job
+    consumed before resolving (0 = first try).
     """
 
     status: str
     elapsed_seconds: float
     document: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    retries: int = 0
 
 
 def _process_worker_main(connection) -> None:
-    """Worker loop: recv (index, request document), send (index, payload).
+    """Worker loop: recv (index, request document, fault), send (index, payload).
 
     Runs in the child process.  ``None`` is the shutdown sentinel.  All
     failures — including deserialization errors — are reported back as
     ``("error", type_name, message)`` payloads so the parent can isolate
-    them per item.
+    them per item.  ``fault`` is an injected chaos directive (or
+    ``None``): executed *before* the optimizer so it models an
+    infrastructure fault, not an algorithm bug.
     """
     # Imported here so the module import itself stays cheap in the
     # parent and works under the ``spawn`` start method.
     from repro.optimizer.api import optimize_request
     from repro.serialize import request_from_dict, result_to_dict
+    from repro.service.faults import apply_fault
 
     while True:
         try:
@@ -95,7 +119,18 @@ def _process_worker_main(connection) -> None:
             return
         if item is None:
             return
-        index, document = item
+        index, document, fault = item
+        if fault is not None:
+            try:
+                poison = apply_fault(fault)
+            except KeyboardInterrupt:
+                return
+            if poison is not None:
+                try:
+                    connection.send((index, poison))
+                except (BrokenPipeError, OSError):
+                    return
+                continue
         try:
             result = optimize_request(request_from_dict(document))
             payload: Tuple = ("ok", result_to_dict(result))
@@ -112,7 +147,14 @@ def _process_worker_main(connection) -> None:
 class _Worker:
     """One recyclable worker process plus its private pipe."""
 
-    __slots__ = ("connection", "process", "busy_index", "started_at")
+    __slots__ = (
+        "connection",
+        "process",
+        "busy_index",
+        "busy_document",
+        "busy_attempt",
+        "started_at",
+    )
 
     def __init__(self, context):
         self.connection, child_connection = context.Pipe(duplex=True)
@@ -125,12 +167,28 @@ class _Worker:
         self.process.start()
         child_connection.close()
         self.busy_index: Optional[int] = None
+        self.busy_document: Optional[Dict[str, Any]] = None
+        self.busy_attempt: int = 0
         self.started_at: Optional[float] = None
 
-    def assign(self, index: int, document: Dict[str, Any]) -> None:
+    def assign(
+        self,
+        index: int,
+        document: Dict[str, Any],
+        attempt: int,
+        fault: Optional[Dict[str, Any]],
+    ) -> None:
         self.busy_index = index
+        self.busy_document = document
+        self.busy_attempt = attempt
         self.started_at = time.monotonic()
-        self.connection.send((index, document))
+        self.connection.send((index, document, fault))
+
+    def release(self) -> None:
+        self.busy_index = None
+        self.busy_document = None
+        self.busy_attempt = 0
+        self.started_at = None
 
     def elapsed(self) -> float:
         return 0.0 if self.started_at is None else time.monotonic() - self.started_at
@@ -171,6 +229,18 @@ class ProcessPoolExecutor:
     start_method:
         ``multiprocessing`` start method (``None`` = platform default,
         i.e. ``fork`` on Linux so registered plugins carry over).
+    retry_policy:
+        :class:`~repro.service.resilience.RetryPolicy` governing retries
+        of transient worker failures (crash, EOF, corrupted payload).
+        ``None`` disables retry (legacy behaviour).
+    retry_budget:
+        Optional :class:`~repro.service.resilience.RetryBudget` shared
+        across the batch; once exhausted, further failures resolve
+        immediately.
+    fault_injector:
+        Optional :class:`~repro.service.faults.FaultInjector` whose
+        directives are shipped to workers per ``(tag, attempt)`` — chaos
+        testing only.
 
     Use as a context manager or call :meth:`run` directly — the pool is
     created per call and torn down afterwards, so no state leaks between
@@ -182,6 +252,9 @@ class ProcessPoolExecutor:
         workers: int,
         deadline_seconds: Optional[float] = None,
         start_method: Optional[str] = None,
+        retry_policy=None,
+        retry_budget=None,
+        fault_injector=None,
     ):
         if workers < 1:
             raise OptimizationError(
@@ -193,6 +266,9 @@ class ProcessPoolExecutor:
             )
         self.workers = workers
         self.deadline_seconds = deadline_seconds
+        self.retry_policy = retry_policy
+        self.retry_budget = retry_budget
+        self.fault_injector = fault_injector
         self._context = multiprocessing.get_context(start_method)
 
     # ------------------------------------------------------------------
@@ -205,12 +281,18 @@ class ProcessPoolExecutor:
         Dispatch order follows the given sequence; resolution order is
         whatever the workers produce.  The call returns only when every
         job has an outcome — a hung worker is reaped at its deadline, so
-        with a deadline set the batch provably terminates.
+        with a deadline set the batch provably terminates (retried items
+        restart their deadline clock per attempt).
         """
         if not jobs:
             return {}
         outcomes: Dict[int, JobOutcome] = {}
-        pending: Deque[Tuple[int, Dict[str, Any]]] = deque(jobs)
+        # Each pending entry is (index, document, attempt, ready_at):
+        # fresh jobs are ready immediately, retries carry a backoff
+        # timestamp and wait in the queue until it passes.
+        pending: Deque[Tuple[int, Dict[str, Any], int, float]] = deque(
+            (index, document, 0, 0.0) for index, document in jobs
+        )
         pool: List[_Worker] = [
             _Worker(self._context) for _ in range(min(self.workers, len(jobs)))
         ]
@@ -218,15 +300,29 @@ class ProcessPoolExecutor:
         busy: List[_Worker] = []
         try:
             while pending or busy:
+                now = time.monotonic()
                 while idle and pending:
+                    slot = next(
+                        (
+                            position
+                            for position, entry in enumerate(pending)
+                            if entry[3] <= now
+                        ),
+                        None,
+                    )
+                    if slot is None:
+                        break  # every queued job is still backing off
+                    index, document, attempt, _ = pending[slot]
+                    del pending[slot]
                     worker = idle.pop()
-                    index, document = pending.popleft()
+                    fault = self._fault_for(document, attempt)
                     try:
-                        worker.assign(index, document)
-                    except (BrokenPipeError, OSError) as exc:
-                        # Worker died before it could accept work; put
-                        # the job back and replace the worker.
-                        pending.appendleft((index, document))
+                        worker.assign(index, document, attempt, fault)
+                    except (BrokenPipeError, OSError):
+                        # Worker died before it could accept work; this
+                        # is the pool's fault, not the job's — requeue
+                        # at the same attempt and replace the worker.
+                        pending.appendleft((index, document, attempt, 0.0))
                         pool.remove(worker)
                         worker.stop(graceful=False)
                         replacement = _Worker(self._context)
@@ -236,39 +332,56 @@ class ProcessPoolExecutor:
                     busy.append(worker)
                 ready = _connection_wait(
                     [worker.connection for worker in busy],
-                    timeout=self._poll_timeout(busy),
+                    timeout=self._poll_timeout(busy, pending),
                 )
                 for connection in ready:
                     worker = next(
                         w for w in busy if w.connection is connection
                     )
                     try:
-                        index, payload = worker.connection.recv()
+                        message = worker.connection.recv()
                     except (EOFError, OSError):
-                        outcomes[worker.busy_index] = JobOutcome(
-                            status="crashed",
-                            elapsed_seconds=worker.elapsed(),
-                            error=(
-                                "worker process died unexpectedly "
-                                f"(exit code {worker.process.exitcode})"
-                            ),
+                        self._resolve_failure(
+                            worker,
+                            "crashed",
+                            "worker process died unexpectedly "
+                            f"(exit code {worker.process.exitcode})",
+                            outcomes,
+                            pending,
                         )
                         self._recycle(worker, pool, busy, idle, bool(pending))
                         continue
+                    payload = self._validate_message(worker, message)
+                    if payload is None:
+                        # Corrupted payload: the pipe framing survived
+                        # but the content is garbage — the worker can no
+                        # longer be trusted, so recycle it; the *item*
+                        # retries or fails alone, siblings are unharmed.
+                        self._resolve_failure(
+                            worker,
+                            "crashed",
+                            "worker returned a corrupted payload",
+                            outcomes,
+                            pending,
+                        )
+                        self._recycle(worker, pool, busy, idle, bool(pending))
+                        continue
+                    index = worker.busy_index
                     if payload[0] == "ok":
                         outcomes[index] = JobOutcome(
                             status="ok",
                             elapsed_seconds=worker.elapsed(),
                             document=payload[1],
+                            retries=worker.busy_attempt,
                         )
                     else:
                         outcomes[index] = JobOutcome(
                             status="error",
                             elapsed_seconds=worker.elapsed(),
                             error=f"{payload[1]}: {payload[2]}",
+                            retries=worker.busy_attempt,
                         )
-                    worker.busy_index = None
-                    worker.started_at = None
+                    worker.release()
                     busy.remove(worker)
                     idle.append(worker)
                 if self.deadline_seconds is not None:
@@ -277,6 +390,7 @@ class ProcessPoolExecutor:
                             outcomes[worker.busy_index] = JobOutcome(
                                 status="timeout",
                                 elapsed_seconds=worker.elapsed(),
+                                retries=worker.busy_attempt,
                             )
                             self._recycle(
                                 worker, pool, busy, idle, bool(pending)
@@ -288,18 +402,93 @@ class ProcessPoolExecutor:
 
     # ------------------------------------------------------------------
 
-    def _poll_timeout(self, busy: Sequence[_Worker]) -> Optional[float]:
-        """Sleep until the next result or the earliest in-flight deadline."""
-        if self.deadline_seconds is None:
+    def _fault_for(
+        self, document: Dict[str, Any], attempt: int
+    ) -> Optional[Dict[str, Any]]:
+        """Resolve the chaos directive shipped with this dispatch."""
+        if not self.fault_injector:
             return None
-        if not busy:
-            return 0.0
-        next_expiry = min(
-            self.deadline_seconds - worker.elapsed() for worker in busy
+        spec = self.fault_injector.fault_for(document.get("tag"), attempt)
+        return spec.to_dict() if spec is not None else None
+
+    def _validate_message(self, worker: _Worker, message) -> Optional[Tuple]:
+        """Return the payload of a protocol-conforming message, else None.
+
+        The index inside the message must name the job this worker was
+        actually assigned — a corrupted worker must not be able to
+        overwrite a sibling item's outcome.
+        """
+        if not isinstance(message, tuple) or len(message) != 2:
+            return None
+        index, payload = message
+        if index != worker.busy_index:
+            return None
+        if not isinstance(payload, tuple) or not payload:
+            return None
+        if payload[0] == "ok":
+            return payload if len(payload) == 2 and isinstance(payload[1], dict) else None
+        if payload[0] == "error":
+            return payload if len(payload) == 3 else None
+        return None
+
+    def _resolve_failure(
+        self,
+        worker: _Worker,
+        status: str,
+        error: str,
+        outcomes: Dict[int, JobOutcome],
+        pending: Deque[Tuple[int, Dict[str, Any], int, float]],
+    ) -> None:
+        """Retry a transient worker failure, or record its final outcome."""
+        index = worker.busy_index
+        document = worker.busy_document
+        attempt = worker.busy_attempt
+        if self.retry_policy is not None and attempt < self.retry_policy.max_retries:
+            if self.retry_budget is None or self.retry_budget.try_acquire():
+                token = document.get("tag") or f"#{index}"
+                delay = self.retry_policy.delay(attempt, token)
+                pending.append(
+                    (index, document, attempt + 1, time.monotonic() + delay)
+                )
+                return
+            error = f"{error} [RetryExhaustedError: batch retry budget spent]"
+        elif self.retry_policy is not None and attempt > 0:
+            error = (
+                f"{error} [RetryExhaustedError: failed on all "
+                f"{attempt + 1} attempts]"
+            )
+        outcomes[index] = JobOutcome(
+            status=status,
+            elapsed_seconds=worker.elapsed(),
+            error=error,
+            retries=attempt,
         )
+
+    def _poll_timeout(
+        self,
+        busy: Sequence[_Worker],
+        pending: Sequence[Tuple[int, Dict[str, Any], int, float]],
+    ) -> Optional[float]:
+        """Sleep until the next result, deadline expiry, or retry ready-time."""
+        candidates: List[float] = []
+        if self.deadline_seconds is not None and busy:
+            candidates.append(
+                min(
+                    self.deadline_seconds - worker.elapsed()
+                    for worker in busy
+                )
+            )
+        if pending and not any(entry[3] == 0.0 for entry in pending):
+            now = time.monotonic()
+            candidates.append(min(entry[3] for entry in pending) - now)
+        if not candidates:
+            # No deadline and no backoff to wake for: block until a
+            # worker reports (there is always at least one busy worker
+            # here, otherwise pending would have been dispatchable).
+            return None if busy else 0.01
         # A small floor keeps the loop from busy-spinning when a
         # deadline is imminent; expiry is re-checked right after.
-        return max(0.01, next_expiry)
+        return max(0.01, min(candidates))
 
     def _recycle(
         self,

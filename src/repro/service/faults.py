@@ -1,0 +1,227 @@
+"""Deterministic fault injection for the service's process executor.
+
+Chaos testing needs real infrastructure faults — a worker that dies
+mid-job, hangs forever, answers garbage, or answers late — produced *on
+demand and deterministically*, so a test can assert the exact recovery
+path (retry, deadline, breaker trip) instead of hoping a race shows up.
+
+A :class:`FaultInjector` holds a list of :class:`FaultSpec` directives:
+
+========= =============================================================
+Kind       Worker behaviour when the spec matches
+========= =============================================================
+``crash``  ``os._exit`` without replying — the parent sees pipe EOF,
+           exactly like an OOM kill or segfault.
+``hang``   sleep far past any deadline — the parent's deadline reaper
+           must terminate and replace the worker.
+``corrupt`` reply with a well-formed message whose payload is garbage —
+           the parent must isolate it to the item, not the batch.
+``slow``   sleep ``seconds`` then answer normally — latency fault.
+========= =============================================================
+
+Matching is on the request ``tag`` (``None`` matches every item) and the
+**attempt number**: ``times=2`` injects on attempts 0 and 1 and lets
+attempt 2 through, which is how "crash is retried and then succeeds" is
+scripted.  Because the decision is a pure function of ``(tag, attempt)``
+the parent resolves it *before* dispatch and ships the directive with
+the job message — no shared state, no start-method sensitivity, no
+dependence on which recycled worker process gets the retry.
+
+Configuration is programmatic (pass an injector to the service or
+executor) or env-driven for test builds: set ``REPRO_FAULTS`` to a JSON
+list of spec objects, e.g.::
+
+    REPRO_FAULTS='[{"kind": "crash", "tag": "q1", "times": 2},
+                   {"kind": "hang", "tag": "q3"}]'
+
+With the variable unset (production), `FaultInjector.from_env()` is
+empty and the executor skips injection entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import OptimizationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULTS_ENV_VAR",
+    "FaultInjector",
+    "FaultSpec",
+    "apply_fault",
+]
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("crash", "hang", "corrupt", "slow")
+
+#: Environment variable holding the JSON fault specs for test builds.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: How long a ``hang`` sleeps when no explicit duration is given — far
+#: past any sane deadline, so the reaper (not the sleep) ends it.
+_DEFAULT_HANG_SECONDS = 3600.0
+
+#: Exit code used by injected crashes, distinguishable from real ones
+#: in worker post-mortems.
+CRASH_EXIT_CODE = 23
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault directive.
+
+    ``tag=None`` matches every item.  ``times=N`` injects on attempts
+    ``0..N-1`` only; ``times=None`` injects on every attempt (useful for
+    "this path is just broken" scenarios like breaker tests).
+    ``seconds=None`` takes the kind's default duration: one hour for
+    ``hang`` (so the reaper, not the sleep, ends it) and 50ms for
+    ``slow``.
+    """
+
+    kind: str
+    tag: Optional[str] = None
+    times: Optional[int] = 1
+    seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise OptimizationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.times is not None and self.times < 1:
+            raise OptimizationError(
+                f"fault times must be >= 1 or None (always), got {self.times}"
+            )
+        if self.seconds is None:
+            object.__setattr__(
+                self,
+                "seconds",
+                _DEFAULT_HANG_SECONDS if self.kind == "hang" else 0.05,
+            )
+        if self.seconds < 0:
+            raise OptimizationError(
+                f"fault seconds must be >= 0, got {self.seconds}"
+            )
+
+    def matches(self, tag: Optional[str], attempt: int) -> bool:
+        if self.tag is not None and self.tag != tag:
+            return False
+        return self.times is None or attempt < self.times
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire form shipped to workers alongside the job document."""
+        return {
+            "kind": self.kind,
+            "tag": self.tag,
+            "times": self.times,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "FaultSpec":
+        if not isinstance(document, Mapping):
+            raise OptimizationError(
+                f"fault spec must be an object, got {type(document).__name__}"
+            )
+        unknown = set(document) - {"kind", "tag", "times", "seconds"}
+        if unknown:
+            raise OptimizationError(
+                f"unknown fault spec fields {sorted(unknown)}"
+            )
+        if "kind" not in document:
+            raise OptimizationError("fault spec needs a 'kind' field")
+        return cls(**dict(document))
+
+
+class FaultInjector:
+    """Resolve which fault (if any) applies to a ``(tag, attempt)`` pair.
+
+    First matching spec wins, in declaration order.  An empty injector
+    is falsy, which is what lets the executor skip the whole machinery
+    in production.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()):
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise OptimizationError(
+                    f"FaultInjector takes FaultSpec objects, got "
+                    f"{type(spec).__name__}"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def fault_for(
+        self, tag: Optional[str], attempt: int
+    ) -> Optional[FaultSpec]:
+        """Return the first spec matching this dispatch, or ``None``."""
+        for spec in self.specs:
+            if spec.matches(tag, attempt):
+                return spec
+        return None
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultInjector":
+        """Build an injector from the JSON list format of ``REPRO_FAULTS``."""
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise OptimizationError(
+                f"{FAULTS_ENV_VAR} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(document, list):
+            raise OptimizationError(
+                f"{FAULTS_ENV_VAR} must be a JSON list of fault specs, "
+                f"got {type(document).__name__}"
+            )
+        return cls([FaultSpec.from_dict(item) for item in document])
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> "FaultInjector":
+        """Read ``REPRO_FAULTS`` (empty injector when unset/blank)."""
+        environ = os.environ if environ is None else environ
+        text = environ.get(FAULTS_ENV_VAR, "").strip()
+        if not text:
+            return cls()
+        return cls.parse(text)
+
+
+def apply_fault(document: Mapping[str, Any]) -> Optional[Tuple[str, Any]]:
+    """Execute one fault directive **inside a worker process**.
+
+    ``crash`` and ``hang`` do not return (the process exits or sleeps
+    past its deadline); ``slow`` sleeps and returns ``None`` so the
+    worker proceeds normally; ``corrupt`` returns the poison payload the
+    worker should send instead of a real result.
+    """
+    kind = document.get("kind")
+    seconds = float(document.get("seconds") or 0.0)
+    if kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if kind == "hang":
+        time.sleep(seconds if seconds > 0 else _DEFAULT_HANG_SECONDS)
+        return None
+    if kind == "slow":
+        if seconds > 0:
+            time.sleep(seconds)
+        return None
+    if kind == "corrupt":
+        # Well-formed message, garbage payload: not an ("ok"|"error", ...)
+        # tuple the parent's protocol recognises.
+        return ("corrupt-injected", {"garbage": True})
+    return None

@@ -101,6 +101,8 @@ class ServiceMetrics:
             "cache_misses": 0,
             "timeouts": 0,
             "fallbacks": 0,
+            "degraded": 0,
+            "retries": 0,
         }
         self._algorithms: Dict[str, Dict] = {}
 
@@ -113,6 +115,8 @@ class ServiceMetrics:
                 "cache_hits": 0,
                 "timeouts": 0,
                 "fallbacks": 0,
+                "degraded": 0,
+                "retries": 0,
                 "histogram": LatencyHistogram(self._max_samples),
             }
             self._algorithms[algorithm] = slot
@@ -126,13 +130,18 @@ class ServiceMetrics:
         error: bool = False,
         timeout: bool = False,
         fallback: bool = False,
+        degraded: bool = False,
+        retries: int = 0,
     ) -> None:
         """Record one request outcome under the given algorithm label.
 
         ``timeout`` marks a request that exceeded its deadline; it is
         orthogonal to ``error``/``fallback`` because a timed-out request
         either failed (``error=True``) or was served a heuristic plan
-        (``fallback=True``) — both still count one timeout.
+        (``fallback=True``) — both still count one timeout.  ``degraded``
+        marks a request served from a ladder rung instead of the exact
+        enumerator (admission budget or open breaker); ``retries`` adds
+        the extra worker attempts this request consumed.
         """
         with self._lock:
             self._totals["requests"] += 1
@@ -145,6 +154,12 @@ class ServiceMetrics:
             if fallback:
                 self._totals["fallbacks"] += 1
                 slot["fallbacks"] += 1
+            if degraded:
+                self._totals["degraded"] += 1
+                slot["degraded"] += 1
+            if retries:
+                self._totals["retries"] += retries
+                slot["retries"] += retries
             if error:
                 self._totals["errors"] += 1
                 slot["errors"] += 1
@@ -166,6 +181,8 @@ class ServiceMetrics:
                         "cache_hits": slot["cache_hits"],
                         "timeouts": slot["timeouts"],
                         "fallbacks": slot["fallbacks"],
+                        "degraded": slot["degraded"],
+                        "retries": slot["retries"],
                         "latency": slot["histogram"].snapshot(),
                     }
                     for name, slot in sorted(self._algorithms.items())

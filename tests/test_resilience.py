@@ -1,0 +1,700 @@
+"""Chaos and resilience tests: admission, degradation, breaker, retry,
+fault injection, and crash-safe cache persistence.
+
+The process-executor tests script real infrastructure faults through
+:mod:`repro.service.faults` — worker crashes, hangs, corrupted payloads —
+and assert the exact recovery path (retry, deadline, breaker trip)
+deterministically.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro import (
+    OptimizationRequest,
+    OptimizerService,
+    WorkloadGenerator,
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    star_graph,
+    uniform_statistics,
+)
+from repro.analysis.formulas import ccp_count, ccp_estimate
+from repro.enumeration.counting import count_ccps
+from repro.errors import (
+    AdmissionError,
+    GraphError,
+    OptimizationError,
+    ReproError,
+)
+from repro.graph.query_graph import QueryGraph
+from repro.optimizer.api import (
+    ALGORITHMS,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.service import (
+    FaultInjector,
+    FaultSpec,
+    ResilienceConfig,
+    RetryBudget,
+    RetryPolicy,
+    estimate_ccps,
+)
+from repro.service.faults import FAULTS_ENV_VAR
+from repro.service.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    heuristic_rung_for,
+    run_rung,
+)
+
+
+class FakeClock:
+    """Manually advanced monotonic clock for breaker tests."""
+
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown_seconds=30.0)
+        for _ in range(2):
+            assert breaker.allow("dpccp")
+            breaker.record_failure("dpccp")
+        assert breaker.state("dpccp") == BREAKER_CLOSED
+        assert breaker.allow("dpccp")
+        breaker.record_failure("dpccp")
+        assert breaker.state("dpccp") == BREAKER_OPEN
+        assert not breaker.allow("dpccp")
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("x")
+        breaker.record_success("x")
+        breaker.record_failure("x")
+        assert breaker.state("x") == BREAKER_CLOSED
+
+    def test_labels_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("broken")
+        assert breaker.state("broken") == BREAKER_OPEN
+        assert breaker.state("healthy") == BREAKER_CLOSED
+        assert breaker.allow("healthy")
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_seconds=10.0, clock=clock)
+        breaker.record_failure("x")
+        assert not breaker.allow("x")
+        clock.advance(10.0)
+        assert breaker.allow("x")  # the probe
+        assert breaker.state("x") == BREAKER_HALF_OPEN
+        assert not breaker.allow("x")  # only one probe at a time
+
+    def test_probe_success_closes_the_circuit(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_seconds=5.0, clock=clock)
+        breaker.record_failure("x")
+        clock.advance(5.0)
+        assert breaker.allow("x")
+        breaker.record_success("x")
+        assert breaker.state("x") == BREAKER_CLOSED
+        assert breaker.allow("x")
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_seconds=5.0, clock=clock)
+        breaker.record_failure("x")
+        clock.advance(5.0)
+        assert breaker.allow("x")
+        breaker.record_failure("x")
+        assert breaker.state("x") == BREAKER_OPEN
+        clock.advance(4.9)
+        assert not breaker.allow("x")  # new cooldown, not the old one
+        clock.advance(0.1)
+        assert breaker.allow("x")
+
+    def test_snapshot_is_json_ready(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown_seconds=5.0, clock=clock)
+        breaker.record_failure("bad")
+        breaker.record_success("good")
+        clock.advance(2.0)
+        snapshot = breaker.snapshot()
+        json.dumps(snapshot)
+        assert snapshot["bad"]["state"] == BREAKER_OPEN
+        assert snapshot["bad"]["seconds_since_opened"] == pytest.approx(2.0)
+        assert snapshot["good"]["state"] == BREAKER_CLOSED
+        assert snapshot["good"]["seconds_since_opened"] is None
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(OptimizationError):
+            CircuitBreaker(cooldown_seconds=-1)
+
+
+# ----------------------------------------------------------------------
+# Retry policy and budget
+# ----------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_per_token(self):
+        policy = RetryPolicy(max_retries=3, base_delay=0.1, jitter=0.25)
+        assert policy.delay(1, "q7") == policy.delay(1, "q7")
+        assert policy.delay(1, "q7") != policy.delay(1, "q8")
+
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(
+            max_retries=8, base_delay=0.1, max_delay=0.5, jitter=0.0
+        )
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+        assert policy.delay(3) == pytest.approx(0.5)  # capped
+        assert policy.delay(7) == pytest.approx(0.5)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=10.0, jitter=0.5)
+        for attempt in range(4):
+            for token in ("a", "b", "c"):
+                delay = policy.delay(attempt, token)
+                nominal = min(10.0, 0.1 * 2 ** attempt)
+                assert nominal * 0.75 <= delay <= nominal * 1.25
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(OptimizationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(OptimizationError):
+            RetryPolicy().delay(-1)
+
+    def test_budget_caps_total_attempts(self):
+        budget = RetryBudget(2)
+        assert budget.try_acquire()
+        assert budget.try_acquire()
+        assert not budget.try_acquire()
+        assert budget.spent == 2
+        assert budget.remaining == 0
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+
+class TestAdmissionEstimates:
+    def test_fixed_shapes_use_closed_forms_at_any_size(self):
+        for shape, graph in [
+            ("chain", chain_graph(30)),
+            ("star", star_graph(20)),
+            ("cycle", cycle_graph(25)),
+            ("clique", clique_graph(18)),
+        ]:
+            estimate = estimate_ccps(graph)
+            assert estimate.method == f"closed-form:{shape}"
+            assert estimate.ccps == ccp_count(shape, graph.n_vertices)
+
+    def test_small_irregular_graph_is_counted_exactly(self):
+        # A 6-vertex tree that is neither a chain nor a star.
+        graph = QueryGraph(6, [(0, 1), (1, 2), (1, 3), (3, 4), (3, 5)])
+        estimate = estimate_ccps(graph, exact_max_n=10)
+        assert estimate.method == "exact"
+        assert estimate.ccps == count_ccps(graph)
+
+    def test_large_irregular_graph_is_interpolated(self):
+        instance = WorkloadGenerator(seed=5).random_acyclic(16)
+        graph = instance.graph
+        if graph.shape_name() in ("chain", "star"):
+            pytest.skip("random tree happened to be a fixed shape")
+        estimate = estimate_ccps(graph, exact_max_n=10)
+        assert estimate.method == "interpolated"
+        assert ccp_count("chain", 16) <= estimate.ccps <= ccp_count("clique", 16)
+
+    def test_interpolated_estimate_is_monotonic_in_density(self):
+        n = 14
+        tree_edges = n - 1
+        max_edges = n * (n - 1) // 2
+        previous = 0
+        for m in range(tree_edges, max_edges + 1, 13):
+            estimate = ccp_estimate(n, m, max_degree=3)
+            assert estimate >= previous
+            previous = estimate
+
+    def test_ccp_estimate_endpoints_match_closed_forms(self):
+        n = 16
+        assert ccp_estimate(n, n - 1, max_degree=2) == ccp_count("chain", n)
+        assert ccp_estimate(n, n - 1, max_degree=n - 1) == ccp_count("star", n)
+        clique_edges = n * (n - 1) // 2
+        assert ccp_estimate(n, clique_edges, max_degree=n - 1) == ccp_count(
+            "clique", n
+        )
+
+    def test_ccp_estimate_rejects_impossible_edge_counts(self):
+        with pytest.raises(GraphError):
+            ccp_estimate(10, 8)  # below spanning tree
+        with pytest.raises(GraphError):
+            ccp_estimate(10, 46)  # above complete graph
+
+
+class TestDegradationLadder:
+    def test_rung_choice_by_cyclicity(self):
+        assert heuristic_rung_for(chain_graph(8)) == "ikkbz"
+        assert heuristic_rung_for(cycle_graph(8)) == "goo"
+
+    def test_run_rung_produces_valid_plans(self):
+        catalog = WorkloadGenerator(seed=3).fixed_shape("chain", 7).catalog
+        for rung in ("ikkbz", "goo"):
+            plan, used = run_rung(rung, catalog)
+            assert used == rung
+            plan.validate()
+
+    def test_unknown_rung_raises(self):
+        catalog = WorkloadGenerator(seed=3).fixed_shape("chain", 5).catalog
+        with pytest.raises(AdmissionError):
+            run_rung("exact", catalog)
+
+    def test_over_budget_acyclic_degrades_to_ikkbz(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=50)
+        )
+        catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
+        result = service.optimize(catalog)
+        assert result.ok
+        result.plan.validate()
+        assert result.details["degraded"] == 1
+        assert result.details["rung"] == "ikkbz"
+        assert result.details["degrade_reason"] == "over_budget"
+        assert result.details["admission_estimate"] == ccp_count("chain", 12)
+        assert result.details["admission_budget"] == 50
+        assert result.details["admission_method"] == "closed-form:chain"
+
+    def test_over_budget_cyclic_degrades_to_goo(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=10)
+        )
+        catalog = WorkloadGenerator(seed=2).fixed_shape("cycle", 9).catalog
+        result = service.optimize(catalog)
+        assert result.ok
+        assert result.details["rung"] == "goo"
+        assert result.details["degrade_reason"] == "over_budget"
+
+    def test_degraded_results_are_not_cached(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=10)
+        )
+        catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
+        service.optimize(catalog)
+        again = service.optimize(catalog)
+        assert len(service.cache) == 0
+        assert not again.cache_hit
+        assert again.details["degraded"] == 1
+
+    def test_within_budget_runs_exact_and_caches(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=10_000)
+        )
+        catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 8).catalog
+        result = service.optimize(catalog)
+        assert "degraded" not in result.details
+        assert len(service.cache) == 1
+
+    def test_degraded_counter_in_stats(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=10)
+        )
+        catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 10).catalog
+        service.optimize(catalog)
+        snapshot = service.stats_snapshot()
+        assert snapshot["totals"]["degraded"] == 1
+
+    def test_open_breaker_degrades_instead_of_failing(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(breaker_threshold=2)
+        )
+        catalog = WorkloadGenerator(seed=4).fixed_shape("chain", 6).catalog
+        for _ in range(2):
+            service.breaker.record_failure("tdmincutbranch")
+        result = service.optimize(catalog, algorithm="tdmincutbranch")
+        assert result.ok
+        assert result.details["degrade_reason"] == "breaker_open"
+        assert result.details["rung"] == "ikkbz"
+        assert len(service.cache) == 0
+
+    def test_breaker_recovers_via_half_open_probe(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(
+                breaker_threshold=1, breaker_cooldown_seconds=0.0
+            )
+        )
+        catalog = WorkloadGenerator(seed=4).fixed_shape("chain", 6).catalog
+        service.breaker.record_failure("tdmincutbranch")
+        assert service.breaker.state("tdmincutbranch") == BREAKER_OPEN
+        # Cooldown elapsed (0s): the next request is the half-open probe;
+        # its success closes the circuit and serves the exact optimum.
+        result = service.optimize(catalog, algorithm="tdmincutbranch")
+        assert "degraded" not in result.details
+        assert service.breaker.state("tdmincutbranch") == BREAKER_CLOSED
+        assert len(service.cache) == 1
+
+
+# ----------------------------------------------------------------------
+# Fault specs / injector
+# ----------------------------------------------------------------------
+
+class TestFaultInjection:
+    def test_spec_matching_on_tag_and_attempt(self):
+        spec = FaultSpec(kind="crash", tag="q1", times=2)
+        assert spec.matches("q1", 0) and spec.matches("q1", 1)
+        assert not spec.matches("q1", 2)
+        assert not spec.matches("q2", 0)
+        always = FaultSpec(kind="hang", times=None)
+        assert always.matches("anything", 99)
+
+    def test_injector_first_match_wins_and_is_falsy_when_empty(self):
+        injector = FaultInjector(
+            [FaultSpec(kind="crash", tag="q1"), FaultSpec(kind="slow")]
+        )
+        assert injector.fault_for("q1", 0).kind == "crash"
+        assert injector.fault_for("q2", 0).kind == "slow"
+        assert not FaultInjector()
+        assert injector
+
+    def test_parse_and_env_round_trip(self):
+        text = json.dumps(
+            [{"kind": "crash", "tag": "q1", "times": 2}, {"kind": "hang"}]
+        )
+        injector = FaultInjector.parse(text)
+        assert len(injector) == 2
+        # A hang spec without an explicit duration sleeps far past any
+        # sane deadline, so the reaper (not the sleep) ends it.
+        assert injector.specs[1].seconds == 3600.0
+        from_env = FaultInjector.from_env({FAULTS_ENV_VAR: text})
+        assert from_env.specs == injector.specs
+        assert not FaultInjector.from_env({})
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(OptimizationError):
+            FaultInjector.parse("not json")
+        with pytest.raises(OptimizationError):
+            FaultInjector.parse('{"kind": "crash"}')  # not a list
+        with pytest.raises(OptimizationError):
+            FaultSpec(kind="meltdown")
+        with pytest.raises(OptimizationError):
+            FaultSpec.from_dict({"kind": "crash", "bogus": 1})
+
+
+# ----------------------------------------------------------------------
+# Process-executor chaos
+# ----------------------------------------------------------------------
+
+def _requests(count: int, n: int = 5, seed: int = 11):
+    generator = WorkloadGenerator(seed=seed)
+    return [
+        OptimizationRequest(
+            query=generator.fixed_shape("chain", n + i),
+            algorithm="tdmincutbranch",
+            tag=f"q{i}",
+        )
+        for i in range(count)
+    ]
+
+
+class TestProcessChaos:
+    def test_crash_is_retried_and_succeeds(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(
+                max_retries=2, retry_base_delay=0.01, retry_max_delay=0.05
+            ),
+            fault_injector=FaultInjector(
+                [FaultSpec(kind="crash", tag="q0", times=1)]
+            ),
+        )
+        results = service.optimize_batch(
+            _requests(2), workers=2, executor="process"
+        )
+        assert all(r.ok for r in results), [r.error for r in results]
+        totals = service.stats_snapshot()["totals"]
+        assert totals["retries"] == 1
+        assert totals["errors"] == 0
+        # The retried item still succeeded, so the breaker never opened.
+        assert service.breaker.state("tdmincutbranch") == BREAKER_CLOSED
+
+    def test_crash_without_retry_is_an_isolated_error(self):
+        service = OptimizerService(
+            fault_injector=FaultInjector(
+                [FaultSpec(kind="crash", tag="q0", times=None)]
+            ),
+        )
+        results = service.optimize_batch(
+            _requests(3), workers=2, executor="process"
+        )
+        assert not results[0].ok
+        assert "died unexpectedly" in results[0].error
+        assert results[1].ok and results[2].ok
+
+    def test_persistent_crash_exhausts_retries(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(
+                max_retries=2, retry_base_delay=0.01, retry_max_delay=0.02
+            ),
+            fault_injector=FaultInjector(
+                [FaultSpec(kind="crash", tag="q0", times=None)]
+            ),
+        )
+        results = service.optimize_batch(
+            _requests(1), workers=1, executor="process"
+        )
+        assert not results[0].ok
+        assert "RetryExhaustedError" in results[0].error
+        assert service.stats_snapshot()["totals"]["retries"] == 2
+
+    def test_corrupted_payload_is_isolated_to_its_item(self):
+        service = OptimizerService(
+            fault_injector=FaultInjector(
+                [FaultSpec(kind="corrupt", tag="q1", times=None)]
+            ),
+        )
+        results = service.optimize_batch(
+            _requests(3), workers=2, executor="process"
+        )
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert "corrupted" in results[1].error
+        for result in (results[0], results[2]):
+            result.plan.validate()
+
+    def test_hang_trips_deadline_then_breaker_then_degrades(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(
+                breaker_threshold=2, breaker_cooldown_seconds=60.0
+            ),
+            fault_injector=FaultInjector([FaultSpec(kind="hang", times=None)]),
+        )
+        results = service.optimize_batch(
+            _requests(2),
+            workers=2,
+            executor="process",
+            deadline_seconds=0.5,
+        )
+        assert all(not r.ok for r in results)
+        assert all("deadline" in r.error.lower() for r in results)
+        totals = service.stats_snapshot()["totals"]
+        assert totals["timeouts"] == 2
+        # Two consecutive timeouts on the same label open the breaker ...
+        assert service.breaker.state("tdmincutbranch") == BREAKER_OPEN
+        # ... and the next request is served from the ladder, not enumerated
+        # (and not dispatched to a worker, so the injected hang is moot).
+        catalog = WorkloadGenerator(seed=9).fixed_shape("chain", 6).catalog
+        degraded = service.optimize(catalog, algorithm="tdmincutbranch")
+        assert degraded.ok
+        assert degraded.details["degrade_reason"] == "breaker_open"
+
+    def test_slow_fault_delays_but_succeeds(self):
+        service = OptimizerService(
+            fault_injector=FaultInjector(
+                [FaultSpec(kind="slow", tag="q0", seconds=0.2, times=1)]
+            ),
+        )
+        started = time.perf_counter()
+        results = service.optimize_batch(
+            _requests(1), workers=1, executor="process"
+        )
+        elapsed = time.perf_counter() - started
+        assert results[0].ok
+        assert elapsed >= 0.2
+
+
+# ----------------------------------------------------------------------
+# Crash-safe cache persistence
+# ----------------------------------------------------------------------
+
+class TestCrashSafePersistence:
+    def _warm_service(self, count=3):
+        service = OptimizerService()
+        generator = WorkloadGenerator(seed=7)
+        for i in range(count):
+            service.optimize(generator.fixed_shape("chain", 5 + i).catalog)
+        return service
+
+    def test_save_is_atomic_and_stamps_checksums(self, tmp_path):
+        service = self._warm_service()
+        path = tmp_path / "cache.json"
+        saved = service.save_cache(str(path))
+        assert saved == 3
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+        document = json.loads(path.read_text())
+        assert all("checksum" in item for item in document["entries"])
+
+    def test_round_trip_after_save(self, tmp_path):
+        service = self._warm_service()
+        path = tmp_path / "cache.json"
+        service.save_cache(str(path))
+        fresh = OptimizerService()
+        assert fresh.load_cache(str(path)) == 3
+        catalog = WorkloadGenerator(seed=7).fixed_shape("chain", 5).catalog
+        assert fresh.optimize(catalog).cache_hit
+
+    def test_truncated_file_loads_as_empty_with_warning(self, tmp_path):
+        service = self._warm_service()
+        path = tmp_path / "cache.json"
+        service.save_cache(str(path))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn write
+        fresh = OptimizerService()
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert fresh.load_cache(str(path)) == 0
+        assert len(fresh.cache) == 0
+
+    def test_garbage_file_loads_as_empty_with_warning(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_bytes(b"\x00\xffnot json at all")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert OptimizerService().load_cache(str(path)) == 0
+
+    def test_wrong_document_kind_warns(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"kind": "something_else"}))
+        with pytest.warns(RuntimeWarning, match="not a plan cache"):
+            assert OptimizerService().load_cache(str(path)) == 0
+
+    def test_missing_file_still_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            OptimizerService().load_cache(str(tmp_path / "nope.json"))
+
+    def test_corrupt_entry_is_quarantined_others_load(self, tmp_path):
+        service = self._warm_service()
+        path = tmp_path / "cache.json"
+        service.save_cache(str(path))
+        document = json.loads(path.read_text())
+        document["entries"][1]["algorithm"] = "tampered"  # breaks checksum
+        path.write_text(json.dumps(document))
+        fresh = OptimizerService()
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert fresh.load_cache(str(path)) == 2
+        assert len(fresh.cache) == 2
+        quarantine = json.loads((tmp_path / "cache.json.quarantine").read_text())
+        assert quarantine["kind"] == "plan_cache_quarantine"
+        assert len(quarantine["rejected"]) == 1
+        assert "checksum" in quarantine["rejected"][0]["error"]
+
+    def test_legacy_entries_without_checksums_load(self, tmp_path):
+        service = self._warm_service()
+        path = tmp_path / "cache.json"
+        service.save_cache(str(path))
+        document = json.loads(path.read_text())
+        for item in document["entries"]:
+            item.pop("checksum")
+        path.write_text(json.dumps(document))
+        assert OptimizerService().load_cache(str(path)) == 3
+
+
+# ----------------------------------------------------------------------
+# Thread-executor soft deadline: no late mutation
+# ----------------------------------------------------------------------
+
+class TestThreadSoftDeadline:
+    def test_abandoned_item_does_not_mutate_shared_state(self):
+        release = threading.Event()
+        finished = threading.Event()
+
+        class _BlockingOptimizer:
+            def __init__(self, catalog, cost_model=None, enable_pruning=False):
+                self._inner = ALGORITHMS["tdmincutbranch"](
+                    catalog, cost_model=cost_model, enable_pruning=enable_pruning
+                )
+
+            def optimize(self):
+                release.wait(timeout=30.0)
+                plan = self._inner.optimize()
+                finished.set()
+                return plan
+
+            @property
+            def builder(self):
+                return self._inner.builder
+
+        register_algorithm("blocking-test")(_BlockingOptimizer)
+        try:
+            service = OptimizerService()
+            catalog = WorkloadGenerator(seed=6).fixed_shape("chain", 5).catalog
+            results = service.optimize_batch(
+                [OptimizationRequest(query=catalog, algorithm="blocking-test")],
+                workers=2,
+                executor="thread",
+                deadline_seconds=0.2,
+            )
+            assert not results[0].ok
+            assert "deadline" in results[0].error.lower()
+            before = service.stats_snapshot()
+            assert before["totals"]["timeouts"] == 1
+            assert len(service.cache) == 0
+            failures = before["breaker"]["blocking-test"]["consecutive_failures"]
+            # Let the abandoned thread finish its (now pointless) work.
+            release.set()
+            assert finished.wait(timeout=10.0)
+            time.sleep(0.3)  # give the straggler time past the guard
+            after = service.stats_snapshot()
+            # The late result is discarded entirely: no cache warm, no
+            # breaker success, no extra metrics observation.
+            assert len(service.cache) == 0
+            assert after["totals"] == before["totals"]
+            assert (
+                after["breaker"]["blocking-test"]["consecutive_failures"]
+                == failures
+            )
+        finally:
+            release.set()
+            unregister_algorithm("blocking-test")
+
+
+# ----------------------------------------------------------------------
+# Config plumbing
+# ----------------------------------------------------------------------
+
+class TestResilienceConfig:
+    def test_defaults_disable_budget_and_retry(self):
+        cfg = ResilienceConfig()
+        assert cfg.max_ccp_budget is None
+        assert cfg.max_retries == 0
+        assert cfg.retry_policy() is None
+
+    def test_retry_policy_reflects_knobs(self):
+        cfg = ResilienceConfig(
+            max_retries=3, retry_base_delay=0.2, retry_max_delay=1.0,
+            retry_jitter=0.0,
+        )
+        policy = cfg.retry_policy()
+        assert policy.max_retries == 3
+        assert policy.delay(0) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            ResilienceConfig(max_ccp_budget=0)
+        with pytest.raises(OptimizationError):
+            ResilienceConfig(breaker_threshold=0)
+        with pytest.raises(OptimizationError):
+            ResilienceConfig(max_retries=-1)
+
+    def test_service_env_fault_injector_default_is_empty(self):
+        assert os.environ.get(FAULTS_ENV_VAR) is None
+        assert not OptimizerService().fault_injector
