@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos bench-service bench-batch bench-resilience verify
+.PHONY: test chaos bench-service bench-batch bench-resilience bench-observability verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,5 +30,10 @@ bench-batch:
 bench-resilience:
 	$(PYTHON) benchmarks/bench_resilience.py
 
-verify: test bench-service bench-resilience
+# Tracing overhead gate: enabled tracing must cost < 5% on a
+# warm-cache batch, with every request still producing a retained trace.
+bench-observability:
+	$(PYTHON) benchmarks/bench_observability.py
+
+verify: test bench-service bench-resilience bench-observability
 	@echo "verify: ok"

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Trace-span observability: where one request spent its time.
+
+Aggregate metrics (`stats_snapshot`) say how the service is doing;
+per-request *traces* say where a specific request burned its budget —
+canonical labeling, the cache lookup, admission control, the enumerator
+itself, or plan rebinding. This example:
+
+1. runs a cold request and walks its span tree (`prepare` →
+   `canonicalize`/`cache_lookup` → `admission` → `enumerate` → `store`),
+2. runs the same query warm and shows the hit's short trace
+   (`cache_lookup` + `rebind`, no `enumerate`),
+3. wires the slow-request log to a threshold so the cold request trips
+   it and the warm one does not,
+4. renders the service snapshot in Prometheus text format.
+
+Run:  python examples/service_tracing.py
+"""
+
+import logging
+
+from repro import WorkloadGenerator
+from repro.service import OptimizerService, render_prometheus
+
+
+def show(span, depth: int = 0) -> None:
+    attrs = ", ".join(
+        f"{key}={value}" for key, value in sorted(span.attributes.items())
+    )
+    print(
+        f"  {'  ' * depth}{span.name:<14s} {span.duration_seconds * 1e3:8.3f} ms"
+        f"{'  [' + attrs + ']' if attrs else ''}"
+    )
+    for child in span.children:
+        show(child, depth + 1)
+
+
+def main() -> None:
+    logging.basicConfig(level=logging.WARNING, format="%(name)s: %(message)s")
+    service = OptimizerService(cache_capacity=16, slow_log_ms=5.0)
+    query = WorkloadGenerator(seed=2026).fixed_shape("clique", 10)
+
+    cold = service.optimize(query.catalog)
+    trace = service.traces.get(cold.trace_id)
+    print(f"cold request (trace {trace.trace_id}):")
+    show(trace.root)
+    enumerate_span = trace.find("enumerate")
+    print(
+        f"  -> enumerate did {enumerate_span.attributes['memo_entries']} "
+        f"memo entries / {enumerate_span.attributes['cost_evaluations']} "
+        f"cost evaluations"
+    )
+    print()
+
+    warm = service.optimize(query.catalog)
+    trace = service.traces.get(warm.trace_id)
+    print(f"warm request (trace {trace.trace_id}, cache_hit={warm.cache_hit}):")
+    show(trace.root)
+    print()
+
+    print(f"traces retained: {len(service.traces)} (bounded ring)")
+    print()
+
+    print("prometheus exposition (excerpt):")
+    for line in render_prometheus(service.stats_snapshot()).splitlines():
+        if "latency" in line or "requests" in line or "cache" in line:
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

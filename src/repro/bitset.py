@@ -115,9 +115,26 @@ def highest_index(vertex_set: int) -> int:
     return vertex_set.bit_length() - 1
 
 
-def popcount(vertex_set: int) -> int:
-    """Return the number of members (population count)."""
+def _popcount_portable(vertex_set: int) -> int:
+    """Population count for Python < 3.10 (no ``int.bit_count``).
+
+    Kept as a named function (not inlined into the version check) so the
+    fallback path stays importable and testable on every interpreter.
+    """
     return bin(vertex_set).count("1")
+
+
+if hasattr(int, "bit_count"):  # Python >= 3.10
+
+    def popcount(vertex_set: int) -> int:
+        """Return the number of members (population count)."""
+        return vertex_set.bit_count()
+
+else:  # pragma: no cover — exercised only on Python 3.9
+
+    def popcount(vertex_set: int) -> int:
+        """Return the number of members (population count)."""
+        return _popcount_portable(vertex_set)
 
 
 def iter_bits(vertex_set: int) -> Iterator[int]:

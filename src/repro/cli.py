@@ -193,12 +193,34 @@ def _serve_stats_main(argv: List[str]) -> int:
         "--save-cache", metavar="PATH", help="persist the cache to a JSON file"
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit the raw snapshot as JSON"
+        "--json",
+        action="store_true",
+        help="emit the raw snapshot as JSON (alias for --format json)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json", "prometheus"],
+        default="text",
+        help="output format: human-readable text (default), raw snapshot "
+        "JSON, or Prometheus text exposition format",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree of the most recent request as JSON "
+        "(after the stats output)",
+    )
+    parser.add_argument(
+        "--slow-log-ms",
+        type=float,
+        metavar="MS",
+        help="log a WARNING with a per-stage breakdown for any request "
+        "slower than this threshold",
     )
     args = parser.parse_args(argv)
 
     from repro.optimizer.api import OptimizationRequest
-    from repro.service import OptimizerService, ResilienceConfig
+    from repro.service import OptimizerService, ResilienceConfig, render_prometheus
 
     try:
         generator = WorkloadGenerator(seed=args.seed)
@@ -212,7 +234,9 @@ def _serve_stats_main(argv: List[str]) -> int:
             max_retries=args.retries,
         )
         service = OptimizerService(
-            cache_capacity=args.capacity, resilience=resilience
+            cache_capacity=args.capacity,
+            resilience=resilience,
+            slow_log_ms=args.slow_log_ms,
         )
         if args.load_cache:
             loaded = service.load_cache(args.load_cache)
@@ -239,8 +263,24 @@ def _serve_stats_main(argv: List[str]) -> int:
         if args.save_cache:
             saved = service.save_cache(args.save_cache)
             print(f"saved {saved} cache entries to {args.save_cache}")
-        if args.json:
+        output_format = "json" if args.json else args.format
+
+        def _print_trace() -> None:
+            if not args.trace:
+                return
+            last = service.traces.last()
+            if last is None:
+                print("no trace recorded", file=sys.stderr)
+            else:
+                print(json.dumps(last.to_dict(), indent=2, sort_keys=True))
+
+        if output_format == "json":
             print(json.dumps(snapshot, indent=2, sort_keys=True))
+            _print_trace()
+            return 0
+        if output_format == "prometheus":
+            sys.stdout.write(render_prometheus(snapshot))
+            _print_trace()
             return 0
         totals, cache = snapshot["totals"], snapshot["cache"]
         print(
@@ -280,6 +320,7 @@ def _serve_stats_main(argv: List[str]) -> int:
             )
         if failed:
             print(f"failed queries: {[r.tag for r in failed]}", file=sys.stderr)
+        _print_trace()
         return 0
     except (ReproError, OSError) as exc:
         # OSError covers --load-cache/--save-cache path problems (missing

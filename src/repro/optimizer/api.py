@@ -226,8 +226,11 @@ class OptimizationResult:
 
     ``plan`` is ``None`` exactly when ``error`` is set — batch execution
     isolates per-item failures into such results instead of raising.
-    ``cache_hit`` and ``signature`` are populated by the service layer;
-    direct facade calls leave them at their defaults.
+    ``cache_hit``, ``signature``, and ``trace_id`` are populated by the
+    service layer; direct facade calls leave them at their defaults.
+    ``trace_id`` keys into the service's bounded trace store
+    (``service.traces``), where the request's span tree can be looked up
+    and exported.
 
     ``details`` carries run provenance: enumeration counters from the
     facade, and — for plans served by the service's degradation ladder —
@@ -246,6 +249,7 @@ class OptimizationResult:
     signature: Optional[str] = None
     error: Optional[str] = None
     tag: Optional[str] = None
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:

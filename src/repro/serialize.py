@@ -495,6 +495,7 @@ def result_to_dict(result) -> Dict[str, Any]:
         "signature": result.signature,
         "error": result.error,
         "tag": result.tag,
+        "trace_id": result.trace_id,
     }
 
 
@@ -516,4 +517,5 @@ def result_from_dict(document: Dict[str, Any]):
         signature=document.get("signature"),
         error=document.get("error"),
         tag=document.get("tag"),
+        trace_id=document.get("trace_id"),
     )

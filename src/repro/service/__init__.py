@@ -27,6 +27,13 @@ graph shape, not statistics — so this package adds the serving layer:
 * :mod:`repro.service.faults` — deterministic fault injection
   (:class:`FaultSpec` / :class:`FaultInjector`) honored by the process
   executor for chaos testing.
+* :mod:`repro.service.tracing` — dependency-free trace spans
+  (:class:`Trace` / :class:`Span`), a bounded :class:`TraceStore`, and a
+  :class:`Tracer` that stamps every request with a span tree (prepare →
+  cache lookup → admission → enumerate → store) carrying the result
+  counters, plus a slow-request log.  Spans survive the process
+  executor's serialization boundary.  :func:`render_prometheus` turns a
+  ``stats_snapshot`` into Prometheus text exposition format.
 
 Quickstart::
 
@@ -43,7 +50,16 @@ Quickstart::
 from repro.service.cache import CacheEntry, PlanCache
 from repro.service.executor import EXECUTORS, JobOutcome, ProcessPoolExecutor
 from repro.service.faults import FaultInjector, FaultSpec
-from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.metrics import LatencyHistogram, ServiceMetrics, render_prometheus
+from repro.service.tracing import (
+    NULL_TRACE,
+    Span,
+    Trace,
+    Tracer,
+    TraceStore,
+    span_from_dict,
+    span_to_dict,
+)
 from repro.service.resilience import (
     AdmissionEstimate,
     CircuitBreaker,
@@ -63,6 +79,7 @@ __all__ = [
     "FaultSpec",
     "JobOutcome",
     "LatencyHistogram",
+    "NULL_TRACE",
     "OptimizerService",
     "PlanCache",
     "ProcessPoolExecutor",
@@ -70,6 +87,13 @@ __all__ = [
     "RetryBudget",
     "RetryPolicy",
     "ServiceMetrics",
+    "Span",
+    "Trace",
+    "TraceStore",
+    "Tracer",
     "estimate_ccps",
+    "render_prometheus",
     "request_signature",
+    "span_from_dict",
+    "span_to_dict",
 ]

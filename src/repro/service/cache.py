@@ -218,8 +218,35 @@ class PlanCache:
         return len(entries)
 
 
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's entry table to stable storage, best effort.
+
+    After :func:`os.replace`, the *file contents* are durable (the temp
+    file was fsynced) but the *rename itself* lives in the directory
+    inode — without a directory fsync a power failure can roll the
+    directory back to the old entry.  Some platforms (notably Windows,
+    and some network filesystems) cannot open or fsync a directory fd;
+    there the rename's durability is the OS's problem and we skip
+    silently rather than fail a write that already succeeded.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_write_json(path: str, document: Dict) -> None:
-    """Write JSON via temp file + fsync + :func:`os.replace` (crash-safe)."""
+    """Write JSON via temp file + fsync + :func:`os.replace` (crash-safe).
+
+    The containing directory is fsynced after the rename so the new
+    entry — not just the new bytes — survives power loss.
+    """
     directory = os.path.dirname(os.path.abspath(path))
     handle = tempfile.NamedTemporaryFile(
         mode="w",
@@ -234,6 +261,7 @@ def _atomic_write_json(path: str, document: Dict) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(handle.name, path)
+        _fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(handle.name)

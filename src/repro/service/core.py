@@ -81,6 +81,7 @@ from repro.service.cache import CacheEntry, PlanCache
 from repro.service.executor import EXECUTORS, ProcessPoolExecutor
 from repro.service.faults import FaultInjector
 from repro.service.metrics import ServiceMetrics
+from repro.service.tracing import NULL_TRACE, Trace, Tracer, TraceStore
 from repro.service.resilience import (
     CircuitBreaker,
     ResilienceConfig,
@@ -269,6 +270,21 @@ class OptimizerService:
         Chaos-test fault directives for the process executor
         (``None`` = read ``REPRO_FAULTS`` from the environment, which is
         empty in production).
+    tracing:
+        Record a per-request trace — a tree of timed spans (``prepare``
+        → ``canonicalize`` → ``cache_lookup`` → ``admission`` →
+        ``enumerate``/``degraded_rung`` → ``rebind`` → ``store``) — into
+        the bounded in-memory store at ``service.traces``
+        (:class:`~repro.service.tracing.TraceStore`).  On by default;
+        overhead is gated under 5% on the warm-cache path by
+        ``benchmarks/bench_observability.py``.
+    trace_capacity:
+        Finished traces retained by the store (oldest evicted beyond).
+    slow_log_ms:
+        Slow-request threshold in milliseconds: any request at least
+        this slow is logged at ``WARNING`` on the stdlib logger
+        ``repro.service.slow`` with a per-stage breakdown
+        (``None`` = slow log off).
 
     The service is thread-safe: ``optimize`` may be called concurrently,
     and ``optimize_batch`` runs items on a worker pool with per-item
@@ -287,6 +303,9 @@ class OptimizerService:
         process_start_method: Optional[str] = None,
         resilience: Optional[ResilienceConfig] = None,
         fault_injector: Optional[FaultInjector] = None,
+        tracing: bool = True,
+        trace_capacity: int = 256,
+        slow_log_ms: Optional[float] = None,
     ):
         if default_executor not in EXECUTORS:
             raise OptimizationError(
@@ -309,6 +328,16 @@ class OptimizerService:
         self.fault_injector = (
             fault_injector if fault_injector is not None else FaultInjector.from_env()
         )
+        self.tracer = Tracer(
+            store=TraceStore(trace_capacity),
+            enabled=tracing,
+            slow_log_ms=slow_log_ms,
+        )
+
+    @property
+    def traces(self) -> TraceStore:
+        """The bounded store of finished request traces."""
+        return self.tracer.store
 
     # ------------------------------------------------------------------
 
@@ -352,15 +381,19 @@ class OptimizerService:
         :meth:`optimize_batch` for isolated per-item errors.
         """
         request = self._as_request(query, **overrides)
+        trace = self.tracer.start("optimize", tag=request.tag)
         started = time.perf_counter()
         try:
-            result, effective = self._execute(request)
-        except ReproError:
+            result, effective = self._execute(request, trace=trace)
+        except ReproError as exc:
+            label = self._effective_label(request)
             self.metrics.observe(
-                self._effective_label(request),
+                label,
                 time.perf_counter() - started,
                 error=True,
             )
+            trace.set_root("error", f"{type(exc).__name__}: {exc}")
+            self.tracer.finish(trace, algorithm=label)
             raise
         self.metrics.observe(
             effective,
@@ -368,60 +401,76 @@ class OptimizerService:
             cache_hit=result.cache_hit,
             degraded=bool(result.details.get("degraded")),
         )
+        result.trace_id = trace.trace_id
+        self.tracer.finish(
+            trace, algorithm=effective, cache_hit=result.cache_hit
+        )
         return result
 
-    def _prepare(self, request: OptimizationRequest) -> _PreparedJob:
+    def _prepare(
+        self, request: OptimizationRequest, trace: Trace = NULL_TRACE
+    ) -> _PreparedJob:
         """Resolve a request and consult the cache (parent-side, cheap).
 
         Returns a :class:`_PreparedJob`; on a cache hit ``job.hit`` is
         the ready result and nothing needs to be executed.
         """
         started = time.perf_counter()
-        catalog = request.resolved_catalog()
-        cost_model = (
-            request.cost_model
-            if request.cost_model is not None
-            else self.default_cost_model
-        )
-        effective = request.algorithm
-        if effective == "auto":
-            effective = choose_algorithm(
-                catalog, enable_pruning=request.enable_pruning
+        with trace.span("prepare"):
+            with trace.span("canonicalize") as span:
+                catalog = request.resolved_catalog()
+                cost_model = (
+                    request.cost_model
+                    if request.cost_model is not None
+                    else self.default_cost_model
+                )
+                effective = request.algorithm
+                if effective == "auto":
+                    effective = choose_algorithm(
+                        catalog, enable_pruning=request.enable_pruning
+                    )
+                signature, order = request_signature(
+                    catalog,
+                    effective,
+                    cost_model,
+                    request.enable_pruning,
+                    self.round_digits,
+                    allow_cross_products=request.allow_cross_products,
+                )
+                span.annotate(
+                    algorithm=effective,
+                    n_relations=catalog.graph.n_vertices,
+                    signature=signature[:16],
+                )
+            run_request = replace(
+                request, query=catalog, cost_model=cost_model, algorithm=effective
             )
-        signature, order = request_signature(
-            catalog,
-            effective,
-            cost_model,
-            request.enable_pruning,
-            self.round_digits,
-            allow_cross_products=request.allow_cross_products,
-        )
-        run_request = replace(
-            request, query=catalog, cost_model=cost_model, algorithm=effective
-        )
-        job = _PreparedJob(
-            request=request,
-            run_request=run_request,
-            catalog=catalog,
-            effective=effective,
-            signature=signature,
-            order=tuple(order),
-        )
-        entry = self.cache.get(signature)
-        if entry is not None:
-            plan = _rebind_plan(entry.plan, order, catalog)
-            job.hit = OptimizationResult(
-                plan=plan,
-                algorithm=request.algorithm,
-                elapsed_seconds=time.perf_counter() - started,
-                memo_entries=entry.memo_entries,
-                cost_evaluations=entry.cost_evaluations,
-                cardinality_estimations=entry.cardinality_estimations,
-                details=dict(entry.details),
-                cache_hit=True,
+            job = _PreparedJob(
+                request=request,
+                run_request=run_request,
+                catalog=catalog,
+                effective=effective,
                 signature=signature,
-                tag=request.tag,
+                order=tuple(order),
             )
+            with trace.span("cache_lookup") as span:
+                entry = self.cache.get(signature)
+                span.set("hit", entry is not None)
+            if entry is not None:
+                with trace.span("rebind"):
+                    plan = _rebind_plan(entry.plan, order, catalog)
+                job.hit = OptimizationResult(
+                    plan=plan,
+                    algorithm=request.algorithm,
+                    elapsed_seconds=time.perf_counter() - started,
+                    memo_entries=entry.memo_entries,
+                    cost_evaluations=entry.cost_evaluations,
+                    cardinality_estimations=entry.cardinality_estimations,
+                    details=dict(entry.details),
+                    cache_hit=True,
+                    signature=signature,
+                    tag=request.tag,
+                )
         return job
 
     def _store(self, job: _PreparedJob, result: OptimizationResult) -> None:
@@ -522,6 +571,7 @@ class OptimizerService:
         self,
         request: OptimizationRequest,
         cancelled: Optional[Callable[[], bool]] = None,
+        trace: Trace = NULL_TRACE,
     ) -> Tuple[OptimizationResult, str]:
         """Run one request: cache hit, degraded rung, or exact enumeration.
 
@@ -531,21 +581,40 @@ class OptimizerService:
         late result must not warm the cache, feed the breaker, or touch
         anything else shared — it is simply discarded.
         """
-        job = self._prepare(request)
+        job = self._prepare(request, trace=trace)
         if job.hit is not None:
             return job.hit, job.effective
-        degrade = self._select_degradation(job)
+        with trace.span("admission") as span:
+            degrade = self._select_degradation(job)
+            span.set("admitted", degrade is None)
+            span.set("breaker_state", self.breaker.state(job.effective))
+            if degrade is not None:
+                span.annotate(rung=degrade[0], reason=degrade[1], **degrade[2])
         if degrade is not None:
-            return self._run_degraded(job, *degrade), job.effective
+            with trace.span("degraded_rung") as span:
+                result = self._run_degraded(job, *degrade)
+                span.annotate(
+                    rung=result.details.get("rung"),
+                    reason=result.details.get("degrade_reason"),
+                )
+            return result, job.effective
         try:
-            result = optimize_request(job.run_request)
+            with trace.span("enumerate", algorithm=job.effective) as span:
+                result = optimize_request(job.run_request)
+                span.annotate(
+                    memo_entries=result.memo_entries,
+                    cost_evaluations=result.cost_evaluations,
+                    cardinality_estimations=result.cardinality_estimations,
+                    **result.details,
+                )
         except Exception:
             if cancelled is None or not cancelled():
                 self.breaker.record_failure(job.effective)
             raise
         if cancelled is None or not cancelled():
             self.breaker.record_success(job.effective)
-            self._store(job, result)
+            with trace.span("store"):
+                self._store(job, result)
         return result, job.effective
 
     # ------------------------------------------------------------------
@@ -585,12 +654,17 @@ class OptimizerService:
             In process mode the deadline is enforced by terminating the
             worker; the item resolves within roughly the deadline plus
             scheduling slack, never hanging the batch.  In thread mode
-            the deadline is *soft*: the result is synthesized on time
-            but the abandoned computation finishes in the background
-            (CPython threads cannot be killed); its late result is
-            discarded — it does not warm the cache, feed the circuit
-            breaker, or appear in the metrics.  Serial mode ignores
-            deadlines — items run to completion one by one.
+            the deadline is *soft* and the budget is anchored at batch
+            start: each item is waited on only for what remains of that
+            shared budget, so the whole batch resolves within ~one
+            deadline even if several items hang, and a synthesized
+            timeout result reports the item's true elapsed time.  The
+            abandoned computation finishes in the background (CPython
+            threads cannot be killed) and its late result is discarded —
+            it does not warm the cache, feed the circuit breaker, or
+            appear in the metrics; a queued item that never started is
+            cancelled outright.  Serial mode ignores deadlines — items
+            run to completion one by one.
         fallback:
             ``"goo"`` to serve a greedy-operator-ordering heuristic plan
             (:func:`repro.heuristics.greedy_operator_ordering`) for items
@@ -651,6 +725,7 @@ class OptimizerService:
         request: OptimizationRequest,
         abandoned: Optional[Set[int]] = None,
         index: Optional[int] = None,
+        started_at: Optional[Dict[int, float]] = None,
     ) -> OptimizationResult:
         """Run one request, converting any exception into an error result.
 
@@ -660,26 +735,46 @@ class OptimizerService:
         item, so the (completed) work is discarded — it must not warm
         the cache, feed the circuit breaker, or be double-counted in the
         metrics (see the ``cancelled`` guard in :meth:`_execute`).
+        ``started_at`` is the threaded backend's per-item start-time map,
+        recorded here (on the worker thread) so a synthesized timeout
+        result can report the item's *true* elapsed time.
         """
+        if started_at is not None and index is not None:
+            started_at[index] = time.monotonic()
+        trace = self.tracer.start("optimize", tag=request.tag)
         started = time.perf_counter()
         cancelled: Optional[Callable[[], bool]] = None
         if abandoned is not None:
             cancelled = lambda: index in abandoned  # noqa: E731
         try:
-            result, effective = self._execute(request, cancelled=cancelled)
+            result, effective = self._execute(
+                request, cancelled=cancelled, trace=trace
+            )
         except Exception as exc:  # per-item isolation: never kill the batch
             elapsed = time.perf_counter() - started
             label = self._effective_label(request)
-            if cancelled is None or not cancelled():
+            late = cancelled is not None and cancelled()
+            if not late:
                 self.metrics.observe(label, elapsed, error=True)
+            trace.set_root("error", f"{type(exc).__name__}: {exc}")
+            if late:
+                trace.set_root("abandoned", 1)
+            self.tracer.finish(trace, algorithm=label)
             return self._error_result(request.algorithm, request.tag, exc, elapsed)
-        if cancelled is None or not cancelled():
+        late = cancelled is not None and cancelled()
+        if not late:
             self.metrics.observe(
                 effective,
                 time.perf_counter() - started,
                 cache_hit=result.cache_hit,
                 degraded=bool(result.details.get("degraded")),
             )
+        else:
+            trace.set_root("abandoned", 1)
+        result.trace_id = trace.trace_id
+        self.tracer.finish(
+            trace, algorithm=effective, cache_hit=result.cache_hit
+        )
         return result
 
     def _run_batch_threaded(
@@ -691,25 +786,54 @@ class OptimizerService:
         fallback: Optional[str],
     ) -> None:
         abandoned: Set[int] = set()
+        started_at: Dict[int, float] = {}
         pool = ThreadPoolExecutor(max_workers=max(1, workers))
+        batch_started = time.monotonic()
         try:
             futures = {
                 index: pool.submit(
-                    self._run_isolated, requests[index], abandoned, index
+                    self._run_isolated,
+                    requests[index],
+                    abandoned,
+                    index,
+                    started_at,
                 )
                 for index in range(len(requests))
                 if slots[index] is None
             }
             for index, future in futures.items():
+                # The budget is anchored at batch start and shared: each
+                # future is waited on only for what remains, so N hung
+                # items resolve in ~1x the deadline, not N x — waiting a
+                # full budget per item would let every timed-out item
+                # push all later items' effective deadlines back.
+                if deadline_seconds is None:
+                    remaining = None
+                else:
+                    remaining = max(
+                        0.0, batch_started + deadline_seconds - time.monotonic()
+                    )
                 try:
-                    slots[index] = future.result(timeout=deadline_seconds)
+                    slots[index] = future.result(timeout=remaining)
                 except _FutureTimeoutError:
-                    abandoned.add(index)
+                    if future.cancel():
+                        # Never started — no thread to coordinate with,
+                        # and no point burning a core on a result the
+                        # batch has already given up on.
+                        elapsed = 0.0
+                    else:
+                        abandoned.add(index)
+                        item_started = started_at.get(index)
+                        elapsed = (
+                            time.monotonic() - item_started
+                            if item_started is not None
+                            else 0.0
+                        )
                     slots[index] = self._deadline_result(
                         requests[index],
                         deadline_seconds,
                         fallback,
-                        elapsed=deadline_seconds,
+                        elapsed=elapsed,
                     )
         finally:
             # Do NOT wait: a straggler past its deadline keeps running
@@ -729,18 +853,21 @@ class OptimizerService:
         from repro.serialize import request_to_dict, result_from_dict
 
         jobs: Dict[int, _PreparedJob] = {}
+        traces: Dict[int, Trace] = {}
         documents: List[Tuple[int, Dict]] = []
         for index, request in enumerate(requests):
             if slots[index] is not None:
                 continue
+            trace = self.tracer.start("optimize", tag=request.tag)
             started = time.perf_counter()
             try:
-                job = self._prepare(request)
+                job = self._prepare(request, trace=trace)
             except Exception as exc:
                 elapsed = time.perf_counter() - started
-                self.metrics.observe(
-                    self._effective_label(request), elapsed, error=True
-                )
+                label = self._effective_label(request)
+                self.metrics.observe(label, elapsed, error=True)
+                trace.set_root("error", f"{type(exc).__name__}: {exc}")
+                self.tracer.finish(trace, algorithm=label)
                 slots[index] = self._error_result(
                     request.algorithm, request.tag, exc, elapsed
                 )
@@ -749,15 +876,33 @@ class OptimizerService:
                 self.metrics.observe(
                     job.effective, job.hit.elapsed_seconds, cache_hit=True
                 )
+                job.hit.trace_id = trace.trace_id
+                self.tracer.finish(
+                    trace, algorithm=job.effective, cache_hit=True
+                )
                 slots[index] = job.hit
                 continue
-            degrade = self._select_degradation(job)
+            with trace.span("admission") as span:
+                degrade = self._select_degradation(job)
+                span.set("admitted", degrade is None)
+                span.set("breaker_state", self.breaker.state(job.effective))
+                if degrade is not None:
+                    span.annotate(
+                        rung=degrade[0], reason=degrade[1], **degrade[2]
+                    )
             if degrade is not None:
                 try:
-                    result = self._run_degraded(job, *degrade)
+                    with trace.span("degraded_rung") as span:
+                        result = self._run_degraded(job, *degrade)
+                        span.annotate(
+                            rung=result.details.get("rung"),
+                            reason=result.details.get("degrade_reason"),
+                        )
                 except Exception as exc:
                     elapsed = time.perf_counter() - started
                     self.metrics.observe(job.effective, elapsed, error=True)
+                    trace.set_root("error", f"{type(exc).__name__}: {exc}")
+                    self.tracer.finish(trace, algorithm=job.effective)
                     slots[index] = self._error_result(
                         request.algorithm, request.tag, exc, elapsed
                     )
@@ -765,6 +910,8 @@ class OptimizerService:
                 self.metrics.observe(
                     job.effective, result.elapsed_seconds, degraded=True
                 )
+                result.trace_id = trace.trace_id
+                self.tracer.finish(trace, algorithm=job.effective)
                 slots[index] = result
                 continue
             try:
@@ -775,11 +922,19 @@ class OptimizerService:
                 # probe); resolve the slot it holds.
                 self.breaker.record_failure(job.effective)
                 self.metrics.observe(job.effective, elapsed, error=True)
+                trace.set_root("error", f"{type(exc).__name__}: {exc}")
+                self.tracer.finish(trace, algorithm=job.effective)
                 slots[index] = self._error_result(
                     request.algorithm, request.tag, exc, elapsed
                 )
                 continue
+            if trace.is_recording:
+                # Trace context travels inside the job document; the
+                # worker strips it before deserializing the request and
+                # returns its spans in the outcome.
+                document["trace"] = {"trace_id": trace.trace_id}
             jobs[index] = job
+            traces[index] = trace
             documents.append((index, document))
         if not documents:
             return
@@ -799,15 +954,30 @@ class OptimizerService:
         outcomes = backend.run(documents)
         for index, outcome in outcomes.items():
             job = jobs[index]
+            trace = traces.get(index, NULL_TRACE)
+            if outcome.spans:
+                # Worker spans carry offsets relative to the job's start
+                # in the worker; anchor them so they sit roughly where
+                # the remote work happened on this process's timeline.
+                trace.attach_serialized(
+                    outcome.spans, elapsed_hint=outcome.elapsed_seconds
+                )
+            if outcome.retries:
+                trace.set_root("retries", outcome.retries)
             if outcome.status == "ok":
                 result = result_from_dict(outcome.document)
-                self._store(job, result)
+                with trace.span("store"):
+                    self._store(job, result)
                 self.breaker.record_success(job.effective)
                 self.metrics.observe(
                     job.effective,
                     outcome.elapsed_seconds,
                     cache_hit=False,
                     retries=outcome.retries,
+                )
+                result.trace_id = trace.trace_id
+                self.tracer.finish(
+                    trace, algorithm=job.effective, cache_hit=False
                 )
                 slots[index] = result
             elif outcome.status == "timeout":
@@ -820,6 +990,11 @@ class OptimizerService:
                     elapsed=outcome.elapsed_seconds,
                     retries=outcome.retries,
                 )
+                slots[index].trace_id = trace.trace_id
+                trace.set_root("error", "deadline exceeded")
+                self.tracer.finish(
+                    trace, algorithm=job.effective, status="timeout"
+                )
             else:  # "error" or "crashed"
                 self.breaker.record_failure(job.effective)
                 self.metrics.observe(
@@ -827,6 +1002,10 @@ class OptimizerService:
                     outcome.elapsed_seconds,
                     error=True,
                     retries=outcome.retries,
+                )
+                trace.set_root("error", outcome.error)
+                self.tracer.finish(
+                    trace, algorithm=job.effective, status=outcome.status
                 )
                 slots[index] = OptimizationResult(
                     plan=None,
@@ -837,6 +1016,7 @@ class OptimizerService:
                     cardinality_estimations=0,
                     error=outcome.error,
                     tag=job.request.tag,
+                    trace_id=trace.trace_id,
                 )
 
     # -- deadline handling ---------------------------------------------

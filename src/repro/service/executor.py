@@ -49,6 +49,7 @@ are available.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -74,7 +75,10 @@ class JobOutcome:
     Exactly one of the states holds:
 
     * ``status == "ok"`` — ``document`` is the serialized
-      :class:`~repro.optimizer.api.OptimizationResult`;
+      :class:`~repro.optimizer.api.OptimizationResult` and ``spans``
+      (when the job carried trace context) holds the worker's serialized
+      trace spans (:func:`repro.service.tracing.span_to_dict` wire
+      dicts) for the parent to graft into the request's trace;
     * ``status == "error"`` — the worker raised; ``error`` is
       ``"ExcType: message"``;
     * ``status == "timeout"`` — the deadline expired and the worker was
@@ -94,6 +98,7 @@ class JobOutcome:
     document: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     retries: int = 0
+    spans: Optional[List[Dict[str, Any]]] = None
 
 
 def _process_worker_main(connection) -> None:
@@ -111,6 +116,7 @@ def _process_worker_main(connection) -> None:
     from repro.optimizer.api import optimize_request
     from repro.serialize import request_from_dict, result_to_dict
     from repro.service.faults import apply_fault
+    from repro.service.tracing import Span, span_to_dict
 
     while True:
         try:
@@ -120,6 +126,11 @@ def _process_worker_main(connection) -> None:
         if item is None:
             return
         index, document, fault = item
+        # Trace context rides inside the job document (so the wire
+        # protocol shape is unchanged); strip it before deserializing.
+        trace_context = (
+            document.pop("trace", None) if isinstance(document, dict) else None
+        )
         if fault is not None:
             try:
                 poison = apply_fault(fault)
@@ -132,8 +143,26 @@ def _process_worker_main(connection) -> None:
                     return
                 continue
         try:
+            started = time.perf_counter()
             result = optimize_request(request_from_dict(document))
-            payload: Tuple = ("ok", result_to_dict(result))
+            if trace_context is not None:
+                span = Span("enumerate", start_s=started)
+                span.finish()
+                span.annotate(
+                    algorithm=result.algorithm,
+                    memo_entries=result.memo_entries,
+                    cost_evaluations=result.cost_evaluations,
+                    cardinality_estimations=result.cardinality_estimations,
+                    worker_pid=os.getpid(),
+                    **result.details,
+                )
+                payload: Tuple = (
+                    "ok",
+                    result_to_dict(result),
+                    [span_to_dict(span, origin_s=started)],
+                )
+            else:
+                payload = ("ok", result_to_dict(result))
         except KeyboardInterrupt:
             return
         except BaseException as exc:
@@ -373,6 +402,7 @@ class ProcessPoolExecutor:
                             elapsed_seconds=worker.elapsed(),
                             document=payload[1],
                             retries=worker.busy_attempt,
+                            spans=payload[2] if len(payload) == 3 else None,
                         )
                     else:
                         outcomes[index] = JobOutcome(
@@ -426,7 +456,17 @@ class ProcessPoolExecutor:
         if not isinstance(payload, tuple) or not payload:
             return None
         if payload[0] == "ok":
-            return payload if len(payload) == 2 and isinstance(payload[1], dict) else None
+            # ("ok", result_doc) or ("ok", result_doc, span_dicts) when
+            # the job carried trace context.
+            if len(payload) == 2 and isinstance(payload[1], dict):
+                return payload
+            if (
+                len(payload) == 3
+                and isinstance(payload[1], dict)
+                and isinstance(payload[2], list)
+            ):
+                return payload
+            return None
         if payload[0] == "error":
             return payload if len(payload) == 3 else None
         return None

@@ -15,7 +15,7 @@ import threading
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
-__all__ = ["LatencyHistogram", "ServiceMetrics"]
+__all__ = ["LatencyHistogram", "ServiceMetrics", "render_prometheus"]
 
 #: Samples kept per histogram; percentiles describe the most recent
 #: window once a histogram overflows (count/total keep growing).
@@ -195,3 +195,140 @@ class ServiceMetrics:
             for key in self._totals:
                 self._totals[key] = 0
             self._algorithms.clear()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+#: Breaker states get a stable numeric encoding so a single gauge series
+#: per algorithm can be graphed/alerted on (0 is healthy).
+_BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus text format rules."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value without trailing float noise."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
+    """Render a service ``stats_snapshot()`` as Prometheus exposition text.
+
+    Accepts the dict produced by
+    :meth:`repro.service.OptimizerService.stats_snapshot` (or a bare
+    :meth:`ServiceMetrics.snapshot`, in which case the cache and breaker
+    sections are simply absent).  Output follows the text-based
+    exposition format version 0.0.4: ``# HELP``/``# TYPE`` comment pairs
+    followed by samples, one metric family per block, and a trailing
+    newline.  No client library is required — the service's counters are
+    already monotonic and the latency histograms already expose the
+    quantiles a ``summary`` needs.
+    """
+    lines: List[str] = []
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    def sample(name: str, value: float, labels: Optional[Dict[str, str]] = None) -> None:
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape_label(str(val))}"' for key, val in labels.items()
+            )
+            lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+        else:
+            lines.append(f"{name} {_format_value(value)}")
+
+    totals = snapshot.get("totals", {})
+    total_help = {
+        "requests": "Requests observed by the service.",
+        "errors": "Requests that raised an optimizer error.",
+        "cache_hits": "Requests served from the plan cache.",
+        "cache_misses": "Requests that missed the plan cache.",
+        "timeouts": "Requests that exceeded their deadline.",
+        "fallbacks": "Requests served a heuristic fallback plan.",
+        "degraded": "Requests served from a degradation-ladder rung.",
+        "retries": "Extra worker attempts consumed by retries.",
+    }
+    for key, value in totals.items():
+        name = f"{prefix}_{key}_total"
+        family(name, "counter", total_help.get(key, f"Total {key}."))
+        sample(name, value)
+
+    cache = snapshot.get("cache")
+    if cache:
+        for key, kind in (
+            ("size", "gauge"),
+            ("capacity", "gauge"),
+            ("hits", "counter"),
+            ("misses", "counter"),
+            ("evictions", "counter"),
+        ):
+            if key not in cache:
+                continue
+            suffix = "_total" if kind == "counter" else ""
+            name = f"{prefix}_plan_cache_{key}{suffix}"
+            family(name, kind, f"Plan cache {key.replace('_', ' ')}.")
+            sample(name, cache[key])
+
+    breaker = snapshot.get("breaker")
+    if breaker:
+        state_name = f"{prefix}_breaker_state"
+        family(
+            state_name,
+            "gauge",
+            "Circuit breaker state per algorithm (0=closed, 1=half_open, 2=open).",
+        )
+        for label, slot in breaker.items():
+            code = _BREAKER_STATE_CODES.get(str(slot.get("state")), -1)
+            sample(state_name, code, {"algorithm": label})
+        failures_name = f"{prefix}_breaker_consecutive_failures"
+        family(failures_name, "gauge", "Consecutive failures seen by each breaker.")
+        for label, slot in breaker.items():
+            sample(failures_name, slot.get("consecutive_failures", 0), {"algorithm": label})
+
+    algorithms = snapshot.get("algorithms", {})
+    if algorithms:
+        algo_counters = (
+            ("count", "requests", "Requests per algorithm."),
+            ("errors", "errors", "Errors per algorithm."),
+            ("cache_hits", "cache_hits", "Cache hits per algorithm."),
+            ("timeouts", "timeouts", "Timeouts per algorithm."),
+            ("fallbacks", "fallbacks", "Fallback servings per algorithm."),
+            ("degraded", "degraded", "Degraded servings per algorithm."),
+            ("retries", "retries", "Retries per algorithm."),
+        )
+        for key, metric, help_text in algo_counters:
+            name = f"{prefix}_algorithm_{metric}_total"
+            family(name, "counter", help_text)
+            for label, slot in algorithms.items():
+                sample(name, slot.get(key, 0), {"algorithm": label})
+
+        latency_name = f"{prefix}_request_latency_seconds"
+        family(latency_name, "summary", "Request latency per algorithm.")
+        for label, slot in algorithms.items():
+            latency = slot.get("latency", {})
+            count = latency.get("count", 0)
+            for quantile, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"), ("0.99", "p99_ms")):
+                if key in latency:
+                    sample(
+                        latency_name,
+                        latency[key] / 1e3,
+                        {"algorithm": label, "quantile": quantile},
+                    )
+            mean_ms = latency.get("mean_ms", 0.0)
+            sample(f"{latency_name}_sum", mean_ms / 1e3 * count, {"algorithm": label})
+            sample(f"{latency_name}_count", count, {"algorithm": label})
+
+    return "\n".join(lines) + "\n"

@@ -8,6 +8,7 @@ worker-crash isolation.
 """
 
 import os
+import threading
 import time
 
 import pytest
@@ -21,7 +22,11 @@ from repro import (
 )
 from repro.catalog.workload import WorkloadGenerator
 from repro.errors import OptimizationError
-from repro.optimizer.api import register_algorithm, unregister_algorithm
+from repro.optimizer.api import (
+    ALGORITHMS,
+    register_algorithm,
+    unregister_algorithm,
+)
 from repro.service.executor import ProcessPoolExecutor
 
 
@@ -199,6 +204,92 @@ class TestDeadlines:
         )
         assert all(r.ok for r in results)
         assert service.stats_snapshot()["totals"]["timeouts"] == 0
+
+
+def _register_blocking(release):
+    """Register an algorithm that blocks until ``release`` is set."""
+
+    class _BlockingOptimizer:
+        def __init__(self, catalog, cost_model=None, enable_pruning=False):
+            self._inner = ALGORITHMS["tdmincutbranch"](
+                catalog, cost_model=cost_model, enable_pruning=enable_pruning
+            )
+
+        def optimize(self):
+            release.wait(timeout=30.0)
+            return self._inner.optimize()
+
+        @property
+        def builder(self):
+            return self._inner.builder
+
+    register_algorithm("_test_blocking")(_BlockingOptimizer)
+
+
+def _blocking_request(tag):
+    catalog = WorkloadGenerator(seed=6).fixed_shape("chain", 5).catalog
+    return OptimizationRequest(query=catalog, algorithm="_test_blocking", tag=tag)
+
+
+class TestThreadDeadlineDrift:
+    """The thread backend's deadline budget is shared across the batch.
+
+    Regression tests for a drift bug: ``future.result(timeout=...)`` was
+    given the *full* deadline per item, so each hung item pushed every
+    later item's cutoff back by another whole budget — N hung items made
+    the batch take ~N x deadline instead of ~1 x.
+    """
+
+    def test_two_hung_items_resolve_within_one_deadline(self):
+        release = threading.Event()
+        _register_blocking(release)
+        try:
+            service = OptimizerService()
+            deadline = 0.5
+            started = time.perf_counter()
+            results = service.optimize_batch(
+                [_blocking_request("h0"), _blocking_request("h1")],
+                workers=2,
+                executor="thread",
+                deadline_seconds=deadline,
+            )
+            wall = time.perf_counter() - started
+            assert not results[0].ok and not results[1].ok
+            assert all("DeadlineExceededError" in r.error for r in results)
+            # Both items hang concurrently; with a shared budget the batch
+            # resolves in ~1x the deadline.  The drift bug made this
+            # >= 2x (one full timeout per hung item, sequentially).
+            assert wall < 2 * deadline - 0.1, (
+                f"batch took {wall:.2f}s for deadline={deadline}s — "
+                "per-item budgets are drifting"
+            )
+            assert service.stats_snapshot()["totals"]["timeouts"] == 2
+        finally:
+            release.set()
+            unregister_algorithm("_test_blocking")
+
+    def test_timeout_results_report_true_elapsed(self):
+        # With one worker the second hung item never leaves the queue:
+        # it is cancelled outright and must report ~0 elapsed, while the
+        # first reports the time it actually ran (~ the deadline).  The
+        # drift bug stamped both with exactly deadline_seconds.
+        release = threading.Event()
+        _register_blocking(release)
+        try:
+            service = OptimizerService()
+            deadline = 0.3
+            results = service.optimize_batch(
+                [_blocking_request("ran"), _blocking_request("queued")],
+                workers=1,
+                executor="thread",
+                deadline_seconds=deadline,
+            )
+            assert not results[0].ok and not results[1].ok
+            assert results[0].elapsed_seconds >= deadline * 0.9
+            assert results[1].elapsed_seconds == 0.0
+        finally:
+            release.set()
+            unregister_algorithm("_test_blocking")
 
 
 class TestWorkerFailures:
