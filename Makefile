@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos bench-service bench-batch bench-resilience bench-observability verify
+.PHONY: test chaos bench-service bench-batch bench-resilience bench-observability bench-kernel profile verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,5 +35,16 @@ bench-resilience:
 bench-observability:
 	$(PYTHON) benchmarks/bench_observability.py
 
-verify: test bench-service bench-resilience bench-observability
+# Fast-kernel gate: >= 1.3x geometric-mean speedup over the reference
+# driver with bit-identical plans, and chain-600 must optimize and
+# extract without RecursionError.  Writes BENCH_kernel.json.
+bench-kernel:
+	$(PYTHON) benchmarks/bench_kernel_speedup.py
+
+# Where the time goes when bench-kernel regresses: top-25 cProfile
+# lines of the kernel path on clique-14.
+profile:
+	$(PYTHON) benchmarks/bench_kernel_speedup.py --profile
+
+verify: test bench-service bench-resilience bench-observability bench-kernel
 	@echo "verify: ok"

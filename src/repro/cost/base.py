@@ -43,6 +43,16 @@ class CostModel(abc.ABC):
     #: Human-readable model name for reports.
     name: str = "abstract"
 
+    #: Declares ``join_cost(a, b, o) == join_cost(b, a, o)`` for all
+    #: inputs.  Symmetric models (like C_out) make the two orientations
+    #: of a ccp equally expensive, so :class:`~repro.plan.builder.PlanBuilder`
+    #: and the fast kernel price only the first orientation — provably
+    #: equivalent under BuildTree's strict ``<`` comparison (an equal
+    #: second orientation can never replace the first) — halving
+    #: ``cost_evaluations`` per ccp.  Asymmetric models keep the default
+    #: ``False`` and are priced both ways, per Fig. 2.
+    symmetric: bool = False
+
     @abc.abstractmethod
     def join_cost(
         self, left_card: float, right_card: float, output_card: float
@@ -50,19 +60,20 @@ class CostModel(abc.ABC):
         """Return ``(cost, implementation_name)`` for the cheapest join.
 
         ``left_card``/``right_card`` are the input cardinalities in the
-        orientation being priced (callers price both orientations, per
-        BuildTree in Fig. 2); ``output_card`` is the join result size.
-        The returned cost is the *local* cost of this join only.
+        orientation being priced (callers price both orientations for
+        asymmetric models, per BuildTree in Fig. 2); ``output_card`` is
+        the join result size.  The returned cost is the *local* cost of
+        this join only.
         """
 
     def is_symmetric(self) -> bool:
         """True iff ``join_cost(a, b, o) == join_cost(b, a, o)`` always.
 
-        Symmetric models (like C_out) make the two trees of a symmetric
-        ccp equally expensive; the generic driver still prices both, as
-        the paper's BuildTree does, to keep algorithms comparable.
+        Reads the :attr:`symmetric` class flag; subclasses normally set
+        the flag rather than override this method.  Consumers resolve it
+        once per optimization run, never per ccp.
         """
-        return False
+        return self.symmetric
 
     def signature_fields(self) -> Dict[str, Any]:
         """Return the parameters that influence this model's costs.

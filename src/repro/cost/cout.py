@@ -21,11 +21,9 @@ class CoutCostModel(CostModel):
     """C_out: cost of a join = cardinality of its result."""
 
     name = "cout"
+    symmetric = True
 
     def join_cost(
         self, left_card: float, right_card: float, output_card: float
     ) -> Tuple[float, str]:
         return output_card, "join"
-
-    def is_symmetric(self) -> bool:
-        return True

@@ -108,8 +108,8 @@ class PhysicalCostModel(CostModel):
                 best_name = implementation.name
         return best_cost + self._output_weight * output_card, best_name
 
-    def is_symmetric(self) -> bool:
-        return False
+    # All bundled implementations are asymmetric in their inputs, so the
+    # inherited ``symmetric = False`` stands: both orientations matter.
 
     def signature_fields(self) -> Dict[str, Any]:
         return {

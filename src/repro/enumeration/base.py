@@ -84,6 +84,21 @@ class PartitioningStrategy(abc.ABC):
         normalize via :func:`canonical_pair`.
         """
 
+    def partitions_into(self, vertex_set: int, emit) -> None:
+        """Feed every ccp for ``vertex_set`` straight into a callback.
+
+        ``emit(S1, S2)`` is called once per ccp, in the same order and
+        with the same orientation :meth:`partitions` would produce.  The
+        fast enumeration kernel (:mod:`repro.optimizer.kernel`) prices
+        ccps inside the callback, so strategies that can emit without
+        first materializing a list (MinCutBranch) override this to skip
+        the intermediate collection; this default simply drains
+        :meth:`partitions`.  Implementations keep ``stats`` (notably
+        ``stats.emitted``) exactly as :meth:`partitions` would.
+        """
+        for left, right in self.partitions(vertex_set):
+            emit(left, right)
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(graph={self.graph!r})"
 

@@ -399,6 +399,12 @@ def optimize_request(request: OptimizationRequest) -> OptimizationResult:
         details["partitioner_calls"] = partitioner.stats.calls
     if hasattr(optimizer, "pruned_sets"):
         details["pruned_sets"] = optimizer.pruned_sets
+    kernel = getattr(optimizer, "last_kernel", None)
+    if kernel is not None:
+        # "fast" (struct-of-arrays iterative kernel) or "reference" (the
+        # paper-faithful recursive driver); flows into the service's
+        # `enumerate` trace span and kernel metrics unchanged.
+        details["kernel"] = kernel
     return OptimizationResult(
         plan=plan,
         algorithm=request.algorithm,

@@ -1,0 +1,247 @@
+"""Allocation-free enumeration kernel for the top-down driver.
+
+The paper proves MinCutBranch's amortized cost per emitted ccp is O(1);
+in CPython the constant factor of the reference driver is dominated by
+work the paper never pays for: a ``MemoEntry`` object per relation set
+(created, hashed, and attribute-dereferenced on every pricing), a
+recursive TDPGSUB (one interpreter frame per memo level — which also
+hard-crashes with ``RecursionError`` on chains beyond ~490 relations),
+an eagerly materialized ccp list per ``partitions`` call, and
+tuple-returning ``join_cost`` calls per ccp.
+
+This module removes all four without changing a single emitted ccp or
+priced candidate:
+
+* **Struct-of-arrays memo** — the hot pricing path reads exactly one
+  dict, ``done``, mapping each *finished* relation set to its
+  ``(cardinality, cost)`` pair; best-split bookkeeping (winning operand
+  sets, implementation tag) lives in a second dict written only when a
+  candidate wins, and the in-flight target's state lives in plain
+  locals.  No ``MemoEntry`` object exists while the kernel runs; the
+  classic :class:`~repro.plan.memo.MemoTable` is rebuilt once at the end
+  (via ``bulk_load``) so plan extraction, validation, and explain keep
+  their unchanged compatibility view.
+* **Iterative TDPGSUB** — an explicit work stack replaces the recursive
+  driver.  Popping ``(S, None, ...)`` *explores* a set (runs the
+  partitioner); popping ``(S, pairs, ...)`` *finishes* it (prices the
+  ccps deferred because an operand was still unexplored on first sight,
+  resuming from the partial best carried in the stack entry).  No
+  Python recursion remains in the driver, so enumeration depth is bound
+  by memory, not ``sys.getrecursionlimit()``.
+* **Fused pricing** — the partitioner emits straight into the pricing
+  callback (``partitions_into(S, emit)``, two ints per ccp — no tuple,
+  no intermediate list), so a ccp whose operands already hold finished
+  plans is priced the moment it is discovered.  For cost models that
+  declare themselves symmetric (``is_symmetric()``, e.g. C_out) the
+  second orientation is skipped — provably identical under strict ``<``
+  comparison — and for C_out itself the pricing is inlined
+  (``cost = |out| + subtree costs``), avoiding the tuple-returning
+  ``join_cost`` call altogether.
+
+Equivalence with the reference driver is *exact*, not approximate: per
+relation set, ccps are priced in emission order (immediately priceable
+pairs form a prefix; once one pair defers, all later pairs defer and are
+priced in order when the set is finished), operand costs are always
+final when a pair is priced, and the first-priced pair — the one whose
+operands seed the set's cardinality estimate — is always the first
+emitted pair.  Costs, best splits, tie-breaks, counter totals, and
+extracted plan shapes are therefore bit-identical to the recursive
+reference path; ``tests/test_kernel_equivalence.py`` enforces this on
+every graph shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cost.cout import CoutCostModel
+
+__all__ = ["run_fast_kernel"]
+
+
+def run_fast_kernel(driver, root_set: int) -> None:
+    """Fill the driver's memo for ``root_set`` using the fast kernel.
+
+    ``driver`` is a :class:`~repro.optimizer.topdown.TopDownPlanGenerator`;
+    on return its ``builder.memo`` holds exactly the entries the reference
+    ``_tdpg_sub`` would have produced (same keys, same costs, same best
+    splits) and ``builder.cost_evaluations`` /
+    ``builder.estimator.estimations`` carry the same totals.
+    """
+    builder = driver.builder
+    memo = builder.memo
+    cost_model = builder.cost_model
+    symmetric = cost_model.is_symmetric()
+    cout_fast = type(cost_model) is CoutCostModel
+    join_cost = cost_model.join_cost
+    combine = builder.estimator.combine
+    inf = math.inf
+
+    # ---- kernel state ----------------------------------------------
+    # ``done[S]`` = (cardinality, cost) for every set whose plan is
+    # final — the only structure the pricing hot path reads.  ``best``
+    # records the winning split per joined set; leaves seed both from
+    # the MemoTable so the final flush can rebuild it losslessly.
+    done = {}
+    best = {}
+    for entry in memo.entries():
+        done[entry.vertex_set] = (entry.cardinality, entry.cost)
+        best[entry.vertex_set] = (
+            entry.best_left, entry.best_right, entry.implementation
+        )
+    done_get = done.get
+
+    if root_set in done:
+        return
+
+    # In-flight target state: plain locals shared with the callback.
+    t_card = None   # cardinality estimate (made on the first priced pair)
+    t_cost = inf    # best total cost so far
+    t_left = 0      # winning split
+    t_right = 0
+    t_impl = None
+    deferring = False  # latched by the first pair with an unfinished operand
+    pending = None     # deferred (left, right) pairs of the current set
+    pending_append = None
+    children = None    # unfinished operand sets, in first-sight order
+    children_append = None
+    scheduled = None   # dedup guard for ``children``
+
+    def emit(left_set, right_set):
+        # Fused pricing: called by the partitioner for each discovered
+        # ccp of the current target set.  Prices in place while every
+        # operand seen so far holds a finished plan; the first pair that
+        # cannot be priced latches ``deferring``, and from then on pairs
+        # are only recorded — the per-set pricing order (immediate
+        # prefix, then deferred remainder) matches the reference
+        # driver's emission order exactly.
+        nonlocal deferring, t_card, t_cost, t_left, t_right, t_impl
+        if not deferring:
+            dl = done_get(left_set)
+            if dl is not None:
+                dr = done_get(right_set)
+                if dr is not None:
+                    lc, lcost = dl
+                    rc, rcost = dr
+                    oc = t_card
+                    if oc is None:
+                        oc = combine(left_set, lc, right_set, rc)
+                        t_card = oc
+                    subtree = lcost + rcost
+                    if cout_fast:
+                        total = oc + subtree
+                        if total < t_cost:
+                            t_cost = total
+                            t_left = left_set
+                            t_right = right_set
+                            t_impl = "join"
+                        return
+                    local, name = join_cost(lc, rc, oc)
+                    total = local + subtree
+                    if total < t_cost:
+                        t_cost = total
+                        t_left = left_set
+                        t_right = right_set
+                        t_impl = name
+                    if symmetric:
+                        return
+                    local, name = join_cost(rc, lc, oc)
+                    total = local + subtree
+                    if total < t_cost:
+                        t_cost = total
+                        t_left = right_set
+                        t_right = left_set
+                        t_impl = name
+                    return
+            deferring = True
+        pending_append((left_set, right_set))
+        if left_set not in done and left_set not in scheduled:
+            scheduled.add(left_set)
+            children_append(left_set)
+        if right_set not in done and right_set not in scheduled:
+            scheduled.add(right_set)
+            children_append(right_set)
+
+    # ---- iterative TDPGSUB -----------------------------------------
+    # Stack entries: (S, None, 0, inf, 0, 0, None) = explore S;
+    # (S, pairs, card, cost, left, right, impl) = finish S, resuming
+    # pricing of the deferred pairs from the carried partial best.
+    # Unexplored operands are pushed above their parent's finish entry
+    # even when already scheduled deeper in the stack, so operand plans
+    # are always final by the time the parent's pairs are priced (the
+    # duplicate entry later pops as a finished no-op).
+    partitions_into = driver.partitioner.partitions_into
+    stats = driver.partitioner.stats
+    emitted_before = stats.emitted
+    stack = [(root_set, None, None, inf, 0, 0, None)]
+    stack_pop = stack.pop
+    stack_append = stack.append
+    while stack:
+        s_set, finish, t_card, t_cost, t_left, t_right, t_impl = stack_pop()
+        if finish is not None:
+            for left_set, right_set in finish:
+                lc, lcost = done[left_set]
+                rc, rcost = done[right_set]
+                oc = t_card
+                if oc is None:
+                    oc = combine(left_set, lc, right_set, rc)
+                    t_card = oc
+                subtree = lcost + rcost
+                if cout_fast:
+                    total = oc + subtree
+                    if total < t_cost:
+                        t_cost = total
+                        t_left = left_set
+                        t_right = right_set
+                        t_impl = "join"
+                    continue
+                local, name = join_cost(lc, rc, oc)
+                total = local + subtree
+                if total < t_cost:
+                    t_cost = total
+                    t_left = left_set
+                    t_right = right_set
+                    t_impl = name
+                if symmetric:
+                    continue
+                local, name = join_cost(rc, lc, oc)
+                total = local + subtree
+                if total < t_cost:
+                    t_cost = total
+                    t_left = right_set
+                    t_right = left_set
+                    t_impl = name
+            done[s_set] = (t_card, t_cost)
+            best[s_set] = (t_left, t_right, t_impl)
+            continue
+        if s_set in done:
+            continue
+        deferring = False
+        pending = []
+        pending_append = pending.append
+        children = []
+        children_append = children.append
+        scheduled = set()
+        partitions_into(s_set, emit)
+        if not deferring:
+            done[s_set] = (t_card, t_cost)
+            best[s_set] = (t_left, t_right, t_impl)
+            continue
+        stack_append(
+            (s_set, pending, t_card, t_cost, t_left, t_right, t_impl)
+        )
+        for child in reversed(children):
+            stack_append((child, None, None, inf, 0, 0, None))
+
+    # ---- flush the compatibility view ------------------------------
+    # Every emitted ccp was priced exactly once (immediately or on
+    # finish), with one join_cost evaluation for symmetric models and
+    # two for asymmetric ones — the same per-ccp count the reference
+    # driver's build_trees performs, so the counter is derived instead
+    # of incremented on the hot path.
+    priced = stats.emitted - emitted_before
+    builder.cost_evaluations += priced if symmetric else 2 * priced
+    memo.bulk_load(
+        (s, card, cost) + best[s] + (True,)
+        for s, (card, cost) in done.items()
+    )

@@ -19,6 +19,7 @@ conclusion anticipates.
 from __future__ import annotations
 
 import math
+import os
 from typing import Callable, Optional
 
 from repro import bitset
@@ -27,11 +28,18 @@ from repro.cost.base import CostModel
 from repro.cost.cout import CoutCostModel
 from repro.enumeration.base import PartitioningStrategy
 from repro.errors import OptimizationError
+from repro.optimizer.kernel import run_fast_kernel
 from repro.plan.builder import PlanBuilder
 from repro.plan.jointree import JoinTree
 from repro.plan.memo import MemoEntry
 
 __all__ = ["TopDownPlanGenerator"]
+
+#: Environment opt-out: set to any non-empty value to force the
+#: paper-faithful recursive reference driver everywhere (ablations,
+#: debugging).  The fast kernel produces bit-identical plans, so this
+#: never changes answers — only speed and the recursion-depth ceiling.
+REFERENCE_KERNEL_ENV = "REPRO_REFERENCE_KERNEL"
 
 
 class TopDownPlanGenerator:
@@ -49,6 +57,15 @@ class TopDownPlanGenerator:
     enable_pruning:
         Switch on accumulated-cost branch-and-bound (see
         :mod:`repro.optimizer.pruning` for the analysis helpers).
+    use_kernel:
+        ``None`` (default) selects the fast enumeration kernel
+        (:mod:`repro.optimizer.kernel`) automatically whenever pruning is
+        off, unless the ``REPRO_REFERENCE_KERNEL`` environment variable
+        forces the reference path.  ``False`` always runs the
+        paper-faithful recursive reference driver; ``True`` insists on
+        the kernel (still ignored under pruning, which remains on the
+        reference path).  Both paths produce bit-identical plans and
+        counters; ``last_kernel`` reports which one ran.
     """
 
     name = "topdown"
@@ -59,6 +76,7 @@ class TopDownPlanGenerator:
         partitioning_factory: Callable[..., PartitioningStrategy],
         cost_model: Optional[CostModel] = None,
         enable_pruning: bool = False,
+        use_kernel: Optional[bool] = None,
     ):
         self.catalog = catalog
         self.graph = catalog.graph
@@ -66,10 +84,23 @@ class TopDownPlanGenerator:
         self.partitioner = partitioning_factory(self.graph)
         self.builder = PlanBuilder(catalog, self.cost_model)
         self.enable_pruning = enable_pruning
+        self.use_kernel = use_kernel
+        self.last_kernel: Optional[str] = None
         self.pruned_sets = 0
         self._proven_budget = {}
 
     # ------------------------------------------------------------------
+
+    def _kernel_selected(self) -> bool:
+        """Resolve whether this run takes the fast kernel path."""
+        if self.enable_pruning:
+            # Branch-and-bound budgets thread through the recursion;
+            # pruning stays on the reference driver (and prunes away the
+            # constant-factor problem the kernel exists to solve).
+            return False
+        if self.use_kernel is not None:
+            return self.use_kernel
+        return not os.environ.get(REFERENCE_KERNEL_ENV)
 
     def optimize(self) -> JoinTree:
         """Return an optimal bushy, cross-product-free join tree for G.
@@ -84,8 +115,13 @@ class TopDownPlanGenerator:
                 "space has no solution (join the components explicitly)"
             )
         if self.enable_pruning:
+            self.last_kernel = "reference"
             self._tdpg_sub_pruning(all_vertices, self._initial_upper_bound())
+        elif self._kernel_selected():
+            self.last_kernel = "fast"
+            run_fast_kernel(self, all_vertices)
         else:
+            self.last_kernel = "reference"
             self._tdpg_sub(all_vertices)
         return self.builder.memo.extract_plan(all_vertices)
 

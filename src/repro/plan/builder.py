@@ -3,9 +3,12 @@
 ``PlanBuilder`` is the piece of the shared optimizer infrastructure that
 turns an emitted csg-cmp-pair into (up to) two candidate join trees and
 keeps the cheaper one in the memo table.  Because symmetric pairs are
-emitted only once, both argument orders are priced per Fig. 2, and — per
-the paper's efficiency note — both costs are derived from one cardinality
-estimation for the output set.
+emitted only once, both argument orders are priced per Fig. 2 for
+asymmetric cost models, and — per the paper's efficiency note — both
+costs are derived from one cardinality estimation for the output set.
+Cost models declaring :attr:`~repro.cost.base.CostModel.symmetric` (C_out
+is) are priced once per ccp: the mirrored orientation costs the same and
+can never win the strict ``<`` comparison.
 """
 
 from __future__ import annotations
@@ -33,11 +36,23 @@ class PlanBuilder:
     memo:
         The memo table being filled.
     cost_evaluations:
-        Number of join cost function evaluations performed (two per ccp);
-        benchmarks use it to cross-check #ccp counts.
+        Number of join cost function evaluations performed.  Exactly one
+        per ccp for symmetric cost models (the second orientation is
+        provably redundant and skipped — see
+        :attr:`repro.cost.base.CostModel.symmetric`), two per ccp for
+        asymmetric models; benchmarks use it to cross-check #ccp counts.
+        The fast kernel's inlined C_out pricing counts one evaluation
+        per ccp too, so the counter is path-independent.
     """
 
-    __slots__ = ("catalog", "cost_model", "estimator", "memo", "cost_evaluations")
+    __slots__ = (
+        "catalog",
+        "cost_model",
+        "estimator",
+        "memo",
+        "cost_evaluations",
+        "_symmetric",
+    )
 
     def __init__(self, catalog: Catalog, cost_model: CostModel):
         self.catalog = catalog
@@ -45,6 +60,7 @@ class PlanBuilder:
         self.estimator = CardinalityEstimator(catalog)
         self.memo = MemoTable(catalog)
         self.cost_evaluations = 0
+        self._symmetric = cost_model.is_symmetric()
 
     # ------------------------------------------------------------------
 
@@ -70,7 +86,11 @@ class PlanBuilder:
         """BuildTree (Fig. 2): price ``L ⋈ R`` and ``R ⋈ L``, keep the best.
 
         Both operand entries must already hold finished plans (the
-        enumeration algorithms guarantee this by construction).
+        enumeration algorithms guarantee this by construction).  For
+        symmetric cost models only the first orientation is priced: the
+        second would produce the identical cost, and under the strict
+        ``<`` comparison an equal candidate never replaces the incumbent,
+        so skipping it changes neither the winner nor the tie-break.
         """
         memo = self.memo
         target = memo.get_or_create(union_set)
@@ -89,6 +109,9 @@ class PlanBuilder:
             target.best_left = left_set
             target.best_right = right_set
             target.implementation = impl_lr
+
+        if self._symmetric:
+            return
 
         cost_rl, impl_rl = self.cost_model.join_cost(
             right.cardinality, left.cardinality, output_card

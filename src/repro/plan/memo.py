@@ -130,30 +130,77 @@ class MemoTable:
         """Yield all entries (order unspecified)."""
         return iter(self._entries.values())
 
+    def bulk_load(self, rows) -> None:
+        """Adopt plan classes computed outside the table (the fast kernel).
+
+        ``rows`` yields ``(vertex_set, cardinality, cost, best_left,
+        best_right, implementation, explored)`` tuples — the fast
+        kernel's struct-of-arrays memo, zipped.  Existing entries (the
+        leaves) are updated in place; everything else is created.  After
+        this call the table is indistinguishable from one filled by the
+        reference driver, so extraction, validation, and explain need no
+        kernel-specific code paths.
+        """
+        entries = self._entries
+        for vertex_set, cardinality, cost, left, right, implementation, explored in rows:
+            entry = entries.get(vertex_set)
+            if entry is None:
+                entry = MemoEntry(vertex_set)
+                entries[vertex_set] = entry
+            entry.cardinality = cardinality
+            entry.cost = cost
+            entry.best_left = left
+            entry.best_right = right
+            entry.implementation = implementation
+            entry.explored = explored
+
     # ------------------------------------------------------------------
 
     def extract_plan(self, vertex_set: int) -> JoinTree:
-        """Materialize the winning :class:`JoinTree` for a relation set."""
-        entry = self[vertex_set]
-        if entry.cost == math.inf:
-            raise OptimizationError(
-                f"no plan was found for {bitset.format_set(vertex_set)}"
-            )
-        if bitset.popcount(vertex_set) == 1:
-            vertex = bitset.lowest_index(vertex_set)
-            return JoinTree(
-                vertex_set=vertex_set,
+        """Materialize the winning :class:`JoinTree` for a relation set.
+
+        Extraction is iterative (an explicit stack in place of the
+        former recursion): a deep left-deep chain produces a plan tree
+        as tall as the query, and recursing per level meant queries
+        beyond the interpreter recursion limit (n >= ~1000, and far less
+        when called from an already-deep stack) died with
+        ``RecursionError`` after the search itself had succeeded.
+        """
+        built: Dict[int, JoinTree] = {}
+        stack = [vertex_set]
+        while stack:
+            current = stack.pop()
+            if current in built:
+                continue
+            entry = self[current]
+            if entry.cost == math.inf:
+                raise OptimizationError(
+                    f"no plan was found for {bitset.format_set(current)}"
+                )
+            if bitset.popcount(current) == 1:
+                vertex = bitset.lowest_index(current)
+                built[current] = JoinTree(
+                    vertex_set=current,
+                    cardinality=entry.cardinality,
+                    cost=entry.cost,
+                    relation=self.catalog.relations[vertex].name,
+                )
+                continue
+            left = built.get(entry.best_left)
+            right = built.get(entry.best_right)
+            if left is None or right is None:
+                stack.append(current)  # revisit once the children exist
+                if right is None:
+                    stack.append(entry.best_right)
+                if left is None:
+                    stack.append(entry.best_left)
+                continue
+            built[current] = JoinTree(
+                vertex_set=current,
                 cardinality=entry.cardinality,
                 cost=entry.cost,
-                relation=self.catalog.relations[vertex].name,
+                left=left,
+                right=right,
+                implementation=entry.implementation,
             )
-        left = self.extract_plan(entry.best_left)
-        right = self.extract_plan(entry.best_right)
-        return JoinTree(
-            vertex_set=vertex_set,
-            cardinality=entry.cardinality,
-            cost=entry.cost,
-            left=left,
-            right=right,
-            implementation=entry.implementation,
-        )
+        return built[vertex_set]

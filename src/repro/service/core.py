@@ -400,6 +400,7 @@ class OptimizerService:
             time.perf_counter() - started,
             cache_hit=result.cache_hit,
             degraded=bool(result.details.get("degraded")),
+            kernel=None if result.cache_hit else result.details.get("kernel"),
         )
         result.trace_id = trace.trace_id
         self.tracer.finish(
@@ -768,6 +769,9 @@ class OptimizerService:
                 time.perf_counter() - started,
                 cache_hit=result.cache_hit,
                 degraded=bool(result.details.get("degraded")),
+                kernel=(
+                    None if result.cache_hit else result.details.get("kernel")
+                ),
             )
         else:
             trace.set_root("abandoned", 1)
@@ -974,6 +978,7 @@ class OptimizerService:
                     outcome.elapsed_seconds,
                     cache_hit=False,
                     retries=outcome.retries,
+                    kernel=result.details.get("kernel"),
                 )
                 result.trace_id = trace.trace_id
                 self.tracer.finish(

@@ -103,6 +103,8 @@ class ServiceMetrics:
             "fallbacks": 0,
             "degraded": 0,
             "retries": 0,
+            "kernel_fast": 0,
+            "kernel_reference": 0,
         }
         self._algorithms: Dict[str, Dict] = {}
 
@@ -117,6 +119,8 @@ class ServiceMetrics:
                 "fallbacks": 0,
                 "degraded": 0,
                 "retries": 0,
+                "kernel_fast": 0,
+                "kernel_reference": 0,
                 "histogram": LatencyHistogram(self._max_samples),
             }
             self._algorithms[algorithm] = slot
@@ -132,6 +136,7 @@ class ServiceMetrics:
         fallback: bool = False,
         degraded: bool = False,
         retries: int = 0,
+        kernel: Optional[str] = None,
     ) -> None:
         """Record one request outcome under the given algorithm label.
 
@@ -141,7 +146,10 @@ class ServiceMetrics:
         (``fallback=True``) — both still count one timeout.  ``degraded``
         marks a request served from a ladder rung instead of the exact
         enumerator (admission budget or open breaker); ``retries`` adds
-        the extra worker attempts this request consumed.
+        the extra worker attempts this request consumed.  ``kernel``
+        (``"fast"`` or ``"reference"``) records which enumeration path a
+        fresh top-down optimization ran on; pass None for cache hits,
+        errors, and algorithms that do not report one.
         """
         with self._lock:
             self._totals["requests"] += 1
@@ -160,6 +168,12 @@ class ServiceMetrics:
             if retries:
                 self._totals["retries"] += retries
                 slot["retries"] += retries
+            if kernel == "fast":
+                self._totals["kernel_fast"] += 1
+                slot["kernel_fast"] += 1
+            elif kernel == "reference":
+                self._totals["kernel_reference"] += 1
+                slot["kernel_reference"] += 1
             if error:
                 self._totals["errors"] += 1
                 slot["errors"] += 1
@@ -183,6 +197,8 @@ class ServiceMetrics:
                         "fallbacks": slot["fallbacks"],
                         "degraded": slot["degraded"],
                         "retries": slot["retries"],
+                        "kernel_fast": slot["kernel_fast"],
+                        "kernel_reference": slot["kernel_reference"],
                         "latency": slot["histogram"].snapshot(),
                     }
                     for name, slot in sorted(self._algorithms.items())
@@ -260,6 +276,8 @@ def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
         "fallbacks": "Requests served a heuristic fallback plan.",
         "degraded": "Requests served from a degradation-ladder rung.",
         "retries": "Extra worker attempts consumed by retries.",
+        "kernel_fast": "Fresh optimizations run on the fast enumeration kernel.",
+        "kernel_reference": "Fresh optimizations run on the reference driver.",
     }
     for key, value in totals.items():
         name = f"{prefix}_{key}_total"
@@ -308,6 +326,12 @@ def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
             ("fallbacks", "fallbacks", "Fallback servings per algorithm."),
             ("degraded", "degraded", "Degraded servings per algorithm."),
             ("retries", "retries", "Retries per algorithm."),
+            ("kernel_fast", "kernel_fast", "Fast-kernel optimizations per algorithm."),
+            (
+                "kernel_reference",
+                "kernel_reference",
+                "Reference-driver optimizations per algorithm.",
+            ),
         )
         for key, metric, help_text in algo_counters:
             name = f"{prefix}_algorithm_{metric}_total"

@@ -130,9 +130,18 @@ class TestDPccpDriver:
         plan = DPccp(uniform_statistics(g)).optimize()
         assert plan.is_leaf
 
-    def test_cost_evaluations_twice_ccps(self):
+    def test_cost_evaluations_once_per_ccp_symmetric(self):
+        # C_out is symmetric, so the mirrored orientation is skipped.
         g = chain_graph(6)
         optimizer = DPccp(uniform_statistics(g))
+        optimizer.optimize()
+        assert optimizer.builder.cost_evaluations == optimizer.ccps_processed
+
+    def test_cost_evaluations_twice_ccps_asymmetric(self):
+        from repro.cost.physical import PhysicalCostModel
+
+        g = chain_graph(6)
+        optimizer = DPccp(uniform_statistics(g), cost_model=PhysicalCostModel())
         optimizer.optimize()
         assert optimizer.builder.cost_evaluations == 2 * optimizer.ccps_processed
 

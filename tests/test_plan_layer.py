@@ -130,6 +130,30 @@ class TestMemoTable:
         with pytest.raises(OptimizationError):
             memo.extract_plan(0b11)
 
+    def test_extract_plan_deep_left_deep_chain(self):
+        # Regression: extraction used to recurse once per plan level, so
+        # a left-deep chain beyond the interpreter recursion limit (or
+        # far less, called from an already-deep stack) crashed with
+        # RecursionError after the search itself had succeeded.  The
+        # iterative extractor must materialize a 600-level tree.
+        n = 600
+        catalog = uniform_statistics(chain_graph(n))
+        memo = MemoTable(catalog)
+        prefix = 0b1
+        for k in range(1, n):
+            union = prefix | (1 << k)
+            entry = memo.get_or_create(union)
+            entry.cardinality = 1000.0
+            entry.cost = float(k)
+            entry.best_left = prefix
+            entry.best_right = 1 << k
+            entry.implementation = "join"
+            entry.explored = True
+            prefix = union
+        plan = memo.extract_plan(prefix)
+        assert plan.n_joins() == n - 1
+        assert plan.is_left_deep
+
     def test_extract_leaf(self, uniform_chain5):
         memo = MemoTable(uniform_chain5)
         plan = memo.extract_plan(0b1)
@@ -147,6 +171,25 @@ class TestPlanBuilder:
         entry = builder.memo[0b11]
         assert entry.cost < math.inf
         assert entry.best_left | entry.best_right == 0b11
+
+    def test_symmetric_model_prices_once_per_ccp(self):
+        # C_out declares itself symmetric: the mirrored orientation can
+        # never win the strict < comparison, so it is skipped and the
+        # evaluation counter moves by one per ccp, not two.
+        g = chain_graph(2)
+        catalog = uniform_statistics(g)
+        builder = PlanBuilder(catalog, CoutCostModel())
+        builder.build_trees(0b11, 0b01, 0b10)
+        assert builder.cost_evaluations == 1
+        entry = builder.memo[0b11]
+        assert entry.cost < math.inf
+        assert entry.best_left == 0b01  # first-priced orientation kept
+
+    def test_symmetric_flag_declarations(self):
+        assert CoutCostModel.symmetric is True
+        assert CoutCostModel().is_symmetric() is True
+        assert PhysicalCostModel.symmetric is False
+        assert PhysicalCostModel().is_symmetric() is False
 
     def test_cardinality_estimated_once(self):
         g = chain_graph(3)

@@ -389,6 +389,56 @@ class TestMetricsInvariant:
         )
 
 
+class TestKernelObservability:
+    def test_enumerate_span_reports_kernel(self):
+        service = OptimizerService()
+        result = service.optimize(chain_request())
+        assert result.details["kernel"] == "fast"
+        trace = service.traces.get(result.trace_id)
+        assert trace.find("enumerate").attributes["kernel"] == "fast"
+
+    def test_reference_kernel_reported_when_opted_out(self, monkeypatch):
+        from repro.optimizer.topdown import REFERENCE_KERNEL_ENV
+
+        monkeypatch.setenv(REFERENCE_KERNEL_ENV, "1")
+        service = OptimizerService()
+        result = service.optimize(chain_request())
+        assert result.details["kernel"] == "reference"
+        trace = service.traces.get(result.trace_id)
+        assert trace.find("enumerate").attributes["kernel"] == "reference"
+
+    def test_metrics_count_kernel_paths(self):
+        service = OptimizerService()
+        request = chain_request()
+        service.optimize(request)  # miss: fresh fast-kernel enumeration
+        service.optimize(request)  # hit: no enumeration, no kernel count
+        totals = service.stats_snapshot()["totals"]
+        assert totals["kernel_fast"] == 1
+        assert totals["kernel_reference"] == 0
+        per_algo = service.stats_snapshot()["algorithms"]["tdmincutbranch"]
+        assert per_algo["kernel_fast"] == 1
+
+    def test_bottom_up_requests_count_no_kernel(self):
+        service = OptimizerService()
+        service.optimize(
+            OptimizationRequest(
+                query=WorkloadGenerator(seed=1).fixed_shape("chain", 6),
+                algorithm="dpccp",
+            )
+        )
+        totals = service.stats_snapshot()["totals"]
+        assert totals["kernel_fast"] == 0
+        assert totals["kernel_reference"] == 0
+
+    def test_prometheus_exposes_kernel_counters(self):
+        service = OptimizerService()
+        service.optimize(chain_request())
+        text = render_prometheus(service.stats_snapshot())
+        assert "repro_kernel_fast_total 1" in text
+        assert "repro_kernel_reference_total 0" in text
+        assert 'repro_algorithm_kernel_fast_total{algorithm="tdmincutbranch"} 1' in text
+
+
 class TestPrometheusRender:
     def _snapshot(self):
         service = OptimizerService()
