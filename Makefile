@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos bench-service bench-batch bench-resilience bench-observability bench-kernel profile verify
+.PHONY: test chaos bench-service bench-batch bench-resilience bench-observability bench-kernel bench-frontdoor serve-smoke profile verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,10 +41,22 @@ bench-observability:
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel_speedup.py
 
+# Front-door serving gate: warm p99 must stay under the 250ms SLO with
+# zero transport errors.  The 2x 4-shard scaling floor is enforced only
+# on hosts with >= 4 cores (CI passes --require-scaling there).
+bench-frontdoor:
+	$(PYTHON) benchmarks/bench_frontdoor_qps.py
+
+# Black-box serve smoke: boots `repro.cli serve` as a subprocess and
+# exercises the v1 wire API (cold/warm optimize, typed 400s, healthz,
+# stats, Prometheus exposition) over real HTTP.
+serve-smoke:
+	$(PYTHON) benchmarks/smoke_frontdoor.py
+
 # Where the time goes when bench-kernel regresses: top-25 cProfile
 # lines of the kernel path on clique-14.
 profile:
 	$(PYTHON) benchmarks/bench_kernel_speedup.py --profile
 
-verify: test bench-service bench-resilience bench-observability bench-kernel
+verify: test bench-service bench-resilience bench-observability bench-kernel serve-smoke bench-frontdoor
 	@echo "verify: ok"

@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Front-door serving benchmark: p99 latency SLO and shard scaling.
+
+Boots a real :class:`~repro.service.FrontDoor` (shard processes, HTTP,
+the works) in-process and drives it with an asyncio client:
+
+1. **Latency gate** — a mixed warm/cold replay (a small set of query
+   shapes, each requested repeatedly, with relabeled isomorphic variants
+   mixed in) against a fixed shard count.  The p99 end-to-end HTTP
+   latency of the warm phase must stay under ``--p99-slo-ms``
+   (default 250 ms).  Always enforced.
+2. **Scaling gate** — closed-loop warm-traffic throughput at 4 shards
+   vs 1 shard with ``--clients`` concurrent connections.  On a host
+   with >= 4 cores the 4-shard aggregate must reach at least
+   ``SCALING_FLOOR``x the 1-shard throughput; on smaller hosts the
+   ratio is reported but the floor is only enforced with
+   ``--require-scaling`` (no parallel speedup is physically possible
+   on one core).
+
+Writes ``BENCH_frontdoor.json`` next to this file with the measured
+numbers.  Exit status is the gate result, following the conventions of
+``bench_batch_parallel.py``.
+
+Run:  python benchmarks/bench_frontdoor_qps.py [--requests 120]
+      [--clients 8] [--n 8] [--p99-slo-ms 250] [--require-scaling]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+from repro.catalog.statistics import Catalog
+from repro.catalog.workload import WorkloadGenerator
+from repro.optimizer.api import OptimizationRequest
+from repro import serialize
+from repro.service import FrontDoor, FrontDoorConfig
+
+SCALING_FLOOR = 2.0  # acceptance: 4 shards >= 2x aggregate over 1 (multi-core)
+
+
+def build_documents(n: int, shapes: int, variants: int):
+    """``shapes`` distinct queries, each with ``variants`` isomorphic
+    relabelings (same signature, different wire bytes — they share a
+    cache entry and a shard but miss the front door's route memo)."""
+    documents = []
+    for seed in range(shapes):
+        instance = WorkloadGenerator(seed=20110411 + seed).fixed_shape("chain", n)
+        catalog = instance.catalog
+        family = [catalog]
+        for variant in range(1, variants):
+            permutation = list(range(n))
+            # Deterministic rotation: a nontrivial relabeling per variant.
+            rotation = permutation[variant:] + permutation[:variant]
+            graph = catalog.graph.relabelled(rotation)
+            relations = [None] * n
+            for vertex in range(n):
+                relations[rotation[vertex]] = catalog.relations[vertex]
+            selectivities = {
+                (rotation[u], rotation[v]): catalog.selectivity(u, v)
+                for (u, v) in catalog.graph.edges
+            }
+            family.append(Catalog(graph, relations, selectivities))
+        documents.append(
+            [
+                serialize.request_to_dict(
+                    OptimizationRequest(
+                        query=variant_catalog, algorithm="tdmincutbranch"
+                    )
+                )
+                for variant_catalog in family
+            ]
+        )
+    return documents
+
+
+async def http_post(host, port, path, payload: bytes):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"POST {path} HTTP/1.1\r\nHost: bench\r\n"
+            f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+        ).encode()
+        writer.write(head + payload)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ")[1]), body
+
+
+def percentile(samples, p):
+    ordered = sorted(samples)
+    index = max(0, min(len(ordered) - 1, int(round(p / 100.0 * len(ordered))) - 1))
+    return ordered[index]
+
+
+async def replay_phase(port, wire_bodies, clients):
+    """Drive all bodies through ``clients`` concurrent workers.
+
+    Returns (wall_seconds, per-request latencies, error statuses).
+    """
+    queue = asyncio.Queue()
+    for body in wire_bodies:
+        queue.put_nowait(body)
+    latencies, errors = [], []
+
+    async def worker():
+        while True:
+            try:
+                body = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            started = time.perf_counter()
+            status, _reply = await http_post(
+                "127.0.0.1", port, "/v1/optimize", body
+            )
+            latencies.append(time.perf_counter() - started)
+            if status != 200:
+                errors.append(status)
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(clients)))
+    return time.perf_counter() - started, latencies, errors
+
+
+async def run_door(shards, documents, requests, clients, deadline):
+    """One full measurement against a fresh door; returns phase metrics."""
+    config = FrontDoorConfig(
+        shards=shards,
+        queue_limit=max(64, requests),
+        deadline_seconds=deadline,
+    )
+    door = FrontDoor(config)
+    await door.start()
+    try:
+        flat = [doc for family in documents for doc in family]
+        encoded = [
+            json.dumps({"version": 1, "request": doc}).encode() for doc in flat
+        ]
+        # Cold pass: every signature once (plus its relabeled variants,
+        # which warm-hit the shard cache but miss the route memo).
+        cold_wall, cold_latencies, cold_errors = await replay_phase(
+            port=door.port, wire_bodies=encoded, clients=clients
+        )
+        # Warm replay: mixed traffic, every request should now be a hit.
+        replay = [encoded[i % len(encoded)] for i in range(requests)]
+        warm_wall, warm_latencies, warm_errors = await replay_phase(
+            port=door.port, wire_bodies=replay, clients=clients
+        )
+        return {
+            "shards": shards,
+            "cold": {
+                "requests": len(encoded),
+                "wall_seconds": cold_wall,
+                "errors": len(cold_errors),
+            },
+            "warm": {
+                "requests": len(replay),
+                "wall_seconds": warm_wall,
+                "errors": len(warm_errors),
+                "qps": len(replay) / warm_wall,
+                "p50_ms": percentile(warm_latencies, 50) * 1e3,
+                "p99_ms": percentile(warm_latencies, 99) * 1e3,
+            },
+        }
+    finally:
+        await door.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--requests", type=int, default=120, help="warm replay length"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8, help="concurrent client connections"
+    )
+    parser.add_argument("--n", type=int, default=8, help="relations per query")
+    parser.add_argument(
+        "--shapes", type=int, default=4, help="distinct query shapes"
+    )
+    parser.add_argument(
+        "--variants",
+        type=int,
+        default=3,
+        help="isomorphic relabelings per shape (route-memo misses that "
+        "still warm-hit their shard)",
+    )
+    parser.add_argument(
+        "--p99-slo-ms",
+        type=float,
+        default=250.0,
+        help="warm-phase p99 latency SLO in milliseconds (always enforced)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=30.0, help="per-request deadline"
+    )
+    parser.add_argument(
+        "--require-scaling",
+        action="store_true",
+        help=f"exit non-zero unless 4 shards >= {SCALING_FLOOR}x the "
+        "1-shard warm throughput (otherwise enforced only on hosts "
+        "with >= 4 cores)",
+    )
+    args = parser.parse_args(argv)
+
+    cores = os.cpu_count() or 1
+    documents = build_documents(args.n, args.shapes, args.variants)
+    print(
+        f"front door bench: {args.shapes} shapes x {args.variants} variants "
+        f"of chain-{args.n}, {args.requests} warm requests, "
+        f"{args.clients} clients, cores={cores}"
+    )
+
+    results = {}
+    for shards in (1, 4):
+        results[shards] = asyncio.run(
+            run_door(
+                shards, documents, args.requests, args.clients, args.deadline
+            )
+        )
+        warm = results[shards]["warm"]
+        print(
+            f"  shards={shards}: warm qps={warm['qps']:8.1f} "
+            f"p50={warm['p50_ms']:6.2f}ms p99={warm['p99_ms']:6.2f}ms "
+            f"errors={warm['errors']}"
+        )
+
+    scaling = results[4]["warm"]["qps"] / max(results[1]["warm"]["qps"], 1e-9)
+    p99_ms = results[1]["warm"]["p99_ms"]
+    print(f"4-shard scaling over 1 shard: {scaling:.2f}x")
+
+    report = {
+        "bench": "frontdoor_qps",
+        "cores": cores,
+        "config": {
+            "requests": args.requests,
+            "clients": args.clients,
+            "n": args.n,
+            "shapes": args.shapes,
+            "variants": args.variants,
+            "p99_slo_ms": args.p99_slo_ms,
+            "scaling_floor": SCALING_FLOOR,
+        },
+        "results": {str(k): v for k, v in results.items()},
+        "scaling_4_over_1": scaling,
+    }
+    out_path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "BENCH_frontdoor.json"
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"wrote {out_path}")
+
+    failures = []
+    for shards in (1, 4):
+        for phase in ("cold", "warm"):
+            if results[shards][phase]["errors"]:
+                failures.append(
+                    f"{results[shards][phase]['errors']} non-200 responses "
+                    f"(shards={shards}, {phase} phase)"
+                )
+    if p99_ms > args.p99_slo_ms:
+        failures.append(
+            f"warm p99 {p99_ms:.2f}ms exceeds the {args.p99_slo_ms:.0f}ms SLO"
+        )
+    enforce_scaling = args.require_scaling or cores >= 4
+    if enforce_scaling and scaling < SCALING_FLOOR:
+        failures.append(
+            f"4-shard scaling {scaling:.2f}x below the {SCALING_FLOOR}x floor"
+        )
+    elif not enforce_scaling:
+        print(
+            f"{cores}-core host: {SCALING_FLOOR}x scaling floor reported "
+            "but not enforced (pass --require-scaling to enforce)"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"ok: p99 {p99_ms:.2f}ms within SLO; zero transport errors")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,11 @@ Subcommands (``repro-optimize <subcommand> ...`` or
                    percentiles (optionally as JSON); resilience knobs:
                    --max-ccp-budget, --breaker-threshold,
                    --breaker-cooldown, --retries
+    serve          run the sharded async HTTP front door (v1 wire API,
+                   see docs/SERVING.md): --shards worker processes with
+                   private plan caches, consistent-hash routing,
+                   per-tenant --quota admission, bounded queues with
+                   429 backpressure, /metrics Prometheus export
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 from typing import List, Optional
 
 from repro.catalog.statistics import Catalog, Relation
@@ -332,9 +338,147 @@ def _serve_stats_main(argv: List[str]) -> int:
         return 1
 
 
+def _serve_main(argv: List[str]) -> int:
+    """``serve``: run the sharded HTTP front door until interrupted."""
+    parser = argparse.ArgumentParser(
+        prog="repro-optimize serve",
+        description="Serve the v1 optimize wire API over HTTP: consistent-"
+        "hash routing onto shard processes (each with a private plan "
+        "cache), per-tenant admission quotas, and bounded per-shard "
+        "queues that reject overload with 429.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8972,
+        help="bind port (0 = pick an ephemeral port; the chosen port is "
+        "printed on the 'listening on' line)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="worker shard processes, each owning a private "
+        "OptimizerService (default 2)",
+    )
+    parser.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        help="requests a shard may have queued before new ones are "
+        "rejected with 429 over_capacity (default 16)",
+    )
+    parser.add_argument(
+        "--quota",
+        type=float,
+        metavar="RPS",
+        help="per-tenant admission quota in requests/second (token "
+        "bucket; omit for no quota)",
+    )
+    parser.add_argument(
+        "--quota-burst",
+        type=float,
+        default=10.0,
+        metavar="N",
+        help="token-bucket burst per tenant (default 10)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=512,
+        help="plan cache capacity per shard (default 512)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request wall budget including shard queue time; a "
+        "shard that blows it is recycled (default 30)",
+    )
+    parser.add_argument(
+        "--max-ccp-budget",
+        type=int,
+        metavar="CCPS",
+        help="per-shard admission budget: over-budget requests are "
+        "served from the degradation ladder instead of the exact "
+        "enumerator",
+    )
+    parser.add_argument(
+        "--warm-cache",
+        metavar="PATH",
+        help="plan cache snapshot to warm shards from at spin-up (each "
+        "shard loads only the entries the hash ring assigns to it)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the consistent-hash ring "
+        "(default 64)",
+    )
+    args = parser.parse_args(argv)
+
+    import asyncio
+
+    from repro.service import FrontDoor, FrontDoorConfig, ResilienceConfig
+
+    service_kwargs = {"cache_capacity": args.capacity}
+    if args.max_ccp_budget is not None:
+        service_kwargs["resilience"] = ResilienceConfig(
+            max_ccp_budget=args.max_ccp_budget
+        )
+    config = FrontDoorConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        queue_limit=args.queue_limit,
+        quota_rate=args.quota,
+        quota_burst=args.quota_burst,
+        deadline_seconds=args.deadline,
+        ring_replicas=args.replicas,
+        warm_cache_path=args.warm_cache,
+        shard_service_kwargs=service_kwargs,
+    )
+
+    async def run() -> None:
+        door = FrontDoor(config)
+        await door.start()
+        print(f"listening on {config.host}:{door.port}", flush=True)
+        try:
+            await door.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await door.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _result_document(result) -> dict:
+    """Deprecated: build the JSON document for one optimization result.
+
+    .. deprecated::
+        Use :meth:`repro.optimizer.api.OptimizationResult.to_dict`
+        directly; this shim remains only for scripts that imported it.
+    """
+    warnings.warn(
+        "_result_document is deprecated; use OptimizationResult.to_dict()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return result.to_dict()
+
+
 #: Subcommand name -> entry point; checked before flat-flag parsing.
 SUBCOMMANDS = {
     "serve-stats": _serve_stats_main,
+    "serve": _serve_main,
 }
 
 
@@ -400,6 +544,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print a full EXPLAIN report (search space, counters, plan)",
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as a versioned optimization_result JSON "
+        "document (the same schema the serve API returns) instead of "
+        "the text summary",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -441,6 +592,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             cost_model=cost_model,
             enable_pruning=args.pruning,
         )
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+            return 0
         print(result.summary())
         print()
         print(result.plan.pretty())

@@ -14,7 +14,7 @@ import math
 from typing import Dict, List
 
 from repro.catalog.statistics import Catalog
-from repro.errors import OptimizationError
+from repro.errors import DisconnectedGraphError, OptimizationError
 from repro.plan.jointree import JoinTree
 
 __all__ = ["greedy_operator_ordering"]
@@ -24,7 +24,7 @@ def greedy_operator_ordering(catalog: Catalog) -> JoinTree:
     """Build a bushy plan greedily by smallest intermediate result (C_out)."""
     graph = catalog.graph
     if not graph.is_connected(graph.all_vertices):
-        raise OptimizationError("query graph is disconnected")
+        raise DisconnectedGraphError("query graph is disconnected")
 
     trees: List[JoinTree] = [
         JoinTree(

@@ -27,7 +27,7 @@ from typing import List, Tuple
 
 from repro import bitset
 from repro.catalog.statistics import Catalog
-from repro.errors import OptimizationError
+from repro.errors import DisconnectedGraphError, OptimizationError
 from repro.plan.jointree import JoinTree
 
 __all__ = ["IKKBZ", "ikkbz_optimal_left_deep"]
@@ -66,7 +66,7 @@ class IKKBZ:
         self.catalog = catalog
         self.graph = catalog.graph
         if not self.graph.is_connected(self.graph.all_vertices):
-            raise OptimizationError("query graph is disconnected")
+            raise DisconnectedGraphError("query graph is disconnected")
         if not self.graph.is_acyclic():
             raise OptimizationError(
                 "IKKBZ requires an acyclic (tree-shaped) query graph"

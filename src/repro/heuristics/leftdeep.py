@@ -17,7 +17,7 @@ from typing import Dict, Optional
 
 from repro import bitset
 from repro.catalog.statistics import Catalog
-from repro.errors import OptimizationError
+from repro.errors import DisconnectedGraphError, OptimizationError
 from repro.plan.jointree import JoinTree
 
 __all__ = ["optimal_left_deep"]
@@ -32,7 +32,7 @@ def optimal_left_deep(catalog: Catalog) -> JoinTree:
     graph = catalog.graph
     all_vertices = graph.all_vertices
     if not graph.is_connected(all_vertices):
-        raise OptimizationError("query graph is disconnected")
+        raise DisconnectedGraphError("query graph is disconnected")
     n = graph.n_vertices
     if n == 1:
         return JoinTree(

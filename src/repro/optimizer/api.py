@@ -219,6 +219,24 @@ class OptimizationRequest:
         """Return a copy of the request aimed at a different query."""
         return replace(self, query=query)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to the versioned wire document.
+
+        Preferred over importing :func:`repro.serialize.request_to_dict`
+        directly for the common round-trip; both produce the same
+        ``kind="optimization_request"`` document with ``"version": 1``.
+        """
+        from repro.serialize import request_to_dict
+
+        return request_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "OptimizationRequest":
+        """Deserialize a wire document produced by :meth:`to_dict`."""
+        from repro.serialize import request_from_dict
+
+        return request_from_dict(document)
+
 
 @dataclass
 class OptimizationResult:
@@ -262,6 +280,34 @@ class OptimizationResult:
         if self.plan is None:
             raise OptimizationError(f"no plan: optimization failed ({self.error})")
         return self.plan.cost
+
+    @property
+    def error_info(self):
+        """The failure as a typed :class:`~repro.errors.ErrorInfo` (or None).
+
+        Coerces legacy plain-string errors on the fly, so the property is
+        always safe to read for ``.code`` / ``.retryable``.
+        """
+        from repro.errors import ErrorInfo
+
+        return ErrorInfo.coerce(self.error)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialize to the versioned wire document (typed error payload).
+
+        Preferred over importing :func:`repro.serialize.result_to_dict`
+        directly for the common round-trip.
+        """
+        from repro.serialize import result_to_dict
+
+        return result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, object]) -> "OptimizationResult":
+        """Deserialize a wire document produced by :meth:`to_dict`."""
+        from repro.serialize import result_from_dict
+
+        return result_from_dict(document)
 
     def summary(self) -> str:
         """One-line human-readable report."""

@@ -18,7 +18,7 @@ from repro import bitset
 from repro.catalog.statistics import Catalog
 from repro.cost.base import CostModel
 from repro.cost.cout import CoutCostModel
-from repro.errors import OptimizationError
+from repro.errors import DisconnectedGraphError
 from repro.plan.builder import PlanBuilder
 from repro.plan.jointree import JoinTree
 
@@ -42,7 +42,7 @@ class DPsub:
         graph = self.graph
         all_vertices = graph.all_vertices
         if not graph.is_connected(all_vertices):
-            raise OptimizationError(
+            raise DisconnectedGraphError(
                 "query graph is disconnected; the cross-product-free search "
                 "space has no solution"
             )

@@ -27,7 +27,7 @@ from repro.catalog.statistics import Catalog
 from repro.cost.base import CostModel
 from repro.cost.cout import CoutCostModel
 from repro.enumeration.base import PartitioningStrategy
-from repro.errors import OptimizationError
+from repro.errors import DisconnectedGraphError
 from repro.optimizer.kernel import run_fast_kernel
 from repro.plan.builder import PlanBuilder
 from repro.plan.jointree import JoinTree
@@ -105,12 +105,12 @@ class TopDownPlanGenerator:
     def optimize(self) -> JoinTree:
         """Return an optimal bushy, cross-product-free join tree for G.
 
-        Raises :class:`OptimizationError` when the query graph is
+        Raises :class:`DisconnectedGraphError` when the query graph is
         disconnected (the search space excludes cross products).
         """
         all_vertices = self.graph.all_vertices
         if not self.graph.is_connected(all_vertices):
-            raise OptimizationError(
+            raise DisconnectedGraphError(
                 "query graph is disconnected; the cross-product-free search "
                 "space has no solution (join the components explicitly)"
             )

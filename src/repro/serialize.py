@@ -28,12 +28,13 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro import bitset
 from repro.catalog.statistics import Catalog, Relation
-from repro.errors import ReproError
+from repro.errors import ErrorInfo, ReproError, UnsupportedVersionError
 from repro.graph.hypergraph import Hyperedge, Hypergraph
 from repro.graph.query_graph import QueryGraph
 from repro.plan.jointree import JoinTree
 
 __all__ = [
+    "FORMAT_VERSION",
     "graph_to_dict",
     "graph_from_dict",
     "catalog_to_dict",
@@ -54,15 +55,41 @@ __all__ = [
     "result_from_dict",
 ]
 
-_FORMAT_VERSION = 1
+#: Current wire-schema version.  Every document this module emits carries
+#: ``"version": FORMAT_VERSION``; readers accept documents at or below it
+#: (and tolerate a missing field — pre-versioning documents are v1) and
+#: raise :class:`~repro.errors.UnsupportedVersionError` beyond it.
+FORMAT_VERSION = 1
+
+_FORMAT_VERSION = FORMAT_VERSION  # backward-compatible private alias
 
 
 def _check_kind(document: Dict[str, Any], kind: str) -> None:
+    """Validate the ``kind`` tag and wire version of one document.
+
+    Readers are *tolerant*: unknown extra keys are ignored everywhere and
+    a missing ``version`` is read as 1 (documents written before the
+    field existed).  A version beyond :data:`FORMAT_VERSION` raises the
+    typed :class:`~repro.errors.UnsupportedVersionError` — the serving
+    layer maps it to the stable ``unsupported_version`` error code
+    instead of a traceback.
+    """
     if not isinstance(document, dict):
         raise ReproError(f"expected a dict for {kind}, got {type(document).__name__}")
     found = document.get("kind")
     if found != kind:
         raise ReproError(f"expected kind={kind!r}, found {found!r}")
+    version = document.get("version", FORMAT_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        raise UnsupportedVersionError(
+            f"{kind} document carries a malformed version {version!r}; "
+            f"expected an integer >= 1"
+        )
+    if version > FORMAT_VERSION:
+        raise UnsupportedVersionError(
+            f"{kind} document is wire version {version}, but this reader "
+            f"supports versions 1..{FORMAT_VERSION}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -412,6 +439,7 @@ def request_to_dict(request) -> Dict[str, Any]:
     if isinstance(query, QueryInstance):
         query_document: Dict[str, Any] = {
             "kind": "query_instance",
+            "version": _FORMAT_VERSION,
             "catalog": catalog_to_dict(query.catalog),
             "shape": query.shape,
             "seed": query.seed,
@@ -451,6 +479,7 @@ def request_from_dict(document: Dict[str, Any]):
         raise ReproError("request query must be a serialized document")
     query_kind = query_document.get("kind")
     if query_kind == "query_instance":
+        _check_kind(query_document, "query_instance")
         catalog = catalog_from_dict(query_document["catalog"])
         query: Any = QueryInstance(
             graph=catalog.graph,
@@ -480,7 +509,15 @@ def request_from_dict(document: Dict[str, Any]):
 
 
 def result_to_dict(result) -> Dict[str, Any]:
-    """Serialize an :class:`~repro.optimizer.api.OptimizationResult`."""
+    """Serialize an :class:`~repro.optimizer.api.OptimizationResult`.
+
+    ``error`` is emitted as a typed payload —
+    ``{"code", "message", "retryable"}`` per
+    :class:`~repro.errors.ErrorInfo` — never a bare exception repr.
+    Legacy plain-string errors are coerced (their code recovered from the
+    ``"TypeName: message"`` prefix when it names a library error).
+    """
+    error = ErrorInfo.coerce(result.error)
     return {
         "kind": "optimization_result",
         "version": _FORMAT_VERSION,
@@ -493,14 +530,20 @@ def result_to_dict(result) -> Dict[str, Any]:
         "details": dict(result.details),
         "cache_hit": result.cache_hit,
         "signature": result.signature,
-        "error": result.error,
+        "error": error.to_dict() if error is not None else None,
         "tag": result.tag,
         "trace_id": result.trace_id,
     }
 
 
 def result_from_dict(document: Dict[str, Any]):
-    """Deserialize an :class:`~repro.optimizer.api.OptimizationResult`."""
+    """Deserialize an :class:`~repro.optimizer.api.OptimizationResult`.
+
+    The tolerant reader accepts both the typed error payload and the
+    legacy bare-string form; either way ``result.error`` comes back as an
+    :class:`~repro.errors.ErrorInfo` (a str subclass), so string-treating
+    callers are unaffected.
+    """
     _check_kind(document, "optimization_result")
     from repro.optimizer.api import OptimizationResult
 
@@ -515,7 +558,7 @@ def result_from_dict(document: Dict[str, Any]):
         details=dict(document.get("details", {})),
         cache_hit=document.get("cache_hit", False),
         signature=document.get("signature"),
-        error=document.get("error"),
+        error=ErrorInfo.coerce(document.get("error")),
         tag=document.get("tag"),
         trace_id=document.get("trace_id"),
     )

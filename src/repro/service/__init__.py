@@ -69,12 +69,24 @@ from repro.service.resilience import (
     estimate_ccps,
 )
 from repro.service.core import OptimizerService, request_signature
+from repro.service.sharding import (
+    ConsistentHashRing,
+    ShardClient,
+    ShardPool,
+    TenantQuotas,
+    TokenBucket,
+    http_status_for_code,
+)
+from repro.service.frontdoor import FrontDoor, FrontDoorConfig
 
 __all__ = [
     "AdmissionEstimate",
     "CacheEntry",
     "CircuitBreaker",
+    "ConsistentHashRing",
     "EXECUTORS",
+    "FrontDoor",
+    "FrontDoorConfig",
     "FaultInjector",
     "FaultSpec",
     "JobOutcome",
@@ -87,11 +99,16 @@ __all__ = [
     "RetryBudget",
     "RetryPolicy",
     "ServiceMetrics",
+    "ShardClient",
+    "ShardPool",
     "Span",
+    "TenantQuotas",
+    "TokenBucket",
     "Trace",
     "TraceStore",
     "Tracer",
     "estimate_ccps",
+    "http_status_for_code",
     "render_prometheus",
     "request_signature",
     "span_from_dict",

@@ -67,7 +67,12 @@ from repro import bitset
 from repro.catalog.statistics import Catalog
 from repro.catalog.workload import QueryInstance
 from repro.cost.base import CostModel
-from repro.errors import DeadlineExceededError, OptimizationError, ReproError
+from repro.errors import (
+    DeadlineExceededError,
+    ErrorInfo,
+    OptimizationError,
+    ReproError,
+)
 from repro.graph.canonical import canonical_form, signature_of_form
 from repro.graph.query_graph import QueryGraph
 from repro.optimizer.api import (
@@ -98,11 +103,45 @@ _FALLBACKS = (None, "goo")
 
 
 def _round_significant(value: float, digits: int) -> float:
-    """Round a finite value to ``digits`` significant figures (0 stays 0)."""
+    """Round a finite value to ``digits`` significant figures.
+
+    Signature-critical edge cases (these feed the cache key, so two
+    different statistics must never collapse to one rounded value and a
+    semantically identical pair must never diverge):
+
+    * **zero** — both ``0.0`` and ``-0.0`` normalize to ``+0.0``;
+      ``json.dumps`` renders ``-0.0`` as ``"-0.0"``, which would give two
+      signatures for one statistic;
+    * **negative** values round by the magnitude of their absolute value
+      (``log10`` of the raw value would raise);
+    * **denormals** — ``log10`` and ``round`` both handle subnormal
+      floats, but the guard below keeps any value that would underflow
+      the rounding grid to ``0.0`` at its original (distinct) value
+      rather than colliding with true zero;
+    * **huge integer statistics** beyond ``float`` range round exactly in
+      integer space (``math.log10`` takes arbitrary ints; ``round`` on an
+      int never overflows).
+    """
     if value == 0:
         return 0.0
     magnitude = math.floor(math.log10(abs(value)))
-    return round(value, digits - 1 - magnitude)
+    rounded = round(value, digits - 1 - magnitude)
+    if rounded == 0:
+        return value
+    return rounded
+
+
+def _is_finite_stat(value) -> bool:
+    """True for usable statistics; huge ints beyond float range count.
+
+    ``math.isfinite`` raises ``OverflowError`` on an int too large for a
+    double — such a cardinality is still perfectly finite, and the
+    signature math handles it exactly.
+    """
+    try:
+        return math.isfinite(value)
+    except OverflowError:
+        return isinstance(value, int)
 
 
 def request_signature(
@@ -136,7 +175,7 @@ def request_signature(
     n = graph.n_vertices
     for vertex in range(n):
         cardinality = catalog.cardinality(vertex)
-        if not math.isfinite(cardinality):
+        if not _is_finite_stat(cardinality):
             raise OptimizationError(
                 f"non-finite cardinality {cardinality!r} for relation "
                 f"{catalog.relations[vertex].name!r}; fix the catalog "
@@ -144,7 +183,7 @@ def request_signature(
             )
     for (u, v) in graph.edges:
         selectivity = catalog.selectivity(u, v)
-        if not math.isfinite(selectivity):
+        if not _is_finite_stat(selectivity):
             raise OptimizationError(
                 f"non-finite selectivity {selectivity!r} on the edge "
                 f"between relations {catalog.relations[u].name!r} and "
@@ -936,7 +975,7 @@ class OptimizerService:
                 # Trace context travels inside the job document; the
                 # worker strips it before deserializing the request and
                 # returns its spans in the outcome.
-                document["trace"] = {"trace_id": trace.trace_id}
+                document["trace"] = {"version": 1, "trace_id": trace.trace_id}
             jobs[index] = job
             traces[index] = trace
             documents.append((index, document))
@@ -1085,7 +1124,7 @@ class OptimizerService:
             memo_entries=0,
             cost_evaluations=0,
             cardinality_estimations=0,
-            error=f"{type(exc).__name__}: {exc}",
+            error=ErrorInfo.from_exception(exc),
             tag=tag,
         )
 

@@ -175,10 +175,14 @@ class Span:
 def span_to_dict(span: Span, origin_s: Optional[float] = None) -> Dict[str, Any]:
     """Serialize one span subtree for the cross-process wire.
 
-    Identical to :meth:`Span.to_dict`; provided as a function so worker
-    code reads symmetrically with :func:`span_from_dict`.
+    The top-level document is stamped ``"version": 1`` like every other
+    wire dict (children inherit their root's version);
+    :func:`span_from_dict` tolerates and ignores unknown keys, so the
+    stamp costs nothing on the read side.
     """
-    return span.to_dict(origin_s)
+    document = span.to_dict(origin_s)
+    document["version"] = 1
+    return document
 
 
 def span_from_dict(document: Dict[str, Any], base_s: float = 0.0) -> Span:

@@ -277,7 +277,10 @@ class TestBatch:
         assert results[0].ok and results[2].ok
         assert not results[1].ok
         assert results[1].plan is None
-        assert "OptimizationError" in results[1].error
+        # Disconnected graphs now raise the typed subclass; the message
+        # keeps the "TypeName: ..." shape and carries a stable wire code.
+        assert "DisconnectedGraphError" in results[1].error
+        assert results[1].error.code == "invalid_query"
         with pytest.raises(OptimizationError):
             results[1].cost  # no plan to price
         assert "failed" in results[1].summary()
