@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos bench-service bench-batch bench-resilience bench-observability bench-kernel bench-frontdoor serve-smoke profile verify
+.PHONY: test chaos bench-service bench-batch bench-resilience bench-observability bench-kernel bench-dpconv bench-frontdoor serve-smoke profile verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +41,13 @@ bench-observability:
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel_speedup.py
 
+# DPconv fast-exact tier gate: >= 1.5x over the fast kernel on
+# clique-14 with bit-identical optimal cost and matching ccp counts
+# (skips the speedup gate with a notice on machines too slow to time
+# it).  Writes BENCH_dpconv.json.
+bench-dpconv:
+	$(PYTHON) benchmarks/bench_dpconv.py
+
 # Front-door serving gate: warm p99 must stay under the 250ms SLO with
 # zero transport errors.  The 2x 4-shard scaling floor is enforced only
 # on hosts with >= 4 cores (CI passes --require-scaling there).
@@ -58,5 +65,5 @@ serve-smoke:
 profile:
 	$(PYTHON) benchmarks/bench_kernel_speedup.py --profile
 
-verify: test bench-service bench-resilience bench-observability bench-kernel serve-smoke bench-frontdoor
+verify: test bench-service bench-resilience bench-observability bench-kernel bench-dpconv serve-smoke bench-frontdoor
 	@echo "verify: ok"

@@ -296,9 +296,11 @@ def _serve_stats_main(argv: List[str]) -> int:
             f"timeouts={totals.get('timeouts', 0)} "
             f"fallbacks={totals.get('fallbacks', 0)} "
             f"degraded={totals.get('degraded', 0)} "
+            f"fast_exact={totals.get('fast_exact', 0)} "
             f"retries={totals.get('retries', 0)} "
             f"kernel_fast={totals.get('kernel_fast', 0)} "
-            f"kernel_reference={totals.get('kernel_reference', 0)}"
+            f"kernel_reference={totals.get('kernel_reference', 0)} "
+            f"kernel_dpconv={totals.get('kernel_dpconv', 0)}"
         )
         breakers = snapshot.get("breaker", {})
         open_breakers = {

@@ -12,6 +12,9 @@ tdconservative  top-down driver + connected-subset generate-and-test
 dpccp           DPccp — bottom-up csg-cmp-pair enumeration
 dpsub           DPsub — bottom-up subset enumeration (oracle)
 dpsize          DPsize — bottom-up size-driven enumeration
+dpconv          DPconv-style (min,+) convolution — fast-exact tier for
+                symmetric cost models (falls back to the top-down
+                driver for asymmetric models or pruning requests)
 ============== ====================================================
 
 Algorithms register through the :func:`register_algorithm` decorator;
@@ -40,6 +43,7 @@ from typing import Callable, Dict, Optional, Union
 from repro.catalog.statistics import Catalog
 from repro.catalog.workload import QueryInstance, uniform_statistics
 from repro.cost.base import CostModel
+from repro.cost.cout import CoutCostModel
 from repro.enumeration.mincutbranch import MinCutBranch
 from repro.enumeration.mincutlazy import MinCutLazy
 from repro.enumeration.conservative import ConservativePartitioning
@@ -47,6 +51,7 @@ from repro.enumeration.naive import NaivePartitioning
 from repro.errors import OptimizationError
 from repro.graph.query_graph import QueryGraph
 from repro.optimizer.dpccp import DPccp
+from repro.optimizer.dpconv import DPconvPlanGenerator
 from repro.optimizer.dpsize import DPsize
 from repro.optimizer.dpsub import DPsub
 from repro.optimizer.topdown import TopDownPlanGenerator
@@ -156,6 +161,27 @@ def _make_dpsize(catalog, cost_model=None, enable_pruning=False):
     if enable_pruning:
         raise OptimizationError("bottom-up enumeration cannot prune easily (Sec. I)")
     return DPsize(catalog, cost_model=cost_model)
+
+
+@register_algorithm("dpconv")
+def _make_dpconv(catalog, cost_model=None, enable_pruning=False):
+    """DPconv fast-exact tier, with a clean fallback.
+
+    The (min,+) convolution is only exact for symmetric cost models and
+    has no pruning hook, so requests outside that envelope run the
+    classic top-down driver instead of failing — the request API
+    promises an exact plan for ``algorithm="dpconv"`` either way, and
+    ``last_kernel`` tells which engine actually served it.
+    """
+    effective = cost_model if cost_model is not None else CoutCostModel()
+    if enable_pruning or not effective.is_symmetric():
+        return TopDownPlanGenerator(
+            catalog,
+            MinCutBranch,
+            cost_model=cost_model,
+            enable_pruning=enable_pruning,
+        )
+    return DPconvPlanGenerator(catalog, cost_model=cost_model)
 
 
 @dataclass(frozen=True)

@@ -91,6 +91,7 @@ from repro.service.resilience import (
     CircuitBreaker,
     ResilienceConfig,
     RetryBudget,
+    dpconv_admissible,
     estimate_ccps,
     heuristic_rung_for,
     run_rung,
@@ -439,6 +440,9 @@ class OptimizerService:
             time.perf_counter() - started,
             cache_hit=result.cache_hit,
             degraded=bool(result.details.get("degraded")),
+            fast_exact=(
+                not result.cache_hit and bool(result.details.get("fast_exact"))
+            ),
             kernel=None if result.cache_hit else result.details.get("kernel"),
         )
         result.trace_id = trace.trace_id
@@ -555,17 +559,36 @@ class OptimizerService:
             return None
         cfg = self.resilience
         if cfg.max_ccp_budget is not None:
-            estimate = estimate_ccps(graph, cfg.admission_exact_max_n)
+            # With cross products enabled the client opted into a search
+            # space bounded by the clique, not the raw predicate edges —
+            # price that, or admission under-prices by orders of
+            # magnitude (and used to crash on disconnected inputs).
+            estimate = estimate_ccps(
+                graph,
+                cfg.admission_exact_max_n,
+                allow_cross_products=job.run_request.allow_cross_products,
+            )
             if estimate.ccps > cfg.max_ccp_budget:
-                return (
-                    heuristic_rung_for(graph),
-                    "over_budget",
-                    {
-                        "admission_estimate": estimate.ccps,
-                        "admission_method": estimate.method,
-                        "admission_budget": cfg.max_ccp_budget,
-                    },
-                )
+                extra = {
+                    "admission_estimate": estimate.ccps,
+                    "admission_method": estimate.method,
+                    "admission_budget": cfg.max_ccp_budget,
+                }
+                # Fast-exact rung: an over-budget request whose cost
+                # model is symmetric and whose size fits the convolution
+                # budget still gets the exact optimum — a cheaper engine,
+                # not a cheaper answer.  A request that already resolved
+                # to dpconv (or asked for pruning, which dpconv lacks)
+                # degrades to the heuristics as before.
+                if (
+                    job.effective != "dpconv"
+                    and not job.run_request.enable_pruning
+                    and dpconv_admissible(
+                        graph, job.run_request.cost_model, cfg
+                    )
+                ):
+                    return ("dpconv", "over_budget", extra)
+                return (heuristic_rung_for(graph), "over_budget", extra)
         if not self.breaker.allow(job.effective):
             return (heuristic_rung_for(graph), "breaker_open", {})
         return None
@@ -573,15 +596,44 @@ class OptimizerService:
     def _run_degraded(
         self, job: _PreparedJob, rung: str, reason: str, extra: Dict
     ) -> OptimizationResult:
-        """Serve one request from a heuristic ladder rung.
+        """Serve one request from a degradation ladder rung.
 
-        The result names the rung and the reason in ``details`` and is
-        **not** cached (the cache promises the exact optimum).  A rung
-        failure is wrapped in the reason's typed error so callers can
-        tell "the ladder had nothing for this query" apart from ordinary
-        optimization failures.
+        The ``dpconv`` rung is *fast-exact*: it runs the full registry
+        path (``optimize_request``) so counters, kernel provenance, and
+        trace details arrive as usual, marks the result with
+        ``fast_exact``/``rung``/``degrade_reason`` instead of
+        ``degraded`` (the plan is still the exact optimum, only the
+        engine changed), and — unlike the heuristic rungs — **is**
+        cached.  If dpconv itself fails, the request falls through to
+        the heuristics below.
+
+        A heuristic result names the rung and the reason in ``details``
+        and is **not** cached (the cache promises the exact optimum).  A
+        rung failure is wrapped in the reason's typed error so callers
+        can tell "the ladder had nothing for this query" apart from
+        ordinary optimization failures.
         """
         started = time.perf_counter()
+        if rung == "dpconv":
+            try:
+                result = optimize_request(
+                    replace(job.run_request, algorithm="dpconv")
+                )
+            except ReproError:
+                rung = heuristic_rung_for(job.catalog.graph)
+            else:
+                result.elapsed_seconds = time.perf_counter() - started
+                # Cache first: the stored entry keeps clean enumeration
+                # details, while the returned result carries the ladder
+                # provenance for this serve only.
+                self._store(job, result)
+                details = dict(result.details)
+                details.update(
+                    {"fast_exact": 1, "rung": "dpconv", "degrade_reason": reason}
+                )
+                details.update(extra)
+                result.details = details
+                return result
         try:
             plan, rung_used = run_rung(rung, job.catalog)
         except ReproError as exc:
@@ -636,6 +688,7 @@ class OptimizerService:
                 span.annotate(
                     rung=result.details.get("rung"),
                     reason=result.details.get("degrade_reason"),
+                    kernel=result.details.get("kernel"),
                 )
             return result, job.effective
         try:
@@ -808,6 +861,10 @@ class OptimizerService:
                 time.perf_counter() - started,
                 cache_hit=result.cache_hit,
                 degraded=bool(result.details.get("degraded")),
+                fast_exact=(
+                    not result.cache_hit
+                    and bool(result.details.get("fast_exact"))
+                ),
                 kernel=(
                     None if result.cache_hit else result.details.get("kernel")
                 ),
@@ -940,6 +997,7 @@ class OptimizerService:
                         span.annotate(
                             rung=result.details.get("rung"),
                             reason=result.details.get("degrade_reason"),
+                            kernel=result.details.get("kernel"),
                         )
                 except Exception as exc:
                     elapsed = time.perf_counter() - started
@@ -951,7 +1009,11 @@ class OptimizerService:
                     )
                     continue
                 self.metrics.observe(
-                    job.effective, result.elapsed_seconds, degraded=True
+                    job.effective,
+                    result.elapsed_seconds,
+                    degraded=bool(result.details.get("degraded")),
+                    fast_exact=bool(result.details.get("fast_exact")),
+                    kernel=result.details.get("kernel"),
                 )
                 result.trace_id = trace.trace_id
                 self.tracer.finish(trace, algorithm=job.effective)

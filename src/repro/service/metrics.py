@@ -102,9 +102,11 @@ class ServiceMetrics:
             "timeouts": 0,
             "fallbacks": 0,
             "degraded": 0,
+            "fast_exact": 0,
             "retries": 0,
             "kernel_fast": 0,
             "kernel_reference": 0,
+            "kernel_dpconv": 0,
         }
         self._algorithms: Dict[str, Dict] = {}
 
@@ -118,9 +120,11 @@ class ServiceMetrics:
                 "timeouts": 0,
                 "fallbacks": 0,
                 "degraded": 0,
+                "fast_exact": 0,
                 "retries": 0,
                 "kernel_fast": 0,
                 "kernel_reference": 0,
+                "kernel_dpconv": 0,
                 "histogram": LatencyHistogram(self._max_samples),
             }
             self._algorithms[algorithm] = slot
@@ -135,6 +139,7 @@ class ServiceMetrics:
         timeout: bool = False,
         fallback: bool = False,
         degraded: bool = False,
+        fast_exact: bool = False,
         retries: int = 0,
         kernel: Optional[str] = None,
     ) -> None:
@@ -144,11 +149,14 @@ class ServiceMetrics:
         orthogonal to ``error``/``fallback`` because a timed-out request
         either failed (``error=True``) or was served a heuristic plan
         (``fallback=True``) — both still count one timeout.  ``degraded``
-        marks a request served from a ladder rung instead of the exact
-        enumerator (admission budget or open breaker); ``retries`` adds
-        the extra worker attempts this request consumed.  ``kernel``
-        (``"fast"`` or ``"reference"``) records which enumeration path a
-        fresh top-down optimization ran on; pass None for cache hits,
+        marks a request served a *heuristic* plan from a ladder rung
+        (admission budget or open breaker); ``fast_exact`` marks one
+        served the exact optimum by the dpconv fast-exact rung instead
+        of the over-budget enumerator — mutually exclusive with
+        ``degraded`` by construction.  ``retries`` adds the extra worker
+        attempts this request consumed.  ``kernel`` (``"fast"``,
+        ``"reference"``, or ``"dpconv"``) records which enumeration
+        engine a fresh optimization ran on; pass None for cache hits,
         errors, and algorithms that do not report one.
         """
         with self._lock:
@@ -165,6 +173,9 @@ class ServiceMetrics:
             if degraded:
                 self._totals["degraded"] += 1
                 slot["degraded"] += 1
+            if fast_exact:
+                self._totals["fast_exact"] += 1
+                slot["fast_exact"] += 1
             if retries:
                 self._totals["retries"] += retries
                 slot["retries"] += retries
@@ -174,6 +185,9 @@ class ServiceMetrics:
             elif kernel == "reference":
                 self._totals["kernel_reference"] += 1
                 slot["kernel_reference"] += 1
+            elif kernel == "dpconv":
+                self._totals["kernel_dpconv"] += 1
+                slot["kernel_dpconv"] += 1
             if error:
                 self._totals["errors"] += 1
                 slot["errors"] += 1
@@ -196,9 +210,11 @@ class ServiceMetrics:
                         "timeouts": slot["timeouts"],
                         "fallbacks": slot["fallbacks"],
                         "degraded": slot["degraded"],
+                        "fast_exact": slot["fast_exact"],
                         "retries": slot["retries"],
                         "kernel_fast": slot["kernel_fast"],
                         "kernel_reference": slot["kernel_reference"],
+                        "kernel_dpconv": slot["kernel_dpconv"],
                         "latency": slot["histogram"].snapshot(),
                     }
                     for name, slot in sorted(self._algorithms.items())
@@ -274,10 +290,12 @@ def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
         "cache_misses": "Requests that missed the plan cache.",
         "timeouts": "Requests that exceeded their deadline.",
         "fallbacks": "Requests served a heuristic fallback plan.",
-        "degraded": "Requests served from a degradation-ladder rung.",
+        "degraded": "Requests served a heuristic plan from a degradation-ladder rung.",
+        "fast_exact": "Over-budget requests served the exact optimum by the dpconv rung.",
         "retries": "Extra worker attempts consumed by retries.",
         "kernel_fast": "Fresh optimizations run on the fast enumeration kernel.",
         "kernel_reference": "Fresh optimizations run on the reference driver.",
+        "kernel_dpconv": "Fresh optimizations run on the dpconv convolution engine.",
     }
     for key, value in totals.items():
         name = f"{prefix}_{key}_total"
@@ -325,12 +343,18 @@ def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
             ("timeouts", "timeouts", "Timeouts per algorithm."),
             ("fallbacks", "fallbacks", "Fallback servings per algorithm."),
             ("degraded", "degraded", "Degraded servings per algorithm."),
+            ("fast_exact", "fast_exact", "Fast-exact dpconv servings per algorithm."),
             ("retries", "retries", "Retries per algorithm."),
             ("kernel_fast", "kernel_fast", "Fast-kernel optimizations per algorithm."),
             (
                 "kernel_reference",
                 "kernel_reference",
                 "Reference-driver optimizations per algorithm.",
+            ),
+            (
+                "kernel_dpconv",
+                "kernel_dpconv",
+                "Dpconv-engine optimizations per algorithm.",
             ),
         )
         for key, metric, help_text in algo_counters:

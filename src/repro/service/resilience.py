@@ -12,10 +12,14 @@ it out:
   enumeration counts for small graphs, Table-I closed forms for the
   fixed shapes, and the log-space interpolation of
   :func:`repro.analysis.formulas.ccp_estimate` for everything else.
-* the **degradation ladder** — ``exact → ikkbz → goo``.  IKKBZ is the
-  polynomial-time *optimal left-deep* rung for acyclic graphs; GOO is
-  the universal greedy bushy rung.  :func:`heuristic_rung_for` picks the
-  highest applicable heuristic rung, :func:`run_rung` executes one.
+* the **degradation ladder** — ``exact → dpconv → ikkbz → goo``.
+  ``dpconv`` is the *fast-exact* rung: for symmetric cost models within
+  its work budget (:func:`dpconv_admissible`), an over-budget request is
+  still answered with the exact optimum via (min,+) subset convolution
+  instead of a heuristic plan.  Below it, IKKBZ is the polynomial-time
+  *optimal left-deep* rung for acyclic graphs and GOO the universal
+  greedy bushy rung.  :func:`heuristic_rung_for` picks the highest
+  applicable heuristic rung, :func:`run_rung` executes one.
 * :class:`CircuitBreaker` — per-algorithm-label closed → open →
   half-open breaker over consecutive failures with a cooldown and a
   single half-open probe.
@@ -40,6 +44,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis.formulas import ccp_count, ccp_estimate
 from repro.catalog.statistics import Catalog
+from repro.cost.base import CostModel
 from repro.enumeration.counting import count_ccps
 from repro.errors import AdmissionError, OptimizationError
 from repro.graph.query_graph import QueryGraph
@@ -52,15 +57,17 @@ __all__ = [
     "ResilienceConfig",
     "RetryBudget",
     "RetryPolicy",
+    "dpconv_admissible",
     "estimate_ccps",
     "heuristic_rung_for",
     "run_rung",
 ]
 
 #: Degradation ladder, best rung first.  ``exact`` is whatever registry
-#: enumerator the request resolved to; the rest are polynomial-time
-#: heuristics with shrinking plan-quality guarantees.
-LADDER_RUNGS = ("exact", "ikkbz", "goo")
+#: enumerator the request resolved to; ``dpconv`` is the fast-exact
+#: rung (still the true optimum, cheaper engine); the rest are
+#: polynomial-time heuristics with shrinking plan-quality guarantees.
+LADDER_RUNGS = ("exact", "dpconv", "ikkbz", "goo")
 
 #: Shapes with a Table-I closed form for #ccp.
 _CLOSED_FORM_SHAPES = ("chain", "star", "cycle", "clique")
@@ -98,6 +105,15 @@ class ResilienceConfig:
     #: Cap on *total* retry attempts across one batch, so a batch of
     #: uniformly crashing items cannot multiply its own cost unbounded.
     retry_budget_per_batch: int = 16
+    #: Largest ``n`` the dpconv fast-exact rung will take on.  Its dense
+    #: per-subset arrays are ``O(2^n)`` memory, so this is a hard cap
+    #: independent of the work budget below.
+    dpconv_max_n: int = 16
+    #: Split-loop iteration budget for the dpconv rung: the rung runs
+    #: ``3^n / 2`` iterations (see
+    #: :func:`repro.optimizer.dpconv.dpconv_split_work`); the default
+    #: covers clique-15 (~7.2M) in well under a request deadline.
+    dpconv_split_budget: int = 8_000_000
 
     def __post_init__(self) -> None:
         if self.max_ccp_budget is not None and self.max_ccp_budget < 1:
@@ -121,6 +137,15 @@ class ResilienceConfig:
             raise OptimizationError(
                 "retry_budget_per_batch must be >= 0, "
                 f"got {self.retry_budget_per_batch}"
+            )
+        if self.dpconv_max_n < 0:
+            raise OptimizationError(
+                f"dpconv_max_n must be >= 0, got {self.dpconv_max_n}"
+            )
+        if self.dpconv_split_budget < 0:
+            raise OptimizationError(
+                "dpconv_split_budget must be >= 0, "
+                f"got {self.dpconv_split_budget}"
             )
 
     def retry_policy(self) -> Optional["RetryPolicy"]:
@@ -154,7 +179,9 @@ class AdmissionEstimate:
 
 
 def estimate_ccps(
-    graph: QueryGraph, exact_max_n: int = 10
+    graph: QueryGraph,
+    exact_max_n: int = 10,
+    allow_cross_products: bool = False,
 ) -> AdmissionEstimate:
     """Estimate #ccp for ``graph`` without enumerating when that is the cost.
 
@@ -162,9 +189,51 @@ def estimate_ccps(
     ``exact_max_n`` vertices are counted exactly (cheap at that scale);
     larger irregular graphs get the interpolated estimate of
     :func:`repro.analysis.formulas.ccp_estimate`.
+
+    ``allow_cross_products=True`` prices the **clique**, whatever the
+    predicate edges say: the flag admits joins between relations with no
+    connecting predicate, so the search space the client opted into is
+    bounded by — and for sparse inputs dominated by — the complete
+    graph's, not the raw edge set's.  Pricing the raw edges here used to
+    under-admit by orders of magnitude (a disconnected 2x chain-10
+    priced as ~two chains instead of the clique-20 neighborhood its
+    cross-product request can reach).
+
+    Disconnected graphs *without* cross products get a typed
+    per-component estimate (``method="per-component"``) — the sum of
+    each component's estimate, i.e. the cost of optimizing the
+    components independently — instead of the :class:`GraphError` that
+    :func:`~repro.analysis.formulas.ccp_estimate` raises for edge counts
+    below ``n - 1``.
     """
     n = graph.n_vertices
+    if allow_cross_products:
+        return AdmissionEstimate(
+            ccps=ccp_count("clique", n),
+            method="closed-form:clique",
+            shape="cross-products",
+        )
     shape = graph.shape_name()
+    if n > 1 and not graph.is_connected(graph.all_vertices):
+        total = 0
+        for component in graph.connected_components(graph.all_vertices):
+            vertices = [v for v in range(n) if component >> v & 1]
+            k = len(vertices)
+            if k <= 1:
+                continue
+            edges_within = sum(
+                1
+                for (u, v) in graph.edges
+                if component >> u & 1 and component >> v & 1
+            )
+            max_degree = max(
+                bin(graph.neighbors_of_vertex(v) & component).count("1")
+                for v in vertices
+            )
+            total += ccp_estimate(k, edges_within, max_degree)
+        return AdmissionEstimate(
+            ccps=total, method="per-component", shape=shape
+        )
     if shape in _CLOSED_FORM_SHAPES:
         return AdmissionEstimate(
             ccps=ccp_count(shape, n), method=f"closed-form:{shape}", shape=shape
@@ -185,6 +254,35 @@ def estimate_ccps(
 # Degradation ladder
 # ----------------------------------------------------------------------
 
+def dpconv_admissible(
+    graph: QueryGraph,
+    cost_model: Optional[CostModel],
+    config: ResilienceConfig,
+) -> bool:
+    """Can the dpconv fast-exact rung serve this query within budget?
+
+    Three gates: the cost model must be symmetric (the convolution
+    prices each unordered split once — exact only then), the vertex
+    count must fit the rung's ``O(2^n)`` arrays, and the rung's total
+    work — ``3^n / 2`` split iterations, connected or not — must fit
+    ``dpconv_split_budget``.  The work model is *shape-independent* on
+    purpose: unlike the exact enumerators, the convolution visits every
+    submask pair whether or not it is a ccp, so a chain and a clique of
+    the same ``n`` cost the rung the same.
+
+    ``cost_model=None`` means the registry default — C_out, which is
+    symmetric — so ``None`` passes the symmetry gate.
+    """
+    if cost_model is not None and not cost_model.is_symmetric():
+        return False
+    n = graph.n_vertices
+    if n > config.dpconv_max_n:
+        return False
+    from repro.optimizer.dpconv import dpconv_split_work
+
+    return dpconv_split_work(n) <= config.dpconv_split_budget
+
+
 def heuristic_rung_for(graph: QueryGraph) -> str:
     """Pick the best heuristic rung for a *connected* graph.
 
@@ -198,14 +296,26 @@ def heuristic_rung_for(graph: QueryGraph) -> str:
     return "goo"
 
 
-def run_rung(rung: str, catalog: Catalog) -> Tuple[JoinTree, str]:
-    """Execute one heuristic ladder rung; return ``(plan, rung_used)``.
+def run_rung(
+    rung: str, catalog: Catalog, cost_model: Optional[CostModel] = None
+) -> Tuple[JoinTree, str]:
+    """Execute one degradation ladder rung; return ``(plan, rung_used)``.
 
-    ``ikkbz`` falls back to ``goo`` if it cannot handle the query (the
-    rung chooser should prevent that, but degradation must not introduce
-    a *new* failure mode on the path meant to avoid failures) — the
-    returned rung name reflects what actually ran.
+    Each rung falls through to the next if it cannot handle the query
+    (the rung chooser should prevent that, but degradation must not
+    introduce a *new* failure mode on the path meant to avoid failures)
+    — the returned rung name reflects what actually ran.  ``cost_model``
+    matters only to the ``dpconv`` rung; the heuristics optimize their
+    own objectives.
     """
+    if rung == "dpconv":
+        from repro.optimizer.dpconv import DPconvPlanGenerator
+
+        try:
+            plan = DPconvPlanGenerator(catalog, cost_model=cost_model).optimize()
+            return plan, "dpconv"
+        except OptimizationError:
+            rung = "ikkbz"
     if rung == "ikkbz":
         from repro.heuristics.ikkbz import ikkbz_optimal_left_deep
 

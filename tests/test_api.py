@@ -30,6 +30,7 @@ class TestRegistry:
             "dpccp",
             "dpsub",
             "dpsize",
+            "dpconv",
         }
 
     def test_make_optimizer_unknown_name(self):

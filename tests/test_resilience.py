@@ -38,12 +38,15 @@ from repro.optimizer.api import (
     register_algorithm,
     unregister_algorithm,
 )
+from repro.cost.cout import CoutCostModel
+from repro.cost.physical import PhysicalCostModel
 from repro.service import (
     FaultInjector,
     FaultSpec,
     ResilienceConfig,
     RetryBudget,
     RetryPolicy,
+    dpconv_admissible,
     estimate_ccps,
 )
 from repro.service.faults import FAULTS_ENV_VAR
@@ -51,6 +54,7 @@ from repro.service.resilience import (
     BREAKER_CLOSED,
     BREAKER_HALF_OPEN,
     BREAKER_OPEN,
+    LADDER_RUNGS,
     CircuitBreaker,
     heuristic_rung_for,
     run_rung,
@@ -255,6 +259,88 @@ class TestAdmissionEstimates:
         with pytest.raises(GraphError):
             ccp_estimate(10, 46)  # above complete graph
 
+    def test_ccp_estimate_tree_endpoints_exact_across_sizes(self):
+        # Regression: the exp/log interpolation overshot the chain and
+        # star endpoints by +1 for many n (e.g. chain n=4: 11 vs 10,
+        # star n=10: 2305 vs 2304).  The closed-form endpoints must be
+        # returned exactly, for every size.
+        for n in (3, 4, 5, 8, 12, 20, 40, 64):
+            assert ccp_estimate(n, n - 1, max_degree=2) == ccp_count(
+                "chain", n
+            ), n
+            assert ccp_estimate(n, n - 1, max_degree=n - 1) == ccp_count(
+                "star", n
+            ), n
+            clique_edges = n * (n - 1) // 2
+            assert ccp_estimate(
+                n, clique_edges, max_degree=n - 1
+            ) == ccp_count("clique", n), n
+
+    def test_ccp_estimate_n3_trees_are_chains(self):
+        # Any 3-vertex tree is simultaneously a chain and a star; both
+        # closed forms agree and the estimate must match them.
+        assert ccp_estimate(3, 2, max_degree=2) == ccp_count("chain", 3)
+        assert ccp_estimate(3, 2, max_degree=2) == ccp_count("star", 3)
+
+    def test_small_tree_estimates_verified_against_exact_count(self):
+        # Star exactness pinned against the real enumerator for n=4, 5.
+        for n in (4, 5):
+            star = star_graph(n)
+            assert ccp_estimate(n, n - 1, max_degree=n - 1) == count_ccps(
+                star
+            ), n
+            chain = chain_graph(n)
+            assert ccp_estimate(n, n - 1, max_degree=2) == count_ccps(
+                chain
+            ), n
+
+    def test_disconnected_graph_is_priced_per_component(self):
+        # Regression: estimate_ccps used to raise GraphError ("between
+        # n-1 and ... edges") for disconnected inputs.  It now sums the
+        # per-component estimates instead of crashing.
+        graph = QueryGraph(7, [(0, 1), (1, 2), (3, 4), (5, 6)])
+        estimate = estimate_ccps(graph)
+        assert estimate.method == "per-component"
+        assert estimate.shape == "disconnected"
+        # chain-3 + chain-2 + chain-2 components.
+        assert estimate.ccps == (
+            ccp_count("chain", 3) + ccp_count("chain", 2) + ccp_count("chain", 2)
+        )
+
+    def test_isolated_vertices_do_not_crash_admission(self):
+        graph = QueryGraph(4, [(0, 1)])
+        estimate = estimate_ccps(graph)
+        assert estimate.method == "per-component"
+        assert estimate.ccps == ccp_count("chain", 2)
+
+    def test_cross_products_price_the_clique(self):
+        # Regression: with allow_cross_products=True every vertex pair
+        # is joinable, so admission must price the clique search space —
+        # not the sparser declared-edge graph.
+        graph = chain_graph(9)
+        estimate = estimate_ccps(graph, allow_cross_products=True)
+        assert estimate.method == "closed-form:clique"
+        assert estimate.shape == "cross-products"
+        assert estimate.ccps == ccp_count("clique", 9)
+
+    def test_cross_products_price_the_clique_even_when_disconnected(self):
+        graph = QueryGraph(6, [(0, 1), (2, 3)])
+        estimate = estimate_ccps(graph, allow_cross_products=True)
+        assert estimate.method == "closed-form:clique"
+        assert estimate.ccps == ccp_count("clique", 6)
+
+    def test_disconnected_cross_product_request_is_served(self):
+        # End to end: a disconnected request with cross products enabled
+        # passes admission (no GraphError) and produces a valid plan.
+        graph = QueryGraph(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        catalog = uniform_statistics(graph, cardinality=4.0, selectivity=0.25)
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=100_000)
+        )
+        result = service.optimize(catalog, allow_cross_products=True)
+        assert result.ok
+        result.plan.validate()
+
 
 class TestDegradationLadder:
     def test_rung_choice_by_cyclicity(self):
@@ -273,12 +359,16 @@ class TestDegradationLadder:
         with pytest.raises(AdmissionError):
             run_rung("exact", catalog)
 
+    # The heuristic-rung tests pin an *asymmetric* cost model: with the
+    # default symmetric C_out these requests now land on the dpconv
+    # fast-exact rung instead (covered by TestDpconvRung below).
+
     def test_over_budget_acyclic_degrades_to_ikkbz(self):
         service = OptimizerService(
             resilience=ResilienceConfig(max_ccp_budget=50)
         )
         catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
-        result = service.optimize(catalog)
+        result = service.optimize(catalog, cost_model=PhysicalCostModel())
         assert result.ok
         result.plan.validate()
         assert result.details["degraded"] == 1
@@ -293,7 +383,7 @@ class TestDegradationLadder:
             resilience=ResilienceConfig(max_ccp_budget=10)
         )
         catalog = WorkloadGenerator(seed=2).fixed_shape("cycle", 9).catalog
-        result = service.optimize(catalog)
+        result = service.optimize(catalog, cost_model=PhysicalCostModel())
         assert result.ok
         assert result.details["rung"] == "goo"
         assert result.details["degrade_reason"] == "over_budget"
@@ -303,8 +393,8 @@ class TestDegradationLadder:
             resilience=ResilienceConfig(max_ccp_budget=10)
         )
         catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
-        service.optimize(catalog)
-        again = service.optimize(catalog)
+        service.optimize(catalog, cost_model=PhysicalCostModel())
+        again = service.optimize(catalog, cost_model=PhysicalCostModel())
         assert len(service.cache) == 0
         assert not again.cache_hit
         assert again.details["degraded"] == 1
@@ -323,7 +413,7 @@ class TestDegradationLadder:
             resilience=ResilienceConfig(max_ccp_budget=10)
         )
         catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 10).catalog
-        service.optimize(catalog)
+        service.optimize(catalog, cost_model=PhysicalCostModel())
         snapshot = service.stats_snapshot()
         assert snapshot["totals"]["degraded"] == 1
 
@@ -355,6 +445,137 @@ class TestDegradationLadder:
         assert "degraded" not in result.details
         assert service.breaker.state("tdmincutbranch") == BREAKER_CLOSED
         assert len(service.cache) == 1
+
+
+# ----------------------------------------------------------------------
+# DPconv fast-exact rung
+# ----------------------------------------------------------------------
+
+class TestDpconvRung:
+    def test_ladder_names_dpconv_between_exact_and_ikkbz(self):
+        assert LADDER_RUNGS == ("exact", "dpconv", "ikkbz", "goo")
+
+    def test_symmetric_over_budget_lands_on_dpconv(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=50)
+        )
+        catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
+        result = service.optimize(catalog)
+        assert result.ok
+        result.plan.validate()
+        assert result.details["rung"] == "dpconv"
+        assert result.details["degrade_reason"] == "over_budget"
+        assert result.details["fast_exact"] == 1
+        assert result.details["kernel"] == "dpconv"
+        assert "degraded" not in result.details
+        assert result.details["admission_estimate"] == ccp_count("chain", 12)
+        assert result.details["admission_budget"] == 50
+
+    def test_dpconv_rung_serves_the_exact_optimum(self):
+        catalog = WorkloadGenerator(seed=2).fixed_shape("cycle", 10).catalog
+        degraded = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=10)
+        ).optimize(catalog)
+        exact = OptimizerService().optimize(catalog)
+        assert degraded.details["rung"] == "dpconv"
+        # Generator stats are arbitrary floats, so the two engines may
+        # associate sums differently; bitwise equality is asserted on
+        # power-of-two statistics in test_dpconv_equivalence.py.
+        assert degraded.cost == pytest.approx(exact.cost, rel=1e-12)
+
+    def test_dpconv_rung_results_are_cached(self):
+        # Unlike the heuristic rungs, the fast-exact rung returns the
+        # true optimum, so its plan may warm the cache — with clean
+        # details (no ladder provenance) on the cached entry.
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=50)
+        )
+        catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
+        first = service.optimize(catalog)
+        assert first.details["rung"] == "dpconv"
+        assert len(service.cache) == 1
+        again = service.optimize(catalog)
+        assert again.cache_hit
+        assert again.cost == first.cost
+        assert "rung" not in again.details
+        assert "fast_exact" not in again.details
+
+    def test_asymmetric_cost_model_skips_dpconv(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=50)
+        )
+        catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
+        result = service.optimize(catalog, cost_model=PhysicalCostModel())
+        assert result.details["rung"] == "ikkbz"
+        assert result.details["degraded"] == 1
+
+    def test_pruning_request_skips_dpconv(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=50)
+        )
+        catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
+        result = service.optimize(catalog, enable_pruning=True)
+        assert result.details["rung"] == "ikkbz"
+        assert result.details["degraded"] == 1
+
+    def test_open_breaker_never_routes_to_dpconv(self):
+        # breaker_open means "the exact engine is failing", and dpconv
+        # runs in the same process with the same inputs — only the
+        # admission budget selects the fast-exact rung.
+        service = OptimizerService(
+            resilience=ResilienceConfig(breaker_threshold=2)
+        )
+        catalog = WorkloadGenerator(seed=4).fixed_shape("chain", 6).catalog
+        for _ in range(2):
+            service.breaker.record_failure("tdmincutbranch")
+        result = service.optimize(catalog, algorithm="tdmincutbranch")
+        assert result.details["degrade_reason"] == "breaker_open"
+        assert result.details["rung"] == "ikkbz"
+
+    def test_fast_exact_counters_in_stats_and_prometheus(self):
+        from repro.service import render_prometheus
+
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=50)
+        )
+        catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
+        service.optimize(catalog)
+        snapshot = service.stats_snapshot()
+        assert snapshot["totals"]["fast_exact"] == 1
+        assert snapshot["totals"]["kernel_dpconv"] == 1
+        assert snapshot["totals"]["degraded"] == 0
+        text = render_prometheus(snapshot)
+        assert "fast_exact" in text
+        assert "kernel_dpconv" in text
+
+    def test_dpconv_rung_size_gates(self):
+        cfg = ResilienceConfig(dpconv_max_n=8)
+        assert dpconv_admissible(chain_graph(8), CoutCostModel(), cfg)
+        assert not dpconv_admissible(chain_graph(9), CoutCostModel(), cfg)
+        tight = ResilienceConfig(dpconv_split_budget=100)
+        assert not dpconv_admissible(chain_graph(10), CoutCostModel(), tight)
+
+    def test_dpconv_admissible_treats_none_as_default_cout(self):
+        # A request without an explicit cost model runs the registry
+        # default (C_out, symmetric) — so None must pass the gate.
+        cfg = ResilienceConfig()
+        assert dpconv_admissible(chain_graph(8), None, cfg)
+        assert not dpconv_admissible(chain_graph(8), PhysicalCostModel(), cfg)
+
+    def test_over_budget_beyond_dpconv_cap_falls_to_heuristics(self):
+        service = OptimizerService(
+            resilience=ResilienceConfig(max_ccp_budget=10, dpconv_max_n=8)
+        )
+        catalog = WorkloadGenerator(seed=2).fixed_shape("cycle", 9).catalog
+        result = service.optimize(catalog)
+        assert result.details["rung"] == "goo"
+        assert result.details["degraded"] == 1
+
+    def test_run_rung_accepts_dpconv(self):
+        catalog = WorkloadGenerator(seed=3).fixed_shape("chain", 7).catalog
+        plan, used = run_rung("dpconv", catalog)
+        assert used == "dpconv"
+        plan.validate()
 
 
 # ----------------------------------------------------------------------

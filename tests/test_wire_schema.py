@@ -99,6 +99,65 @@ class TestErrorInfo:
         again = ErrorInfo.coerce(info)
         assert again is info
 
+    def test_pickle_preserves_code_and_retryable(self):
+        # Regression guard for the process-executor boundary: a pickled
+        # ErrorInfo must come back as an ErrorInfo with both typed
+        # attributes intact, at every protocol.  (It does out of the
+        # box: ``str.__getnewargs__`` rebuilds the string value and the
+        # instance ``__dict__`` restores ``code``/``retryable``.)
+        import pickle
+
+        info = ErrorInfo(
+            "worker crashed", code="worker_crashed", retryable=True
+        )
+        for protocol in range(pickle.HIGHEST_PROTOCOL + 1):
+            back = pickle.loads(pickle.dumps(info, protocol))
+            assert type(back) is ErrorInfo, protocol
+            assert back == "worker crashed"
+            assert back.code == "worker_crashed", protocol
+            assert back.retryable is True, protocol
+
+    def test_copy_and_deepcopy_preserve_attributes(self):
+        import copy
+
+        info = ErrorInfo("timed out", code="deadline_exceeded", retryable=True)
+        for clone in (copy.copy(info), copy.deepcopy(info)):
+            assert type(clone) is ErrorInfo
+            assert clone == info
+            assert clone.code == "deadline_exceeded"
+            assert clone.retryable is True
+
+    def test_attributes_survive_wire_v1_result_round_trip(self):
+        # Full serialize path: result -> dict -> JSON -> dict -> result.
+        result = OptimizationResult(
+            plan=None,
+            algorithm="goo",
+            elapsed_seconds=0.0,
+            memo_entries=0,
+            cost_evaluations=0,
+            cardinality_estimations=0,
+            error=ErrorInfo(
+                "CircuitOpenError: breaker tripped",
+                code="breaker_open",
+                retryable=True,
+            ),
+        )
+        document = serialize.result_to_dict(result)
+        back = serialize.result_from_dict(json.loads(json.dumps(document)))
+        assert type(back.error) is ErrorInfo
+        assert back.error == "CircuitOpenError: breaker tripped"
+        assert back.error.code == "breaker_open"
+        assert back.error.retryable is True
+
+    def test_executor_style_payload_recovers_code(self):
+        # The process executor ships failures as ("error", type_name,
+        # message) and the parent rebuilds "TypeName: message"; coerce
+        # must recover the typed code from that legacy shape.
+        payload = ("error", "DeadlineExceededError", "item blew its budget")
+        info = ErrorInfo.coerce(f"{payload[1]}: {payload[2]}")
+        assert info.code == "deadline_exceeded"
+        assert info.retryable is True
+
     def test_every_code_has_an_http_status(self):
         from repro.errors import _CODE_BY_EXCEPTION
 
