@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos bench-service bench-batch bench-resilience bench-observability bench-kernel bench-dpconv bench-frontdoor serve-smoke profile verify
+.PHONY: test chaos bench-service bench-batch bench-resilience bench-observability bench-kernel bench-dpconv bench-anytime bench-frontdoor serve-smoke profile verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -48,6 +48,15 @@ bench-kernel:
 bench-dpconv:
 	$(PYTHON) benchmarks/bench_dpconv.py
 
+# Anytime gate: a 50ms-deadline clique-16 must return a *valid*
+# salvaged plan within deadline + 20ms, never costlier than pure GOO,
+# and the cooperative budget checks must cost <= 1% on the kernel's
+# hot loops (geomean over everyday shapes; skipped with a notice when
+# a plain-vs-plain control probe shows the machine cannot resolve 1%).
+# Writes BENCH_anytime.json.
+bench-anytime:
+	$(PYTHON) benchmarks/bench_anytime.py
+
 # Front-door serving gate: warm p99 must stay under the 250ms SLO with
 # zero transport errors.  The 2x 4-shard scaling floor is enforced only
 # on hosts with >= 4 cores (CI passes --require-scaling there).
@@ -65,5 +74,5 @@ serve-smoke:
 profile:
 	$(PYTHON) benchmarks/bench_kernel_speedup.py --profile
 
-verify: test bench-service bench-resilience bench-observability bench-kernel bench-dpconv serve-smoke bench-frontdoor
+verify: test bench-service bench-resilience bench-observability bench-kernel bench-dpconv bench-anytime serve-smoke bench-frontdoor
 	@echo "verify: ok"

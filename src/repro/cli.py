@@ -414,6 +414,29 @@ def _serve_main(argv: List[str]) -> int:
         "shard loads only the entries the hash ring assigns to it)",
     )
     parser.add_argument(
+        "--snapshot",
+        metavar="PATH",
+        help="per-shard plan-cache snapshot base path (shard i writes "
+        "PATH.shard<i>): persisted on graceful shutdown and, with "
+        "--snapshot-interval, periodically; respawned shards re-warm "
+        "from their latest snapshot",
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        type=float,
+        metavar="SECONDS",
+        help="seconds between periodic cache snapshots (requires "
+        "--snapshot; omit to snapshot only on graceful shutdown)",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait up to this long for in-flight "
+        "requests before shutting shards down (default 5)",
+    )
+    parser.add_argument(
         "--replicas",
         type=int,
         default=64,
@@ -441,19 +464,41 @@ def _serve_main(argv: List[str]) -> int:
         deadline_seconds=args.deadline,
         ring_replicas=args.replicas,
         warm_cache_path=args.warm_cache,
+        snapshot_path=args.snapshot,
+        snapshot_interval_seconds=args.snapshot_interval,
+        drain_grace_seconds=args.drain_grace,
         shard_service_kwargs=service_kwargs,
     )
 
     async def run() -> None:
+        import signal
+
         door = FrontDoor(config)
         await door.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without loop signal support
         print(f"listening on {config.host}:{door.port}", flush=True)
+        serving = asyncio.ensure_future(door.serve_forever())
+        stopping = asyncio.ensure_future(stop.wait())
         try:
-            await door.serve_forever()
-        except asyncio.CancelledError:
-            pass
+            await asyncio.wait(
+                {serving, stopping}, return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
-            await door.close()
+            serving.cancel()
+            stopping.cancel()
+            if stop.is_set():
+                # Graceful drain: stop accepting, let in-flight requests
+                # finish within the grace, persist shard caches, exit.
+                print("draining...", flush=True)
+                await door.drain()
+            else:
+                await door.close()
 
     try:
         asyncio.run(run())

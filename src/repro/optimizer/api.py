@@ -201,6 +201,14 @@ class OptimizationRequest:
 
     ``tag`` is an opaque caller correlation id echoed on the result;
     batch callers use it to match responses to submissions.
+
+    ``deadline_seconds`` / ``node_budget`` bound the run cooperatively:
+    engines that advertise ``supports_budget`` (the top-down driver and
+    dpconv) stop cleanly when the budget expires and return a salvaged
+    anytime plan (``details["anytime"]``) instead of the exact optimum.
+    Neither field keys the plan cache — a budget changes *when* the
+    search stops, never what the exact answer is, and salvaged results
+    are never cached as exact.
     """
 
     query: Union[Catalog, QueryInstance, QueryGraph]
@@ -209,6 +217,8 @@ class OptimizationRequest:
     enable_pruning: bool = False
     allow_cross_products: bool = False
     tag: Optional[str] = None
+    deadline_seconds: Optional[float] = None
+    node_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.query, (Catalog, QueryInstance, QueryGraph)):
@@ -218,6 +228,16 @@ class OptimizationRequest:
         if not isinstance(self.algorithm, str):
             raise OptimizationError(
                 f"algorithm must be a registry name, got {self.algorithm!r}"
+            )
+        if self.deadline_seconds is not None and not self.deadline_seconds > 0:
+            raise OptimizationError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds!r}"
+            )
+        if self.node_budget is not None and (
+            not isinstance(self.node_budget, int) or self.node_budget < 1
+        ):
+            raise OptimizationError(
+                f"node_budget must be a positive int, got {self.node_budget!r}"
             )
 
     def resolved_catalog(self) -> Catalog:
@@ -461,10 +481,28 @@ def optimize_request(request: OptimizationRequest) -> OptimizationResult:
         cost_model=request.cost_model,
         enable_pruning=request.enable_pruning,
     )
+    details: Dict[str, object] = {}
+    if request.deadline_seconds is not None or request.node_budget is not None:
+        if getattr(optimizer, "supports_budget", False):
+            # The budget is anchored here, in the process actually doing
+            # the enumeration — a deadline shipped across an executor
+            # wire starts counting when the worker starts working, and
+            # infrastructure latency is absorbed by the caller's grace
+            # period instead of eating into the search.
+            from repro.optimizer.budget import Budget
+
+            optimizer.budget = Budget(
+                deadline_seconds=request.deadline_seconds,
+                node_cap=request.node_budget,
+            )
+        else:
+            # Engines without cooperative support (the bottom-up
+            # enumerators) run to completion; record that the bound was
+            # requested but not enforced.
+            details["budget_unsupported"] = 1
     plan = optimizer.optimize()
     elapsed = time.perf_counter() - started
     builder = optimizer.builder
-    details: Dict[str, int] = {}
     partitioner = getattr(optimizer, "partitioner", None)
     if partitioner is not None:
         details["ccps_emitted"] = partitioner.stats.emitted
@@ -477,6 +515,15 @@ def optimize_request(request: OptimizationRequest) -> OptimizationResult:
         # paper-faithful recursive driver); flows into the service's
         # `enumerate` trace span and kernel metrics unchanged.
         details["kernel"] = kernel
+    if getattr(optimizer, "budget_expired", False):
+        # The plan is a salvaged anytime answer, not the exact optimum:
+        # valid and at most the pure-GOO cost, but callers (and the
+        # service cache) must not treat it as exact.
+        details["anytime"] = 1
+        details["budget_expired"] = 1
+        report = getattr(optimizer, "salvage_report", None)
+        if report is not None:
+            details["salvage"] = report
     return OptimizationResult(
         plan=plan,
         algorithm=request.algorithm,

@@ -52,6 +52,7 @@ from repro.catalog.statistics import Catalog
 from repro.cost.base import CostModel
 from repro.cost.cout import CoutCostModel
 from repro.errors import DisconnectedGraphError, OptimizationError
+from repro.optimizer.budget import Budget, BudgetExpired
 from repro.plan.builder import PlanBuilder
 from repro.plan.jointree import JoinTree
 
@@ -88,11 +89,17 @@ class DPconvPlanGenerator:
 
     name = "dpconv"
 
+    #: Deadlines thread into this engine cooperatively (see
+    #: :mod:`repro.optimizer.budget`); expiry salvages the settled
+    #: layers instead of discarding them.
+    supports_budget = True
+
     def __init__(
         self,
         catalog: Catalog,
         cost_model: Optional[CostModel] = None,
         enable_pruning: bool = False,
+        budget: Optional[Budget] = None,
     ):
         if enable_pruning:
             raise OptimizationError(
@@ -109,6 +116,9 @@ class DPconvPlanGenerator:
                 "is asymmetric (use the top-down driver)"
             )
         self.builder = PlanBuilder(catalog, self.cost_model)
+        self.budget = budget
+        self.budget_expired = False
+        self.salvage_report = None
         self.last_kernel: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -128,8 +138,22 @@ class DPconvPlanGenerator:
             )
         self.last_kernel = "dpconv"
         if graph.n_vertices > 1:
-            self._convolve(full)
+            try:
+                self._convolve(full)
+            except BudgetExpired:
+                self.budget_expired = True
+                return self._salvage(full)
         return self.builder.memo.extract_plan(full)
+
+    def _salvage(self, root_set: int) -> JoinTree:
+        """Complete the settled layers into a valid plan after expiry."""
+        from repro.plan.salvage import salvage_plan
+
+        plan, report = salvage_plan(
+            self.builder.memo, self.catalog, root_set, self.cost_model
+        )
+        self.salvage_report = report
+        return plan
 
     # ------------------------------------------------------------------
 
@@ -191,6 +215,8 @@ class DPconvPlanGenerator:
             best_right[leaf] = entry.best_right
             impl[leaf] = entry.implementation
 
+        budget = self.budget
+        aborted = False
         priced_total = 0
         for s_set in range(3, size):
             low = s_set & -s_set
@@ -210,6 +236,17 @@ class DPconvPlanGenerator:
             if reach != s_set:
                 continue
             conn[s_set] = 1
+            if budget is not None:
+                try:
+                    # One node expansion per connected set about to be
+                    # settled; a single set's submask scan is bounded
+                    # (2^(|S|-1) tight iterations), so checking between
+                    # sets bounds deadline overshoot to one scan.
+                    budget.charge()
+                except BudgetExpired:
+                    conn[s_set] = 0  # the in-flight set never settled
+                    aborted = True
+                    break
 
             if cout_fast:
                 # C_out: the local term ``card[S]`` is split-independent,
@@ -289,6 +326,14 @@ class DPconvPlanGenerator:
             for s in range(1, size)
             if conn[s]
         )
+        if aborted:
+            # Sets settle in ascending integer order, so everything
+            # flushed above is final and extractable; mark the root as
+            # unsolved (for the salvage report) and hand control to the
+            # driver's salvage path.
+            if not conn[full]:
+                memo.bulk_load(((full, None, math.inf, 0, 0, None, False),))
+            raise BudgetExpired(budget.reason or "budget expired")
 
     # ------------------------------------------------------------------
 

@@ -54,9 +54,43 @@ from __future__ import annotations
 
 import math
 
+from repro import bitset
 from repro.cost.cout import CoutCostModel
+from repro.optimizer.budget import BudgetExpired
 
 __all__ = ["run_fast_kernel"]
+
+#: Sets at or above this popcount route their ccp emission through the
+#: budget-checking wrapper: a single ``partitions_into`` call on such a
+#: set can emit thousands of ccps (2^(k-1) on a clique), long enough to
+#: blow through a tens-of-milliseconds deadline unchecked.  Smaller sets
+#: keep the raw pricing callback, so the cooperative-check overhead on
+#: typical workloads stays within the ≤1% benchmark gate.
+_EMIT_CHECK_POPCOUNT = 13
+
+#: Clock-read stride inside the checking wrapper: bounds deadline
+#: overshoot to a few hundred emissions without a ``monotonic()`` call
+#: per ccp.
+_EMIT_CHECK_STRIDE = 256
+
+#: Node-expansion charging stride: expansions are batched into one
+#: ``Budget.charge(n)`` call so the per-expansion cost is a local
+#: decrement instead of a Python call plus a clock read.  Chunks are
+#: sized to land exactly on any node cap, so cap expiry stays
+#: deterministic at precisely the capped expansion.
+_CHARGE_STRIDE = 32
+
+#: Any set with popcount >= _EMIT_CHECK_POPCOUNT has integer value
+#: >= 2**_EMIT_CHECK_POPCOUNT - 1; comparing against this floor filters
+#: most sets without calling ``popcount`` at all.
+_EMIT_CHECK_SET_FLOOR = (1 << _EMIT_CHECK_POPCOUNT) - 1
+
+#: C-level population count for the budgeted hot loop (the
+#: ``bitset.popcount`` wrapper costs a Python frame per call).
+try:
+    _bit_count = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover — Python 3.9
+    _bit_count = bitset.popcount
 
 
 def run_fast_kernel(driver, root_set: int) -> None:
@@ -162,6 +196,39 @@ def run_fast_kernel(driver, root_set: int) -> None:
             scheduled.add(right_set)
             children_append(right_set)
 
+    budget = getattr(driver, "budget", None)
+    if budget is not None:
+
+        def _next_chunk(budget):
+            # Size the next charging chunk so a node cap is hit exactly
+            # at its capped expansion, never overshot by the stride.
+            if budget.node_cap is None:
+                return _CHARGE_STRIDE
+            return max(1, min(_CHARGE_STRIDE, budget.node_cap - budget.nodes))
+
+        charge_chunk = charge_countdown = _next_chunk(budget)
+        emit_countdown = _EMIT_CHECK_STRIDE
+        # Subsets of root_set are numerically <= root_set, so when the
+        # whole query is too small to ever reach the routing popcount
+        # the floor is set unreachable and the hot-loop routing test
+        # collapses to one always-false integer comparison.
+        if bitset.popcount(root_set) >= _EMIT_CHECK_POPCOUNT:
+            emit_floor = _EMIT_CHECK_SET_FLOOR
+        else:
+            emit_floor = root_set + 1
+        emit_popcount = _EMIT_CHECK_POPCOUNT
+
+        def emit_checked(left_set, right_set):
+            # Same pricing callback, plus a strided deadline check —
+            # selected only for large sets, where one partitioning call
+            # emits enough ccps to matter against the deadline.
+            nonlocal emit_countdown
+            emit_countdown -= 1
+            if not emit_countdown:
+                emit_countdown = _EMIT_CHECK_STRIDE
+                budget.check()
+            emit(left_set, right_set)
+
     # ---- iterative TDPGSUB -----------------------------------------
     # Stack entries: (S, None, 0, inf, 0, 0, None) = explore S;
     # (S, pairs, card, cost, left, right, impl) = finish S, resuming
@@ -173,6 +240,8 @@ def run_fast_kernel(driver, root_set: int) -> None:
     partitions_into = driver.partitioner.partitions_into
     stats = driver.partitioner.stats
     emitted_before = stats.emitted
+    bit_count = _bit_count
+    aborted = False
     stack = [(root_set, None, None, inf, 0, 0, None)]
     stack_pop = stack.pop
     stack_append = stack.append
@@ -222,7 +291,35 @@ def run_fast_kernel(driver, root_set: int) -> None:
         children = []
         children_append = children.append
         scheduled = set()
-        partitions_into(s_set, emit)
+        if budget is None:
+            partitions_into(s_set, emit)
+        else:
+            try:
+                charge_countdown -= 1
+                if not charge_countdown:
+                    budget.charge(charge_chunk)
+                    charge_chunk = charge_countdown = _next_chunk(budget)
+                if s_set >= emit_floor and bit_count(s_set) >= emit_popcount:
+                    emitted_at_call = stats.emitted
+                    partitions_into(s_set, emit_checked)
+                    if (
+                        s_set == root_set
+                        and stats.emitted - emitted_at_call < _EMIT_CHECK_STRIDE
+                    ):
+                        # Popcount over-approximates emission counts on
+                        # sparse graphs (a popcount-15 chain interval
+                        # emits 14 ccps, not 2^14).  The root is the
+                        # largest set and is expanded first: when even it
+                        # emits less than one check stride, no descendant
+                        # can blow through a deadline inside a single
+                        # partitioning call, so the per-emission wrapper
+                        # is disabled for the rest of the run.
+                        emit_floor = root_set + 1
+                else:
+                    partitions_into(s_set, emit)
+            except BudgetExpired:
+                aborted = True
+                break
         if not deferring:
             done[s_set] = (t_card, t_cost)
             best[s_set] = (t_left, t_right, t_impl)
@@ -238,10 +335,26 @@ def run_fast_kernel(driver, root_set: int) -> None:
     # finish), with one join_cost evaluation for symmetric models and
     # two for asymmetric ones — the same per-ccp count the reference
     # driver's build_trees performs, so the counter is derived instead
-    # of incremented on the hot path.
+    # of incremented on the hot path.  On an aborted run the derived
+    # count is an upper bound (deferred pairs of unfinished sets were
+    # emitted but never priced).
     priced = stats.emitted - emitted_before
     builder.cost_evaluations += priced if symmetric else 2 * priced
     memo.bulk_load(
         (s, card, cost) + best[s] + (True,)
         for s, (card, cost) in done.items()
     )
+    if aborted:
+        # Record the unsolved frontier as unexplored placeholders so the
+        # salvage report can state how much of the memo was solved, then
+        # hand control back to the driver's salvage path.  Every best
+        # split in ``done`` references only ``done`` sets, so the flush
+        # above is self-consistent and extractable on its own.
+        unsolved = {s_set}
+        unsolved.update(frame[0] for frame in stack)
+        memo.bulk_load(
+            (s, None, inf, 0, 0, None, False)
+            for s in unsolved
+            if s not in done
+        )
+        raise BudgetExpired(budget.reason or "budget expired")

@@ -28,6 +28,7 @@ from repro.cost.base import CostModel
 from repro.cost.cout import CoutCostModel
 from repro.enumeration.base import PartitioningStrategy
 from repro.errors import DisconnectedGraphError
+from repro.optimizer.budget import Budget, BudgetExpired
 from repro.optimizer.kernel import run_fast_kernel
 from repro.plan.builder import PlanBuilder
 from repro.plan.jointree import JoinTree
@@ -66,9 +67,20 @@ class TopDownPlanGenerator:
         the kernel (still ignored under pruning, which remains on the
         reference path).  Both paths produce bit-identical plans and
         counters; ``last_kernel`` reports which one ran.
+    budget:
+        Optional cooperative :class:`~repro.optimizer.budget.Budget`.
+        When it expires mid-enumeration the run stops cleanly,
+        ``budget_expired`` is set, and :meth:`optimize` returns a
+        salvaged plan (see :mod:`repro.plan.salvage`) instead of the
+        exact optimum; ``salvage_report`` then carries the optimality
+        report.
     """
 
     name = "topdown"
+
+    #: The service layer threads per-request deadlines only into engines
+    #: that advertise cooperative budget support.
+    supports_budget = True
 
     def __init__(
         self,
@@ -77,6 +89,7 @@ class TopDownPlanGenerator:
         cost_model: Optional[CostModel] = None,
         enable_pruning: bool = False,
         use_kernel: Optional[bool] = None,
+        budget: Optional[Budget] = None,
     ):
         self.catalog = catalog
         self.graph = catalog.graph
@@ -85,6 +98,9 @@ class TopDownPlanGenerator:
         self.builder = PlanBuilder(catalog, self.cost_model)
         self.enable_pruning = enable_pruning
         self.use_kernel = use_kernel
+        self.budget = budget
+        self.budget_expired = False
+        self.salvage_report = None
         self.last_kernel: Optional[str] = None
         self.pruned_sets = 0
         self._proven_budget = {}
@@ -114,16 +130,30 @@ class TopDownPlanGenerator:
                 "query graph is disconnected; the cross-product-free search "
                 "space has no solution (join the components explicitly)"
             )
-        if self.enable_pruning:
-            self.last_kernel = "reference"
-            self._tdpg_sub_pruning(all_vertices, self._initial_upper_bound())
-        elif self._kernel_selected():
-            self.last_kernel = "fast"
-            run_fast_kernel(self, all_vertices)
-        else:
-            self.last_kernel = "reference"
-            self._tdpg_sub(all_vertices)
+        try:
+            if self.enable_pruning:
+                self.last_kernel = "reference"
+                self._tdpg_sub_pruning(all_vertices, self._initial_upper_bound())
+            elif self._kernel_selected():
+                self.last_kernel = "fast"
+                run_fast_kernel(self, all_vertices)
+            else:
+                self.last_kernel = "reference"
+                self._tdpg_sub(all_vertices)
+        except BudgetExpired:
+            self.budget_expired = True
+            return self._salvage(all_vertices)
         return self.builder.memo.extract_plan(all_vertices)
+
+    def _salvage(self, root_set: int) -> JoinTree:
+        """Complete the partial memo into a valid plan after budget expiry."""
+        from repro.plan.salvage import salvage_plan
+
+        plan, report = salvage_plan(
+            self.builder.memo, self.catalog, root_set, self.cost_model
+        )
+        self.salvage_report = report
+        return plan
 
     def _initial_upper_bound(self) -> float:
         """Seed the branch-and-bound budget with a greedy plan's cost.
@@ -159,10 +189,19 @@ class TopDownPlanGenerator:
         entry = memo.get_or_create(vertex_set)
         if entry.explored:
             return entry
+        budget = self.budget
+        if budget is not None:
+            budget.charge()
         lookup = memo.lookup
         build = self.builder.build_trees
         recurse = self._tdpg_sub
+        countdown = 256
         for left_set, right_set in self.partitioner.partitions(vertex_set):
+            if budget is not None:
+                countdown -= 1
+                if not countdown:
+                    countdown = 256
+                    budget.check()
             left = lookup(left_set)
             if left is None or not left.explored:
                 recurse(left_set)
@@ -205,7 +244,16 @@ class TopDownPlanGenerator:
             self._proven_budget[vertex_set] = max(proven, budget)
             self.pruned_sets += 1
             return math.inf
+        run_budget = self.budget
+        if run_budget is not None:
+            run_budget.charge()
+        countdown = 256
         for left_set, right_set in self.partitioner.partitions(vertex_set):
+            if run_budget is not None:
+                countdown -= 1
+                if not countdown:
+                    countdown = 256
+                    run_budget.check()
             bound = min(budget, entry.cost)
             join_bound = lower_bound  # local cost of the final join of S
             right_bound = self._cost_lower_bound(right_set)

@@ -465,6 +465,8 @@ def request_to_dict(request) -> Dict[str, Any]:
         "enable_pruning": request.enable_pruning,
         "allow_cross_products": request.allow_cross_products,
         "tag": request.tag,
+        "deadline_seconds": request.deadline_seconds,
+        "node_budget": request.node_budget,
     }
 
 
@@ -505,6 +507,11 @@ def request_from_dict(document: Dict[str, Any]):
         enable_pruning=document.get("enable_pruning", False),
         allow_cross_products=document.get("allow_cross_products", False),
         tag=document.get("tag"),
+        # Cooperative-budget fields arrived after version 1 shipped;
+        # tolerant readers default them off, so old documents (and old
+        # readers seeing new documents) keep working.
+        deadline_seconds=document.get("deadline_seconds"),
+        node_budget=document.get("node_budget"),
     )
 
 

@@ -79,6 +79,7 @@ from repro.optimizer.api import (
     OptimizationRequest,
     OptimizationResult,
     choose_algorithm,
+    make_optimizer,
     optimize_request,
 )
 from repro.plan.jointree import JoinTree
@@ -443,6 +444,16 @@ class OptimizerService:
             fast_exact=(
                 not result.cache_hit and bool(result.details.get("fast_exact"))
             ),
+            anytime=(
+                not result.cache_hit and bool(result.details.get("anytime"))
+            ),
+            salvage_fraction=(
+                None
+                if result.cache_hit
+                else (result.details.get("salvage") or {}).get(
+                    "memo_solved_fraction"
+                )
+            ),
             kernel=None if result.cache_hit else result.details.get("kernel"),
         )
         result.trace_id = trace.trace_id
@@ -588,10 +599,55 @@ class OptimizerService:
                     )
                 ):
                     return ("dpconv", "over_budget", extra)
+                # Anytime rung: instead of jumping straight to a
+                # heuristic, run the requested exact engine under a
+                # cooperative deadline — it either finishes (exact answer
+                # after all) or salvages the partial memo into a plan
+                # that is never worse than pure GOO.  Only engines that
+                # advertise cooperative budgets qualify; anything else
+                # would ignore the deadline and run to completion.
+                if (
+                    cfg.anytime_enabled
+                    and self._anytime_deadline(job) is not None
+                    and self._budget_capable(job)
+                ):
+                    return ("anytime", "over_budget", extra)
                 return (heuristic_rung_for(graph), "over_budget", extra)
         if not self.breaker.allow(job.effective):
             return (heuristic_rung_for(graph), "breaker_open", {})
         return None
+
+    def _anytime_deadline(self, job: _PreparedJob) -> Optional[float]:
+        """Resolve the deadline an anytime run would use, or None.
+
+        A request that carries its own ``deadline_seconds`` keeps it;
+        otherwise the ladder applies the configured default.  ``None``
+        means no deadline is available and the anytime rung must not be
+        offered (an unbounded "anytime" run is just the exact run that
+        admission already rejected).
+        """
+        if job.run_request.deadline_seconds is not None:
+            return job.run_request.deadline_seconds
+        return self.resilience.anytime_default_deadline_seconds
+
+    def _budget_capable(self, job: _PreparedJob) -> bool:
+        """True when the job's engine honours cooperative budgets.
+
+        Probes the registry factory: construction is O(n) (builder +
+        partitioner setup, no enumeration) and only happens on the rare
+        over-budget admission path.  Plugins that never heard of budgets
+        simply report False and degrade to the heuristics as before.
+        """
+        try:
+            probe = make_optimizer(
+                job.effective,
+                job.catalog,
+                cost_model=job.run_request.cost_model,
+                enable_pruning=job.run_request.enable_pruning,
+            )
+        except ReproError:
+            return False
+        return bool(getattr(probe, "supports_budget", False))
 
     def _run_degraded(
         self, job: _PreparedJob, rung: str, reason: str, extra: Dict
@@ -612,8 +668,59 @@ class OptimizerService:
         rung failure is wrapped in the reason's typed error so callers
         can tell "the ladder had nothing for this query" apart from
         ordinary optimization failures.
+
+        The ``anytime`` rung runs the requested exact engine under a
+        cooperative deadline.  If the engine finishes inside the budget
+        the answer is the exact optimum and is cached like any exact
+        result; if the budget expires the salvaged plan is returned with
+        ``rung == "anytime"`` and is **never** cached (the cache
+        promises the exact optimum).  If the anytime run itself fails,
+        the request falls through to the heuristics.
         """
         started = time.perf_counter()
+        if rung == "anytime":
+            deadline = self._anytime_deadline(job)
+            try:
+                result = optimize_request(
+                    replace(job.run_request, deadline_seconds=deadline)
+                )
+            except ReproError:
+                rung = heuristic_rung_for(job.catalog.graph)
+            else:
+                result.elapsed_seconds = time.perf_counter() - started
+                if result.details.get("anytime"):
+                    # Salvaged: a valid plan, at most the pure-GOO cost,
+                    # but not the exact optimum — do not cache.
+                    details = dict(result.details)
+                    details.update(
+                        {
+                            "degraded": 1,
+                            "rung": "anytime",
+                            "degrade_reason": reason,
+                            "anytime_deadline_seconds": deadline,
+                        }
+                    )
+                    details.update(extra)
+                    result.details = details
+                    result.algorithm = job.request.algorithm
+                    result.tag = job.request.tag
+                    return result
+                # The engine beat the deadline: this is the exact
+                # optimum, served and cached exactly like the fast-exact
+                # rung (only the provenance stamp differs).
+                self._store(job, result)
+                details = dict(result.details)
+                details.update(
+                    {
+                        "fast_exact": 1,
+                        "rung": "anytime",
+                        "degrade_reason": reason,
+                        "anytime_deadline_seconds": deadline,
+                    }
+                )
+                details.update(extra)
+                result.details = details
+                return result
         if rung == "dpconv":
             try:
                 result = optimize_request(
@@ -706,8 +813,15 @@ class OptimizerService:
             raise
         if cancelled is None or not cancelled():
             self.breaker.record_success(job.effective)
-            with trace.span("store"):
-                self._store(job, result)
+            if result.details.get("anytime"):
+                # The request's own budget expired mid-run: the salvaged
+                # plan is valid but not the exact optimum the cache
+                # promises — stamp the service fields and skip the store.
+                result.algorithm = job.request.algorithm
+                result.tag = job.request.tag
+            else:
+                with trace.span("store"):
+                    self._store(job, result)
         return result, job.effective
 
     # ------------------------------------------------------------------
@@ -865,6 +979,17 @@ class OptimizerService:
                     not result.cache_hit
                     and bool(result.details.get("fast_exact"))
                 ),
+                anytime=(
+                    not result.cache_hit
+                    and bool(result.details.get("anytime"))
+                ),
+                salvage_fraction=(
+                    None
+                    if result.cache_hit
+                    else (result.details.get("salvage") or {}).get(
+                        "memo_solved_fraction"
+                    )
+                ),
                 kernel=(
                     None if result.cache_hit else result.details.get("kernel")
                 ),
@@ -1013,14 +1138,32 @@ class OptimizerService:
                     result.elapsed_seconds,
                     degraded=bool(result.details.get("degraded")),
                     fast_exact=bool(result.details.get("fast_exact")),
+                    anytime=bool(result.details.get("anytime")),
+                    salvage_fraction=(result.details.get("salvage") or {}).get(
+                        "memo_solved_fraction"
+                    ),
                     kernel=result.details.get("kernel"),
                 )
                 result.trace_id = trace.trace_id
                 self.tracer.finish(trace, algorithm=job.effective)
                 slots[index] = result
                 continue
+            run_request = job.run_request
+            if deadline_seconds is not None and self._budget_capable(job):
+                # Ship the batch deadline to the worker so its engine
+                # stops cooperatively and salvages instead of being
+                # hard-killed; the executor only escalates to terminate
+                # if the worker misses the grace period on top.
+                budget_deadline = deadline_seconds
+                if run_request.deadline_seconds is not None:
+                    budget_deadline = min(
+                        budget_deadline, run_request.deadline_seconds
+                    )
+                run_request = replace(
+                    run_request, deadline_seconds=budget_deadline
+                )
             try:
-                document = request_to_dict(job.run_request)
+                document = request_to_dict(run_request)
             except Exception as exc:
                 elapsed = time.perf_counter() - started
                 # The breaker admitted this job (possibly as a half-open
@@ -1071,13 +1214,34 @@ class OptimizerService:
                 trace.set_root("retries", outcome.retries)
             if outcome.status == "ok":
                 result = result_from_dict(outcome.document)
-                with trace.span("store"):
-                    self._store(job, result)
+                anytime = bool(result.details.get("anytime"))
+                if anytime:
+                    # The worker's budget expired and it salvaged: a
+                    # valid plan, but not the exact optimum the cache
+                    # promises — stamp the service fields, skip the
+                    # store.  Without cooperation this item would have
+                    # been a hard-killed timeout.
+                    result.algorithm = job.request.algorithm
+                    result.tag = job.request.tag
+                else:
+                    with trace.span("store"):
+                        self._store(job, result)
                 self.breaker.record_success(job.effective)
                 self.metrics.observe(
                     job.effective,
                     outcome.elapsed_seconds,
                     cache_hit=False,
+                    anytime=anytime,
+                    hard_kill_avoided=(
+                        anytime and deadline_seconds is not None
+                    ),
+                    salvage_fraction=(
+                        (result.details.get("salvage") or {}).get(
+                            "memo_solved_fraction"
+                        )
+                        if anytime
+                        else None
+                    ),
                     retries=outcome.retries,
                     kernel=result.details.get("kernel"),
                 )

@@ -18,6 +18,13 @@ Design notes:
   its own (OOM kill, segfault) is detected via EOF and likewise
   replaced.  Either way the batch finishes; a single pathological query
   can no longer stall it.
+* A job that carries its own cooperative ``deadline_seconds`` (see
+  :mod:`repro.optimizer.budget`) is expected to stop **itself**: the
+  worker's engine salvages a partial-memo plan at the deadline and
+  reports it as an ordinary ``"ok"``.  The parent grants such jobs a
+  ``cooperative_grace`` on top of the pool deadline and only escalates
+  terminate → kill when the worker misses it — hard kills become the
+  exception, not the enforcement mechanism.
 * **Transient failures are retried**: with a :class:`~repro.service.resilience.RetryPolicy`
   installed, a crash, pipe EOF, or corrupted payload re-queues the item
   with exponential backoff + deterministic jitter, up to the policy's
@@ -66,6 +73,12 @@ EXECUTORS = ("serial", "thread", "process")
 #: How long (seconds) to wait for a worker to exit politely before
 #: escalating terminate → kill during shutdown/recycling.
 _JOIN_GRACE = 5.0
+
+#: Default extra wall-clock (seconds) granted past the pool deadline to
+#: jobs that carry a cooperative ``deadline_seconds`` of their own — the
+#: engine stops itself at the deadline; the grace only covers salvage
+#: and serialization before the parent assumes the worker is hung.
+_COOPERATIVE_GRACE = 1.0
 
 
 @dataclass
@@ -255,6 +268,12 @@ class ProcessPoolExecutor:
         Per-item wall-clock budget measured from dispatch.  ``None``
         disables enforcement.  An expired item's worker is terminated and
         replaced; the item resolves to a ``"timeout"`` outcome.
+    cooperative_grace:
+        Extra seconds granted past ``deadline_seconds`` to jobs whose
+        request document carries its own ``deadline_seconds`` (a
+        cooperative engine budget): those workers stop themselves and
+        return a salvaged result, so the parent hard-kills only when the
+        grace is also missed.  ``0`` restores unconditional enforcement.
     start_method:
         ``multiprocessing`` start method (``None`` = platform default,
         i.e. ``fork`` on Linux so registered plugins carry over).
@@ -284,6 +303,7 @@ class ProcessPoolExecutor:
         retry_policy=None,
         retry_budget=None,
         fault_injector=None,
+        cooperative_grace: float = _COOPERATIVE_GRACE,
     ):
         if workers < 1:
             raise OptimizationError(
@@ -293,8 +313,13 @@ class ProcessPoolExecutor:
             raise OptimizationError(
                 f"deadline_seconds must be positive, got {deadline_seconds}"
             )
+        if cooperative_grace < 0:
+            raise OptimizationError(
+                f"cooperative_grace must be >= 0, got {cooperative_grace}"
+            )
         self.workers = workers
         self.deadline_seconds = deadline_seconds
+        self.cooperative_grace = cooperative_grace
         self.retry_policy = retry_policy
         self.retry_budget = retry_budget
         self.fault_injector = fault_injector
@@ -416,7 +441,7 @@ class ProcessPoolExecutor:
                     idle.append(worker)
                 if self.deadline_seconds is not None:
                     for worker in list(busy):
-                        if worker.elapsed() >= self.deadline_seconds:
+                        if worker.elapsed() >= self._hard_deadline(worker):
                             outcomes[worker.busy_index] = JobOutcome(
                                 status="timeout",
                                 elapsed_seconds=worker.elapsed(),
@@ -431,6 +456,24 @@ class ProcessPoolExecutor:
         return outcomes
 
     # ------------------------------------------------------------------
+
+    def _hard_deadline(self, worker: _Worker) -> float:
+        """Wall-clock bound after which this worker's job is forcibly reaped.
+
+        Jobs shipping a cooperative engine budget get the grace period on
+        top of the pool deadline — the engine stops itself at its own
+        deadline, so reaching the hard bound means the worker is actually
+        hung (or the engine ignored its budget) and terminate → kill is
+        the right call.
+        """
+        document = worker.busy_document
+        if (
+            self.cooperative_grace
+            and isinstance(document, dict)
+            and document.get("deadline_seconds") is not None
+        ):
+            return self.deadline_seconds + self.cooperative_grace
+        return self.deadline_seconds
 
     def _fault_for(
         self, document: Dict[str, Any], attempt: int
@@ -514,7 +557,7 @@ class ProcessPoolExecutor:
         if self.deadline_seconds is not None and busy:
             candidates.append(
                 min(
-                    self.deadline_seconds - worker.elapsed()
+                    self._hard_deadline(worker) - worker.elapsed()
                     for worker in busy
                 )
             )

@@ -67,9 +67,19 @@ class FrontDoorConfig:
 
     ``quota_rate``/``quota_burst`` express the per-tenant token bucket
     (``None`` rate = quotas off).  ``deadline_seconds`` is the per-request
-    wall budget *including* shard queue time; a shard that blows it is
-    killed and respawned.  ``shard_service_kwargs`` is passed through to
-    each shard's :class:`~repro.service.OptimizerService` constructor.
+    wall budget *including* shard queue time; the remaining budget is
+    shipped to the shard as a cooperative engine deadline, so the shard
+    normally stops itself (salvaging a partial-memo plan) and is only
+    killed and respawned when it also misses ``cooperative_grace_seconds``
+    on top.  ``shard_service_kwargs`` is passed through to each shard's
+    :class:`~repro.service.OptimizerService` constructor.
+
+    ``snapshot_path`` names a per-shard plan-cache snapshot base (shard
+    ``i`` writes ``<path>.shard<i>``): shards persist to it on
+    :meth:`FrontDoor.drain` and — when ``snapshot_interval_seconds`` is
+    set — periodically, and a respawned shard re-warms from its latest
+    snapshot instead of starting cold.  ``drain_grace_seconds`` bounds
+    how long :meth:`FrontDoor.drain` waits for in-flight requests.
     """
 
     host: str = "127.0.0.1"
@@ -79,8 +89,12 @@ class FrontDoorConfig:
     quota_rate: Optional[float] = None
     quota_burst: float = 10.0
     deadline_seconds: Optional[float] = 30.0
+    cooperative_grace_seconds: float = 1.0
     ring_replicas: int = 64
     warm_cache_path: Optional[str] = None
+    snapshot_path: Optional[str] = None
+    snapshot_interval_seconds: Optional[float] = None
+    drain_grace_seconds: float = 5.0
     max_body_bytes: int = 8 * 1024 * 1024
     route_memo_size: int = 4096
     shard_service_kwargs: Dict[str, Any] = field(default_factory=dict)
@@ -103,12 +117,17 @@ class FrontDoor:
             queue_limit=self.config.queue_limit,
             replicas=self.config.ring_replicas,
             warm_cache_path=self.config.warm_cache_path,
+            snapshot_path=self.config.snapshot_path,
+            cooperative_grace=self.config.cooperative_grace_seconds,
         )
         self.quotas = TenantQuotas(
             self.config.quota_rate, self.config.quota_burst
         )
         self._route_memo: "OrderedDict[str, int]" = OrderedDict()
         self._server: Optional[asyncio.AbstractServer] = None
+        self._snapshot_task: Optional[asyncio.Task] = None
+        self._draining = False
+        self._inflight = 0
         self.port: Optional[int] = None
         # Front-door-level counters (shard metrics live in the shards).
         self.requests_total: Dict[str, int] = {}
@@ -125,11 +144,74 @@ class FrontDoor:
             self._handle_client, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if (
+            self.config.snapshot_path
+            and self.config.snapshot_interval_seconds
+        ):
+            self._snapshot_task = asyncio.get_running_loop().create_task(
+                self._snapshot_loop(), name="repro-frontdoor-snapshot"
+            )
 
     async def serve_forever(self) -> None:
         await self._server.serve_forever()
 
+    async def _snapshot_loop(self) -> None:
+        """Periodically persist every shard's cache to its snapshot file.
+
+        Keeps the re-warm snapshot fresh so a recycled shard comes back
+        with (almost) the cache its predecessor had, instead of only
+        whatever the startup warm file held.
+        """
+        interval = self.config.snapshot_interval_seconds
+        while True:
+            await asyncio.sleep(interval)
+            await self.shards.snapshot_all()
+
+    async def drain(self, grace_seconds: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, persist.
+
+        New connections are refused and new requests on live keep-alive
+        connections get 503; requests already accepted (or queued on a
+        shard) are given up to ``grace_seconds`` (default: the config's
+        ``drain_grace_seconds``) to finish.  Shard caches are then
+        persisted to their snapshot files (when ``snapshot_path`` is
+        configured) before the shards are shut down, so the next start —
+        or a supervisor's immediate restart — warms from today's plans.
+        Idempotent: a second call just waits for the first shutdown.
+        """
+        self._draining = True
+        if grace_seconds is None:
+            grace_seconds = self.config.drain_grace_seconds
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, grace_seconds)
+        while loop.time() < deadline and (
+            self._inflight
+            or any(client.queue_depth for client in self.shards.clients)
+        ):
+            await asyncio.sleep(0.05)
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            try:
+                await self._snapshot_task
+            except asyncio.CancelledError:
+                pass
+            self._snapshot_task = None
+        if self.config.snapshot_path:
+            await self.shards.snapshot_all()
+        await self.shards.close()
+
     async def close(self) -> None:
+        if self._snapshot_task is not None:
+            self._snapshot_task.cancel()
+            try:
+                await self._snapshot_task
+            except asyncio.CancelledError:
+                pass
+            self._snapshot_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -241,6 +323,21 @@ class FrontDoor:
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, bytes, str, Optional[List[Tuple[str, str]]]]:
         path = path.split("?", 1)[0]
+        if self._draining and path != "/v1/healthz":
+            # Keep-alive connections opened before the drain can still
+            # deliver requests after the listener closed; refuse them so
+            # the grace period only has to cover work already admitted.
+            self._reject("draining")
+            return (
+                503,
+                _error_body(
+                    "draining",
+                    "server is draining for shutdown",
+                    retryable=True,
+                ),
+                "application/json",
+                [("Retry-After", "1")],
+            )
         routes = {
             "/v1/optimize": ("POST", self._handle_optimize),
             "/v1/optimize_batch": ("POST", self._handle_optimize_batch),
@@ -268,7 +365,11 @@ class FrontDoor:
                 [("Allow", expected_method)],
             )
         self.requests_total[path] = self.requests_total.get(path, 0) + 1
-        return await handler(body)
+        self._inflight += 1
+        try:
+            return await handler(body)
+        finally:
+            self._inflight -= 1
 
     def _route(self, request_document: Dict[str, Any]) -> int:
         """Resolve a request sub-document to its owning shard index.
@@ -546,6 +647,7 @@ class FrontDoor:
                 "alive": client.alive,
                 "queue_depth": client.queue_depth,
                 "restarts": client.restarts,
+                "hard_kills_avoided": client.hard_kills_avoided,
             }
             try:
                 future = client.submit({"op": "stats"}, deadline_seconds=5.0)
@@ -587,13 +689,14 @@ class FrontDoor:
                 "alive": client.alive,
                 "queue_depth": client.queue_depth,
                 "restarts": client.restarts,
+                "hard_kills_avoided": client.hard_kills_avoided,
             }
             for client in self.shards.clients
         ]
         reply = {
             "version": WIRE_VERSION,
             "kind": "healthz_reply",
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
             "shards": shards,
         }
         return (
@@ -705,6 +808,17 @@ class FrontDoor:
             lines.append(
                 f'repro_frontdoor_shard_restarts_total{{shard="{client.index}"}} '
                 f"{client.restarts}"
+            )
+        lines += [
+            "# HELP repro_frontdoor_shard_hard_kills_avoided_total "
+            "Deadline-busting requests a shard resolved cooperatively "
+            "(salvage inside the grace) instead of being recycled.",
+            "# TYPE repro_frontdoor_shard_hard_kills_avoided_total counter",
+        ]
+        for client in self.shards.clients:
+            lines.append(
+                "repro_frontdoor_shard_hard_kills_avoided_total"
+                f'{{shard="{client.index}"}} {client.hard_kills_avoided}'
             )
         return "\n".join(lines) + "\n"
 

@@ -53,6 +53,13 @@ class LatencyHistogram:
         """Total observations ever recorded."""
         return self._count
 
+    @property
+    def mean(self) -> Optional[float]:
+        """Lifetime mean observation, or None when empty."""
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
     def percentile(self, p: float) -> Optional[float]:
         """Nearest-rank percentile over the retained window, in seconds."""
         if not self._samples:
@@ -103,12 +110,17 @@ class ServiceMetrics:
             "fallbacks": 0,
             "degraded": 0,
             "fast_exact": 0,
+            "anytime": 0,
+            "hard_kills_avoided": 0,
             "retries": 0,
             "kernel_fast": 0,
             "kernel_reference": 0,
             "kernel_dpconv": 0,
         }
         self._algorithms: Dict[str, Dict] = {}
+        # Fraction of the memo each salvaged anytime answer had solved
+        # exactly when its budget expired (0 = pure GOO, 1 = finished).
+        self._salvage = LatencyHistogram(max_samples)
 
     def _algorithm_slot(self, algorithm: str) -> Dict:
         slot = self._algorithms.get(algorithm)
@@ -121,6 +133,7 @@ class ServiceMetrics:
                 "fallbacks": 0,
                 "degraded": 0,
                 "fast_exact": 0,
+                "anytime": 0,
                 "retries": 0,
                 "kernel_fast": 0,
                 "kernel_reference": 0,
@@ -140,6 +153,9 @@ class ServiceMetrics:
         fallback: bool = False,
         degraded: bool = False,
         fast_exact: bool = False,
+        anytime: bool = False,
+        hard_kill_avoided: bool = False,
+        salvage_fraction: Optional[float] = None,
         retries: int = 0,
         kernel: Optional[str] = None,
     ) -> None:
@@ -153,7 +169,14 @@ class ServiceMetrics:
         (admission budget or open breaker); ``fast_exact`` marks one
         served the exact optimum by the dpconv fast-exact rung instead
         of the over-budget enumerator — mutually exclusive with
-        ``degraded`` by construction.  ``retries`` adds the extra worker
+        ``degraded`` by construction.  ``anytime`` marks a request served
+        a *salvaged* plan by a cooperative-budget run that hit its
+        deadline (valid, at most the pure-GOO cost, not exact);
+        ``hard_kill_avoided`` marks a process-batch item whose worker
+        cooperated with its deadline instead of being terminated and
+        replaced; ``salvage_fraction`` records the fraction of the memo
+        the salvaged answer had solved exactly (feeds the
+        salvage-fraction histogram).  ``retries`` adds the extra worker
         attempts this request consumed.  ``kernel`` (``"fast"``,
         ``"reference"``, or ``"dpconv"``) records which enumeration
         engine a fresh optimization ran on; pass None for cache hits,
@@ -176,6 +199,13 @@ class ServiceMetrics:
             if fast_exact:
                 self._totals["fast_exact"] += 1
                 slot["fast_exact"] += 1
+            if anytime:
+                self._totals["anytime"] += 1
+                slot["anytime"] += 1
+            if hard_kill_avoided:
+                self._totals["hard_kills_avoided"] += 1
+            if salvage_fraction is not None:
+                self._salvage.record(float(salvage_fraction))
             if retries:
                 self._totals["retries"] += retries
                 slot["retries"] += retries
@@ -202,6 +232,12 @@ class ServiceMetrics:
         with self._lock:
             return {
                 "totals": dict(self._totals),
+                "salvage_fraction": {
+                    "count": self._salvage.count,
+                    "mean": self._salvage.mean,
+                    "p50": self._salvage.percentile(50),
+                    "p95": self._salvage.percentile(95),
+                },
                 "algorithms": {
                     name: {
                         "count": slot["count"],
@@ -211,6 +247,7 @@ class ServiceMetrics:
                         "fallbacks": slot["fallbacks"],
                         "degraded": slot["degraded"],
                         "fast_exact": slot["fast_exact"],
+                        "anytime": slot["anytime"],
                         "retries": slot["retries"],
                         "kernel_fast": slot["kernel_fast"],
                         "kernel_reference": slot["kernel_reference"],
@@ -227,6 +264,7 @@ class ServiceMetrics:
             for key in self._totals:
                 self._totals[key] = 0
             self._algorithms.clear()
+            self._salvage = LatencyHistogram(self._max_samples)
 
 
 # ----------------------------------------------------------------------
@@ -292,6 +330,8 @@ def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
         "fallbacks": "Requests served a heuristic fallback plan.",
         "degraded": "Requests served a heuristic plan from a degradation-ladder rung.",
         "fast_exact": "Over-budget requests served the exact optimum by the dpconv rung.",
+        "anytime": "Requests served a salvaged plan by an expired cooperative budget.",
+        "hard_kills_avoided": "Deadline workers that cooperated instead of being killed.",
         "retries": "Extra worker attempts consumed by retries.",
         "kernel_fast": "Fresh optimizations run on the fast enumeration kernel.",
         "kernel_reference": "Fresh optimizations run on the reference driver.",
@@ -317,6 +357,22 @@ def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
             name = f"{prefix}_plan_cache_{key}{suffix}"
             family(name, kind, f"Plan cache {key.replace('_', ' ')}.")
             sample(name, cache[key])
+
+    salvage = snapshot.get("salvage_fraction")
+    if salvage and salvage.get("count"):
+        name = f"{prefix}_salvage_fraction"
+        family(
+            name,
+            "summary",
+            "Fraction of the memo solved exactly when an anytime budget expired.",
+        )
+        for quantile, key in (("0.5", "p50"), ("0.95", "p95")):
+            if salvage.get(key) is not None:
+                sample(name, salvage[key], {"quantile": quantile})
+        mean = salvage.get("mean")
+        if mean is not None:
+            sample(f"{name}_sum", mean * salvage["count"])
+        sample(f"{name}_count", salvage["count"])
 
     breaker = snapshot.get("breaker")
     if breaker:
@@ -344,6 +400,7 @@ def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
             ("fallbacks", "fallbacks", "Fallback servings per algorithm."),
             ("degraded", "degraded", "Degraded servings per algorithm."),
             ("fast_exact", "fast_exact", "Fast-exact dpconv servings per algorithm."),
+            ("anytime", "anytime", "Salvaged anytime servings per algorithm."),
             ("retries", "retries", "Retries per algorithm."),
             ("kernel_fast", "kernel_fast", "Fast-kernel optimizations per algorithm."),
             (

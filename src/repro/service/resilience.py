@@ -65,9 +65,12 @@ __all__ = [
 
 #: Degradation ladder, best rung first.  ``exact`` is whatever registry
 #: enumerator the request resolved to; ``dpconv`` is the fast-exact
-#: rung (still the true optimum, cheaper engine); the rest are
+#: rung (still the true optimum, cheaper engine); ``anytime`` runs the
+#: exact engine under a cooperative deadline and salvages the partial
+#: memo into a valid plan at expiry (at worst the GOO plan, often far
+#: better — and exact whenever the search finishes early); the rest are
 #: polynomial-time heuristics with shrinking plan-quality guarantees.
-LADDER_RUNGS = ("exact", "dpconv", "ikkbz", "goo")
+LADDER_RUNGS = ("exact", "dpconv", "anytime", "ikkbz", "goo")
 
 #: Shapes with a Table-I closed form for #ccp.
 _CLOSED_FORM_SHAPES = ("chain", "star", "cycle", "clique")
@@ -114,6 +117,16 @@ class ResilienceConfig:
     #: :func:`repro.optimizer.dpconv.dpconv_split_work`); the default
     #: covers clique-15 (~7.2M) in well under a request deadline.
     dpconv_split_budget: int = 8_000_000
+    #: Over-budget requests that the dpconv rung cannot take run the
+    #: exact engine under a cooperative deadline (the ``anytime`` rung)
+    #: instead of jumping straight to a heuristic; the salvaged plan is
+    #: never worse than the GOO rung.  Disable to restore the pre-anytime
+    #: ladder.
+    anytime_enabled: bool = True
+    #: Deadline for the anytime rung when the request itself carries
+    #: none.  ``None`` means requests without a deadline skip the rung
+    #: (an unbounded "anytime" run is just the exact rung).
+    anytime_default_deadline_seconds: Optional[float] = 0.25
 
     def __post_init__(self) -> None:
         if self.max_ccp_budget is not None and self.max_ccp_budget < 1:
@@ -146,6 +159,14 @@ class ResilienceConfig:
             raise OptimizationError(
                 "dpconv_split_budget must be >= 0, "
                 f"got {self.dpconv_split_budget}"
+            )
+        if (
+            self.anytime_default_deadline_seconds is not None
+            and not self.anytime_default_deadline_seconds > 0
+        ):
+            raise OptimizationError(
+                "anytime_default_deadline_seconds must be > 0 or None, "
+                f"got {self.anytime_default_deadline_seconds}"
             )
 
     def retry_policy(self) -> Optional["RetryPolicy"]:
@@ -327,6 +348,11 @@ def run_rung(
         from repro.heuristics.goo import greedy_operator_ordering
 
         return greedy_operator_ordering(catalog), "goo"
+    if rung == "anytime":
+        raise AdmissionError(
+            "the anytime rung is a deadline-scoped exact run; the service "
+            "core executes it through optimize_request, not run_rung"
+        )
     raise AdmissionError(
         f"unknown degradation rung {rung!r}; expected one of "
         f"{LADDER_RUNGS[1:]}"

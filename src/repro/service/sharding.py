@@ -18,8 +18,13 @@ breaker state.  This module holds the pieces that make that work:
   ``optimize``/``stats``/``ping``/``save_cache`` ops over a pipe.
 * :class:`ShardClient` / :class:`ShardPool` — the asyncio parent side:
   a bounded queue per shard (backpressure -> HTTP 429 upstream), one
-  in-flight op at a time per pipe, deadline enforcement by kill+respawn,
-  and crash detection with automatic respawn that preserves the queue.
+  in-flight op at a time per pipe, cooperative deadlines (the remaining
+  budget is stamped into the optimize request so the shard's engine
+  stops itself and salvages; kill+respawn only fires when the grace on
+  top is also missed), and crash detection with automatic respawn that
+  preserves the queue.  A respawned shard re-warms from the latest
+  ring-filtered snapshot (:meth:`ShardClient.save_snapshot`) when one
+  exists, falling back to the startup snapshot.
 
 Everything here is stdlib-only (``multiprocessing``, ``asyncio``,
 ``hashlib``); the wire status mapping lives in
@@ -74,6 +79,7 @@ HTTP_STATUS_BY_CODE = {
     "admission_rejected": 429,
     "breaker_open": 503,
     "shard_crashed": 503,
+    "draining": 503,
     "deadline_exceeded": 504,
     "optimization_failed": 422,
     "retry_exhausted": 422,
@@ -492,15 +498,20 @@ class ShardClient:
         service_kwargs: Dict[str, Any],
         warm_cache_path: Optional[str] = None,
         queue_limit: int = 16,
+        snapshot_path: Optional[str] = None,
+        cooperative_grace: float = 1.0,
     ):
         self.index = index
         self.shard_count = shard_count
         self.replicas = replicas
         self.service_kwargs = dict(service_kwargs)
         self.warm_cache_path = warm_cache_path
+        self.snapshot_path = snapshot_path
+        self.cooperative_grace = cooperative_grace
         self.queue_limit = queue_limit
         self.restarts = 0
         self.completed = 0
+        self.hard_kills_avoided = 0
         self.process = None
         self._conn = None
         self._queue: Optional[asyncio.Queue] = None
@@ -513,6 +524,18 @@ class ShardClient:
 
     # -- process lifecycle ---------------------------------------------
 
+    def _warm_path(self) -> Optional[str]:
+        """Snapshot to warm the next spawn from.
+
+        A snapshot written since startup (periodic task or drain) is
+        fresher than the startup warm file, so a respawned shard
+        re-warms from it — a deadline recycle no longer means starting
+        cold and re-enumerating everything the dead process had cached.
+        """
+        if self.snapshot_path and os.path.exists(self.snapshot_path):
+            return self.snapshot_path
+        return self.warm_cache_path
+
     def _spawn(self) -> None:
         parent_conn, child_conn = self._context.Pipe()
         process = self._context.Process(
@@ -523,7 +546,7 @@ class ShardClient:
                 self.shard_count,
                 self.replicas,
                 self.service_kwargs,
-                self.warm_cache_path,
+                self._warm_path(),
             ),
             daemon=True,
             name=f"repro-shard-{self.index}",
@@ -602,6 +625,26 @@ class ShardClient:
                     retryable=True,
                     request_id=job.get("request_id"),
                 )
+        grace = 0.0
+        if (
+            timeout is not None
+            and self.cooperative_grace > 0
+            and job.get("op") == "optimize"
+            and isinstance(job.get("request"), dict)
+        ):
+            # Cooperative deadline: ship the *remaining* budget to the
+            # shard so its engine stops itself and salvages a partial
+            # plan instead of being killed mid-enumeration.  The grace
+            # on top only covers salvage + reply serialization; a shard
+            # that misses it too is genuinely hung and gets recycled.
+            document = dict(job["request"])
+            own = document.get("deadline_seconds")
+            document["deadline_seconds"] = (
+                timeout if own is None else min(float(own), timeout)
+            )
+            job = dict(job)
+            job["request"] = document
+            grace = self.cooperative_grace
         conn = self._conn
 
         def call():
@@ -613,8 +656,17 @@ class ShardClient:
         # (the thread is stuck in a blocking recv either way); closing
         # the pipe on respawn is what actually unblocks it.
         pipe_future.add_done_callback(_swallow_exception)
+        started = loop.time()
         try:
-            return await asyncio.wait_for(asyncio.shield(pipe_future), timeout)
+            payload = await asyncio.wait_for(
+                asyncio.shield(pipe_future),
+                None if timeout is None else timeout + grace,
+            )
+            if timeout is not None and loop.time() - started > timeout:
+                # The engine cooperated inside the grace window; without
+                # it this would have been a kill + respawn.
+                self.hard_kills_avoided += 1
+            return payload
         except asyncio.TimeoutError:
             self._respawn()
             return self._local_error(
@@ -657,6 +709,30 @@ class ShardClient:
             "cache_hit": False,
             "body": json.dumps(envelope, separators=(",", ":")).encode("utf-8"),
         }
+
+    async def save_snapshot(
+        self, timeout_seconds: float = 10.0
+    ) -> Optional[int]:
+        """Persist this shard's plan cache to its snapshot file.
+
+        Returns the entry count, or ``None`` when no ``snapshot_path``
+        is configured or the shard could not take the op (saturated
+        queue, crash mid-save).  The file this writes is what
+        :meth:`_warm_path` prefers on the next (re)spawn.
+        """
+        if not self.snapshot_path:
+            return None
+        try:
+            future = self.submit(
+                {"op": "save_cache", "path": self.snapshot_path},
+                deadline_seconds=timeout_seconds,
+            )
+        except asyncio.QueueFull:
+            return None
+        payload = await future
+        if payload.get("ok") and "entries" in payload:
+            return int(payload["entries"])
+        return None
 
     async def close(self) -> None:
         """Stop the drain task and terminate the process."""
@@ -703,8 +779,11 @@ class ShardPool:
         queue_limit: int = 16,
         replicas: int = 64,
         warm_cache_path: Optional[str] = None,
+        snapshot_path: Optional[str] = None,
+        cooperative_grace: float = 1.0,
     ):
         self.ring = ConsistentHashRing(shard_count, replicas)
+        self.snapshot_path = snapshot_path
         self.clients = [
             ShardClient(
                 index,
@@ -713,6 +792,14 @@ class ShardPool:
                 service_kwargs,
                 warm_cache_path=warm_cache_path,
                 queue_limit=queue_limit,
+                # Per-shard snapshot files: every shard persists only the
+                # entries it owns, so concurrent saves never clobber each
+                # other; the ring filter on load stays a no-op for the
+                # owner and a guard against stale ring geometry.
+                snapshot_path=(
+                    f"{snapshot_path}.shard{index}" if snapshot_path else None
+                ),
+                cooperative_grace=cooperative_grace,
             )
             for index in range(shard_count)
         ]
@@ -726,6 +813,17 @@ class ShardPool:
 
     def client_for(self, signature: str) -> ShardClient:
         return self.clients[self.ring.owner(signature)]
+
+    async def snapshot_all(self) -> Dict[int, Optional[int]]:
+        """Persist every shard's cache; returns entries saved per shard."""
+        counts = await asyncio.gather(
+            *(client.save_snapshot() for client in self.clients),
+            return_exceptions=True,
+        )
+        return {
+            client.index: (None if isinstance(count, BaseException) else count)
+            for client, count in zip(self.clients, counts)
+        }
 
     async def close(self) -> None:
         await asyncio.gather(

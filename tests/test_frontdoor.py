@@ -485,6 +485,131 @@ class TestObservabilityAndWarming:
         run(warm_start())
 
 
+class TestDrainAndCooperativeDeadlines:
+    def test_draining_door_refuses_work_but_answers_healthz(self):
+        async def body():
+            async with door_on(shards=1) as door:
+                door._draining = True
+                try:
+                    status, headers, reply = await http_request(
+                        door.port, "POST", "/v1/optimize",
+                        envelope(request_document(seed=1, n=5)),
+                    )
+                    assert status == 503
+                    assert reply["error"]["code"] == "draining"
+                    assert headers.get("retry-after") == "1"
+                    status, _, health = await http_request(
+                        door.port, "GET", "/v1/healthz"
+                    )
+                    assert status == 200
+                    assert health["status"] == "draining"
+                finally:
+                    door._draining = False
+
+        run(body())
+
+    def test_drain_persists_shard_caches_for_the_next_boot(self, tmp_path):
+        snapshot_path = str(tmp_path / "cache.json")
+
+        async def first_life():
+            async with door_on(shards=1, snapshot_path=snapshot_path) as door:
+                status, _, reply = await http_request(
+                    door.port, "POST", "/v1/optimize",
+                    envelope(request_document(seed=3, n=6)),
+                )
+                assert status == 200
+                assert reply["result"]["cache_hit"] is False
+                await door.drain(grace_seconds=5.0)
+                # drain() already closed everything; __aexit__'s close()
+                # must be a no-op.
+
+        async def second_life():
+            async with door_on(shards=1, snapshot_path=snapshot_path) as door:
+                status, _, stats = await http_request(
+                    door.port, "GET", "/v1/stats"
+                )
+                assert status == 200
+                assert stats["shards"][0]["warmed_entries"] == 1
+                status, _, reply = await http_request(
+                    door.port, "POST", "/v1/optimize",
+                    envelope(request_document(seed=3, n=6)),
+                )
+                assert status == 200
+                assert reply["result"]["cache_hit"] is True
+
+        run(first_life())
+        assert (tmp_path / "cache.json.shard0").exists()
+        run(second_life())
+
+    def test_respawned_worker_rewarms_from_its_snapshot(self, tmp_path):
+        snapshot_path = str(tmp_path / "cache.json")
+
+        async def body():
+            async with door_on(shards=1, snapshot_path=snapshot_path) as door:
+                client = door.shards.clients[0]
+                document = request_document(seed=5, n=6)
+                status, _, _reply = await http_request(
+                    door.port, "POST", "/v1/optimize", envelope(document)
+                )
+                assert status == 200
+                assert await client.save_snapshot() == 1
+                # Hard-kill the worker; the respawn warms from the
+                # freshest snapshot instead of starting cold.
+                payload = await client.submit(
+                    {"op": "crash"}, deadline_seconds=10.0
+                )
+                assert payload["status"] == 503
+                status, _, reply = await http_request(
+                    door.port, "POST", "/v1/optimize", envelope(document)
+                )
+                assert status == 200
+                assert reply["result"]["cache_hit"] is True
+                assert client.restarts == 1
+                status, _, stats = await http_request(
+                    door.port, "GET", "/v1/stats"
+                )
+                assert status == 200
+                assert stats["shards"][0]["warmed_entries"] == 1
+
+        run(body())
+
+    def test_cooperative_deadline_salvages_instead_of_hard_kill(self):
+        async def body():
+            # Shard deadline of 0.4s on a clique-14: uncooperative
+            # engines would be hard-killed and recycled; the cooperative
+            # top-down engine returns a salvaged anytime plan within the
+            # grace window instead.
+            async with door_on(shards=1, deadline_seconds=0.4) as door:
+                document = request_document(
+                    seed=7, shape="clique", n=14, algorithm="tdmincutbranch"
+                )
+                status, _, reply = await http_request(
+                    door.port, "POST", "/v1/optimize", envelope(document)
+                )
+                assert status == 200
+                details = reply["result"]["details"]
+                assert details["anytime"] == 1
+                assert "salvage" in details
+                client = door.shards.clients[0]
+                assert client.restarts == 0
+                status, _, health = await http_request(
+                    door.port, "GET", "/v1/healthz"
+                )
+                assert status == 200
+                shard = health["shards"][0]
+                assert shard["alive"]
+                assert shard["restarts"] == 0
+                assert shard["hard_kills_avoided"] >= 0
+                status, _, text = await http_request(
+                    door.port, "GET", "/metrics"
+                )
+                assert status == 200
+                exposition = text.decode()
+                assert "repro_frontdoor_shard_hard_kills_avoided_total" in exposition
+
+        run(body())
+
+
 class TestRequestIdTracePropagation:
     def test_request_id_lands_on_the_shard_trace_root(self):
         # Exercised at the worker layer (the trace store lives in the

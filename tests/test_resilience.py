@@ -361,11 +361,14 @@ class TestDegradationLadder:
 
     # The heuristic-rung tests pin an *asymmetric* cost model: with the
     # default symmetric C_out these requests now land on the dpconv
-    # fast-exact rung instead (covered by TestDpconvRung below).
+    # fast-exact rung instead (covered by TestDpconvRung below).  They
+    # also disable the anytime rung, which otherwise intercepts every
+    # over-budget request whose engine supports cooperative budgets
+    # (covered by tests/test_anytime.py).
 
     def test_over_budget_acyclic_degrades_to_ikkbz(self):
         service = OptimizerService(
-            resilience=ResilienceConfig(max_ccp_budget=50)
+            resilience=ResilienceConfig(max_ccp_budget=50, anytime_enabled=False)
         )
         catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
         result = service.optimize(catalog, cost_model=PhysicalCostModel())
@@ -380,7 +383,7 @@ class TestDegradationLadder:
 
     def test_over_budget_cyclic_degrades_to_goo(self):
         service = OptimizerService(
-            resilience=ResilienceConfig(max_ccp_budget=10)
+            resilience=ResilienceConfig(max_ccp_budget=10, anytime_enabled=False)
         )
         catalog = WorkloadGenerator(seed=2).fixed_shape("cycle", 9).catalog
         result = service.optimize(catalog, cost_model=PhysicalCostModel())
@@ -390,7 +393,7 @@ class TestDegradationLadder:
 
     def test_degraded_results_are_not_cached(self):
         service = OptimizerService(
-            resilience=ResilienceConfig(max_ccp_budget=10)
+            resilience=ResilienceConfig(max_ccp_budget=10, anytime_enabled=False)
         )
         catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
         service.optimize(catalog, cost_model=PhysicalCostModel())
@@ -410,7 +413,7 @@ class TestDegradationLadder:
 
     def test_degraded_counter_in_stats(self):
         service = OptimizerService(
-            resilience=ResilienceConfig(max_ccp_budget=10)
+            resilience=ResilienceConfig(max_ccp_budget=10, anytime_enabled=False)
         )
         catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 10).catalog
         service.optimize(catalog, cost_model=PhysicalCostModel())
@@ -453,7 +456,7 @@ class TestDegradationLadder:
 
 class TestDpconvRung:
     def test_ladder_names_dpconv_between_exact_and_ikkbz(self):
-        assert LADDER_RUNGS == ("exact", "dpconv", "ikkbz", "goo")
+        assert LADDER_RUNGS == ("exact", "dpconv", "anytime", "ikkbz", "goo")
 
     def test_symmetric_over_budget_lands_on_dpconv(self):
         service = OptimizerService(
@@ -502,7 +505,7 @@ class TestDpconvRung:
 
     def test_asymmetric_cost_model_skips_dpconv(self):
         service = OptimizerService(
-            resilience=ResilienceConfig(max_ccp_budget=50)
+            resilience=ResilienceConfig(max_ccp_budget=50, anytime_enabled=False)
         )
         catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
         result = service.optimize(catalog, cost_model=PhysicalCostModel())
@@ -511,7 +514,7 @@ class TestDpconvRung:
 
     def test_pruning_request_skips_dpconv(self):
         service = OptimizerService(
-            resilience=ResilienceConfig(max_ccp_budget=50)
+            resilience=ResilienceConfig(max_ccp_budget=50, anytime_enabled=False)
         )
         catalog = WorkloadGenerator(seed=1).fixed_shape("chain", 12).catalog
         result = service.optimize(catalog, enable_pruning=True)
@@ -564,7 +567,9 @@ class TestDpconvRung:
 
     def test_over_budget_beyond_dpconv_cap_falls_to_heuristics(self):
         service = OptimizerService(
-            resilience=ResilienceConfig(max_ccp_budget=10, dpconv_max_n=8)
+            resilience=ResilienceConfig(
+                max_ccp_budget=10, dpconv_max_n=8, anytime_enabled=False
+            )
         )
         catalog = WorkloadGenerator(seed=2).fixed_shape("cycle", 9).catalog
         result = service.optimize(catalog)

@@ -53,6 +53,16 @@ def slow_request(n=13, tag="slow"):
     )
 
 
+def slow_uncooperative_request(n=13, tag="slow"):
+    """A slow request on a bottom-up engine with no cooperative-budget
+    support: the executor's hard kill is the only way to reclaim it.
+    (Top-down engines like ``memoizationbasic`` now honour batch
+    deadlines cooperatively and return salvaged anytime plans instead —
+    see tests/test_anytime.py.)"""
+    instance = WorkloadGenerator(seed=5).fixed_shape("clique", n)
+    return OptimizationRequest(query=instance, algorithm="dpsub", tag=tag)
+
+
 def fast_request(tag="fast"):
     instance = WorkloadGenerator(seed=6).fixed_shape("chain", 5)
     return OptimizationRequest(query=instance, tag=tag)
@@ -128,7 +138,7 @@ class TestDeadlines:
         deadline = 0.4
         started = time.perf_counter()
         results = service.optimize_batch(
-            [fast_request("f0"), slow_request(), fast_request("f1")],
+            [fast_request("f0"), slow_uncooperative_request(), fast_request("f1")],
             workers=2,
             executor="process",
             deadline_seconds=deadline,
@@ -151,7 +161,7 @@ class TestDeadlines:
     def test_process_deadline_fallback_serves_goo_plan(self):
         service = OptimizerService()
         results = service.optimize_batch(
-            [slow_request()],
+            [slow_uncooperative_request()],
             workers=1,
             executor="process",
             deadline_seconds=0.4,
@@ -170,7 +180,7 @@ class TestDeadlines:
     def test_fallback_plans_are_not_cached(self):
         service = OptimizerService()
         service.optimize_batch(
-            [slow_request()],
+            [slow_uncooperative_request()],
             workers=1,
             executor="process",
             deadline_seconds=0.4,
@@ -378,6 +388,6 @@ class TestValidation:
             [slow_request(n=12)], workers=1
         )  # workers<=1 + no explicit executor → legacy serial, no deadline
         assert results[0].ok
-        results = service.optimize_batch([slow_request()], workers=2)
+        results = service.optimize_batch([slow_uncooperative_request()], workers=2)
         assert not results[0].ok
         assert "DeadlineExceededError" in results[0].error
