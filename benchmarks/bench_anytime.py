@@ -232,8 +232,9 @@ def main(argv=None) -> int:
         help="fewer repetitions (CI smoke)",
     )
     parser.add_argument(
-        "--output", default="BENCH_anytime.json",
-        help="where to write the JSON results",
+        "--output", default=None,
+        help="where to write the JSON results (default: "
+        "BENCH_anytime.json in the shared gate-report directory)",
     )
     args = parser.parse_args(argv)
     repeat_override = 2 if args.quick else args.repeat
@@ -312,6 +313,10 @@ def main(argv=None) -> int:
         "skipped": skipped,
         "failures": failures,
     }
+    if args.output is None:
+        from repro.bench.report import bench_output_path
+
+        args.output = bench_output_path("anytime")
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -136,8 +136,9 @@ def main(argv=None) -> int:
         "speedup gate is skipped with a notice",
     )
     parser.add_argument(
-        "--output", default="BENCH_dpconv.json",
-        help="where to write the JSON results",
+        "--output", default=None,
+        help="where to write the JSON results (default: "
+        "BENCH_dpconv.json in the shared gate-report directory)",
     )
     args = parser.parse_args(argv)
 
@@ -187,6 +188,10 @@ def main(argv=None) -> int:
         "skipped": skipped,
         "failures": failures,
     }
+    if args.output is None:
+        from repro.bench.report import bench_output_path
+
+        args.output = bench_output_path("dpconv")
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -17,8 +17,8 @@ the works) in-process and drives it with an asyncio client:
    ``--require-scaling`` (no parallel speedup is physically possible
    on one core).
 
-Writes ``BENCH_frontdoor.json`` next to this file with the measured
-numbers.  Exit status is the gate result, following the conventions of
+Writes ``BENCH_frontdoor.json`` to the shared gate-report directory
+(``repro.bench.report.bench_output_path``) with the measured numbers.  Exit status is the gate result, following the conventions of
 ``bench_batch_parallel.py``.
 
 Run:  python benchmarks/bench_frontdoor_qps.py [--requests 120]
@@ -255,9 +255,9 @@ def main(argv=None) -> int:
         "results": {str(k): v for k, v in results.items()},
         "scaling_4_over_1": scaling,
     }
-    out_path = os.path.join(
-        os.path.dirname(os.path.abspath(__file__)), "BENCH_frontdoor.json"
-    )
+    from repro.bench.report import bench_output_path
+
+    out_path = bench_output_path("frontdoor")
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
     print(f"wrote {out_path}")

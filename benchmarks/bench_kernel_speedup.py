@@ -176,8 +176,9 @@ def main(argv=None) -> int:
         help=f"skip the chain-{DEEP_CHAIN_N} depth regression",
     )
     parser.add_argument(
-        "--output", default="BENCH_kernel.json",
-        help="where to write the JSON results",
+        "--output", default=None,
+        help="where to write the JSON results (default: "
+        "BENCH_kernel.json in the shared gate-report directory)",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -233,6 +234,10 @@ def main(argv=None) -> int:
         "deep_chain": deep_row,
         "failures": failures,
     }
+    if args.output is None:
+        from repro.bench.report import bench_output_path
+
+        args.output = bench_output_path("kernel")
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

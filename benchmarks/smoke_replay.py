@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Replay smoke gate: seeded stream against a live 2-shard front door.
+
+Boots ``python -m repro.cli serve`` (the real production entry point) on
+port 0, replays a small seeded multi-tenant stream through it with
+:mod:`repro.bench.replay`, and asserts the fleet dashboard's core
+contract end-to-end:
+
+* nonzero warm cache hits (replayed queries find their shard's cache)
+* at least one drift-triggered invalidation (the mid-stream stats-epoch
+  bump changed signatures, orphaning cached plans)
+* zero stale-plan serves across the drift boundary (the stats-epoch
+  cache-key fix holds over the wire, not just in-process)
+* every registered figure renders without error, and ``REPLAY.json``
+  parses back with the totals the events imply
+
+Runs in well under a minute.  Used by ``make replay-smoke`` (part of
+``make verify``) and CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+
+SERVE_ARGS = [
+    sys.executable,
+    "-m",
+    "repro.cli",
+    "serve",
+    "--port",
+    "0",
+    "--shards",
+    "2",
+    "--deadline",
+    "30",
+]
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+
+
+def main() -> int:
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    server = subprocess.Popen(
+        SERVE_ARGS,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        deadline = time.monotonic() + 60.0
+        banner = server.stdout.readline()
+        while "listening on" not in banner:
+            expect(server.poll() is None, f"server exited early: {banner!r}")
+            expect(
+                time.monotonic() < deadline, "server never printed its banner"
+            )
+            banner = server.stdout.readline()
+        match = re.search(r"listening on \S+:(\d+)", banner)
+        expect(match is not None, f"unparseable banner: {banner!r}")
+        port = int(match.group(1))
+        print(f"server up on port {port}")
+
+        from repro.bench.figures import FIGURES
+        from repro.bench.replay import (
+            ReplayConfig,
+            run_replay,
+            write_outputs,
+        )
+
+        config = ReplayConfig(
+            seed=20110411,
+            tenants=3,
+            requests=150,
+            queries_per_tenant=4,
+            # Keep the smoke fast: synthetic shapes only, small cliques.
+            named_fraction=0.25,
+            max_relations=8,
+            clique_min=8,
+            clique_max=10,
+        )
+        events, summary = run_replay(config, host="127.0.0.1", port=port)
+        outdir = os.path.join("replay_out", "smoke")
+        manifest = write_outputs(events, summary, outdir)
+        totals = summary["totals"]
+        print(
+            f"replayed {totals['requests']} requests: "
+            f"hit rate {totals['hit_rate']:.2%}, "
+            f"{totals['drift_invalidations']} drift invalidations, "
+            f"{totals['stale_plan_serves']} stale serves, "
+            f"{totals['errors']} errors"
+        )
+
+        expect(
+            totals["requests"] == config.requests,
+            f"lost events: {totals['requests']} != {config.requests}",
+        )
+        expect(totals["errors"] == 0, f"transport/optimize errors: {totals}")
+        expect(
+            totals["cache_hits"] > 0,
+            "replayed stream produced zero cache hits",
+        )
+        expect(
+            totals["drift_invalidations"] >= 1,
+            "stats drift must orphan at least one cached plan",
+        )
+        expect(
+            totals["stale_plan_serves"] == 0,
+            f"stale plans served across the drift boundary: {totals}",
+        )
+        shards = {e["shard"] for e in events if e["shard"] is not None}
+        expect(
+            shards <= {0, 1} and shards,
+            f"unexpected shard attribution: {shards}",
+        )
+
+        for name in FIGURES:
+            paths = manifest["figures"].get(name)
+            expect(paths is not None, f"figure {name!r} was not rendered")
+            expect(
+                os.path.getsize(paths["svg"]) > 0,
+                f"figure {name!r} rendered empty",
+            )
+            with open(paths["svg"], "r", encoding="utf-8") as handle:
+                expect(
+                    "<svg" in handle.read(256),
+                    f"figure {name!r} is not an SVG document",
+                )
+        print(f"all {len(FIGURES)} registered figures rendered")
+
+        with open(manifest["report"], "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        expect(
+            report["totals"] == totals,
+            "REPLAY.json does not round-trip the computed totals",
+        )
+        print("replay smoke: ok")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

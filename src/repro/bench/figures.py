@@ -1,0 +1,199 @@
+"""Named figure registry over the replay event log.
+
+Each figure is a function ``(events, summary) -> svg_text`` registered
+under a stable name, in the style of a paper-repro ``generate_figures``
+script: the registry is the single source of truth for what the fleet
+dashboard contains, ``render_all`` materializes every entry, and the
+replay smoke gate asserts that every registered figure renders without
+error — adding a figure automatically adds it to the gate.
+
+The five shipped figures answer the questions the serving stack's
+counters bury:
+
+* ``latency_percentiles`` — p50/p95/p99 latency per time bucket; shows
+  warmup cost draining away and any drift-induced recompute spike.
+* ``cache_hit_rate_by_tenant`` — per-tenant hit rate; the Zipf skew
+  should give the popular tenant the warmest cache.
+* ``rung_mix`` — share of requests answered by each ladder rung
+  (cached/exact/dpconv/…) per time bucket; a pressure change shows up
+  as a visible band shift.
+* ``breaker_trips`` — events observed with an open breaker, per phase;
+  a healthy replay renders an all-zero chart, which is the point.
+* ``hard_kills_avoided`` — per-shard count of deadline storms absorbed
+  by cooperative cancellation instead of worker kills (live front-door
+  replays; in-process mode shows zeros).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List
+
+from repro.bench.svg import (
+    bar_chart,
+    line_chart,
+    stacked_bar_chart,
+    svg_to_png,
+)
+
+__all__ = ["FIGURES", "register_figure", "render_all"]
+
+FigureFn = Callable[[List[Dict[str, Any]], Dict[str, Any]], str]
+
+#: name -> figure function; iteration order is registration order.
+FIGURES: Dict[str, FigureFn] = {}
+
+#: Time buckets used by the over-time figures.
+N_BUCKETS = 20
+
+
+def register_figure(name: str) -> Callable[[FigureFn], FigureFn]:
+    """Register a figure function under ``name`` (used as the filename)."""
+
+    def decorator(fn: FigureFn) -> FigureFn:
+        if name in FIGURES:
+            raise ValueError(f"duplicate figure name {name!r}")
+        FIGURES[name] = fn
+        return fn
+
+    return decorator
+
+
+def _buckets(events: List[Dict[str, Any]]) -> List[List[Dict[str, Any]]]:
+    """Split the event log into ``N_BUCKETS`` contiguous sequence buckets."""
+    if not events:
+        return []
+    n = min(N_BUCKETS, len(events))
+    size = len(events) / n
+    buckets: List[List[Dict[str, Any]]] = [[] for _ in range(n)]
+    for i, event in enumerate(events):
+        buckets[min(int(i / size), n - 1)].append(event)
+    return buckets
+
+
+def _percentile(samples: List[float], p: float) -> float:
+    from repro.bench.replay import percentile
+
+    return percentile(samples, p)
+
+
+@register_figure("latency_percentiles")
+def fig_latency_percentiles(
+    events: List[Dict[str, Any]], summary: Dict[str, Any]
+) -> str:
+    series: Dict[str, List] = {"p50": [], "p95": [], "p99": []}
+    for i, bucket in enumerate(_buckets(events)):
+        samples = [e["latency_ms"] for e in bucket]
+        series["p50"].append((float(i), _percentile(samples, 0.50)))
+        series["p95"].append((float(i), _percentile(samples, 0.95)))
+        series["p99"].append((float(i), _percentile(samples, 0.99)))
+    return line_chart(
+        series,
+        title="Latency percentiles over time",
+        xlabel="time bucket",
+        ylabel="latency (ms)",
+    )
+
+
+@register_figure("cache_hit_rate_by_tenant")
+def fig_cache_hit_rate_by_tenant(
+    events: List[Dict[str, Any]], summary: Dict[str, Any]
+) -> str:
+    tenants = summary.get("tenants", {})
+    labels = sorted(tenants)
+    values = [
+        round((tenants[name].get("hit_rate") or 0.0) * 100.0, 2)
+        for name in labels
+    ]
+    return bar_chart(
+        labels,
+        values,
+        title="Cache hit rate by tenant",
+        xlabel="tenant",
+        ylabel="hit rate (%)",
+        y_max=100.0,
+    )
+
+
+@register_figure("rung_mix")
+def fig_rung_mix(
+    events: List[Dict[str, Any]], summary: Dict[str, Any]
+) -> str:
+    rungs = sorted({e["rung"] for e in events}) or ["cached"]
+    buckets = _buckets(events)
+    labels = [str(i) for i in range(len(buckets))]
+    series: Dict[str, List[float]] = {rung: [] for rung in rungs}
+    for bucket in buckets:
+        total = max(len(bucket), 1)
+        for rung in rungs:
+            count = sum(1 for e in bucket if e["rung"] == rung)
+            series[rung].append(round(100.0 * count / total, 2))
+    return stacked_bar_chart(
+        labels,
+        series,
+        title="Degradation rung mix over time",
+        xlabel="time bucket",
+        ylabel="share of requests (%)",
+    )
+
+
+@register_figure("breaker_trips")
+def fig_breaker_trips(
+    events: List[Dict[str, Any]], summary: Dict[str, Any]
+) -> str:
+    phases = summary.get("phases", {})
+    labels = list(phases)
+    values = [float(phases[name].get("breaker_trips", 0)) for name in labels]
+    return bar_chart(
+        labels,
+        values,
+        title="Breaker-open observations per phase",
+        xlabel="phase",
+        ylabel="events with an open breaker",
+        y_max=max(values + [1.0]),
+    )
+
+
+@register_figure("hard_kills_avoided")
+def fig_hard_kills_avoided(
+    events: List[Dict[str, Any]], summary: Dict[str, Any]
+) -> str:
+    shards = (summary.get("fleet") or {}).get("shards") or []
+    labels = [f"shard {s.get('shard')}" for s in shards] or ["shard 0"]
+    values = [float(s.get("hard_kills_avoided") or 0) for s in shards] or [0.0]
+    return bar_chart(
+        labels,
+        values,
+        title="Hard kills avoided by cooperative cancellation",
+        xlabel="shard",
+        ylabel="kills avoided",
+        y_max=max(values + [1.0]),
+    )
+
+
+def render_all(
+    events: List[Dict[str, Any]],
+    summary: Dict[str, Any],
+    outdir: str,
+    png: bool = True,
+) -> Dict[str, Dict[str, Any]]:
+    """Render every registered figure into ``outdir``.
+
+    Returns ``{name: {"svg": path, "png": path | None}}``.  SVG always
+    renders (pure stdlib); PNG is attempted only when a raster backend
+    exists and its absence is never an error.
+    """
+    os.makedirs(outdir, exist_ok=True)
+    manifest: Dict[str, Dict[str, Any]] = {}
+    for name, fn in FIGURES.items():
+        svg_text = fn(events, summary)
+        svg_path = os.path.join(outdir, f"{name}.svg")
+        with open(svg_path, "w", encoding="utf-8") as handle:
+            handle.write(svg_text)
+        png_path = os.path.join(outdir, f"{name}.png")
+        wrote_png = png and svg_to_png(svg_path, png_path)
+        manifest[name] = {
+            "svg": svg_path,
+            "png": png_path if wrote_png else None,
+        }
+    return manifest

@@ -11,13 +11,45 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import glob
+import os
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 
-__all__ = ["main"]
+__all__ = ["main", "bench_output_path", "collect_bench_reports"]
+
+
+def bench_output_path(name: str) -> str:
+    """Return the canonical path for a ``BENCH_*.json`` gate report.
+
+    Every benchmark gate writes through this helper so the whole perf
+    trajectory lands in one directory: ``$REPRO_BENCH_DIR`` when set,
+    otherwise the current working directory (the repo root under
+    ``make``).  ``name`` may be a bare gate name (``frontdoor``) or a
+    full filename (``BENCH_frontdoor.json``).
+    """
+    if not name.endswith(".json"):
+        name = f"BENCH_{name}.json"
+    base = os.environ.get("REPRO_BENCH_DIR") or os.getcwd()
+    return os.path.join(base, name)
+
+
+def collect_bench_reports(directory: Optional[str] = None) -> Dict[str, str]:
+    """Map gate name -> path for every ``BENCH_*.json`` in ``directory``.
+
+    Defaults to the same directory :func:`bench_output_path` writes to,
+    so dashboards (e.g. the replay harness) can pick up the full gate
+    trajectory without knowing each benchmark's filename.
+    """
+    base = directory or os.environ.get("REPRO_BENCH_DIR") or os.getcwd()
+    reports = {}
+    for path in sorted(glob.glob(os.path.join(base, "BENCH_*.json"))):
+        stem = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        reports[stem] = path
+    return reports
 
 
 def main(argv: Optional[List[str]] = None) -> int:

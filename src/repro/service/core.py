@@ -153,6 +153,7 @@ def request_signature(
     enable_pruning: bool = False,
     round_digits: int = 4,
     allow_cross_products: bool = False,
+    stats_epoch: int = 0,
 ) -> Tuple[str, Tuple[int, ...]]:
     """Return ``(signature, order)`` for a fully resolved request.
 
@@ -160,6 +161,11 @@ def request_signature(
     rounded statistics in canonical order, the cost model class *and its
     parameters* (:meth:`~repro.cost.base.CostModel.signature_fields`),
     the algorithm name, the pruning flag, and the cross-product flag.
+    A nonzero ``stats_epoch`` is mixed in as well, so a statistics
+    refresh invalidates cached plans even when every refreshed value
+    rounds back to the same ``round_digits`` quantum; epoch 0 is omitted
+    from the payload so historical signatures (and persisted cache
+    snapshots) stay valid.
     ``order`` is the canonical vertex order used (``order[p]`` = this
     catalog's vertex at canonical position ``p``), which the service
     needs to rebind cached plans.
@@ -220,6 +226,8 @@ def request_signature(
         "pruning": bool(enable_pruning),
         "cross_products": bool(allow_cross_products),
     }
+    if stats_epoch:
+        payload["stats_epoch"] = int(stats_epoch)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest(), order
 
@@ -491,6 +499,7 @@ class OptimizerService:
                     request.enable_pruning,
                     self.round_digits,
                     allow_cross_products=request.allow_cross_products,
+                    stats_epoch=request.stats_epoch,
                 )
                 span.annotate(
                     algorithm=effective,

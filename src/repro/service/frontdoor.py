@@ -29,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -409,6 +410,7 @@ class FrontDoor:
             request.enable_pruning,
             self.config.shard_service_kwargs.get("round_digits", 4),
             allow_cross_products=request.allow_cross_products,
+            stats_epoch=request.stats_epoch,
         )
         shard = self.shards.ring.owner(signature)
         self._route_memo[memo_key] = shard
@@ -862,4 +864,11 @@ def _error_body(
 
 
 def _retry_after_header(seconds: float) -> str:
-    return str(max(1, int(seconds + 0.999)))
+    """Render a quota deficit as an HTTP ``Retry-After`` value.
+
+    A true ceiling with a floor of one second: sub-second deficits must
+    never emit ``Retry-After: 0`` (an immediate-retry invitation), and a
+    deficit of 1.0005s genuinely needs 2 whole seconds — ``int(x +
+    0.999)`` got both of those wrong at the edges.
+    """
+    return str(max(1, math.ceil(seconds)))

@@ -1,0 +1,369 @@
+"""Tests for the replay harness, the figure registry, and the two
+serving bugfixes that ride with them: stats-epoch cache staleness and
+the Retry-After rounding fix."""
+
+import json
+import os
+
+import pytest
+
+from repro.catalog.statistics import Catalog, Relation
+from repro.graph.query_graph import QueryGraph
+from repro.optimizer.api import OptimizationRequest
+from repro import serialize
+from repro.bench.figures import FIGURES, render_all
+from repro.bench.replay import (
+    ReplayConfig,
+    build_stream,
+    perturb_catalog,
+    percentile,
+    run_replay,
+    summarize,
+    write_outputs,
+)
+from repro.errors import OptimizationError
+from repro.service.core import OptimizerService, request_signature
+from repro.service.frontdoor import _retry_after_header
+from repro.service.sharding import TokenBucket
+
+
+def chain3_catalog(scale: float = 1.0) -> Catalog:
+    graph = QueryGraph(3, [(0, 1), (1, 2)])
+    return Catalog(
+        graph,
+        [
+            Relation("R0", 100.0 * scale),
+            Relation("R1", 2000.0 * scale),
+            Relation("R2", 50.0 * scale),
+        ],
+        {(0, 1): 0.1, (1, 2): 0.05},
+    )
+
+
+# ----------------------------------------------------------------------
+# Satellite: stats-epoch cache staleness
+# ----------------------------------------------------------------------
+
+
+class TestStatsEpoch:
+    def test_epoch_zero_signature_is_unchanged(self):
+        # Epoch 0 must not alter historical signatures: persisted cache
+        # snapshots and the pinned corpus in test_wire_schema stay valid.
+        catalog = chain3_catalog()
+        sig_default, _ = request_signature(catalog, "tdmincutbranch")
+        sig_explicit, _ = request_signature(
+            catalog, "tdmincutbranch", stats_epoch=0
+        )
+        assert sig_default == sig_explicit
+
+    def test_nonzero_epoch_changes_the_signature(self):
+        catalog = chain3_catalog()
+        sig0, _ = request_signature(catalog, "tdmincutbranch")
+        sig1, _ = request_signature(catalog, "tdmincutbranch", stats_epoch=1)
+        sig2, _ = request_signature(catalog, "tdmincutbranch", stats_epoch=2)
+        assert len({sig0, sig1, sig2}) == 3
+
+    def test_sub_quantum_drift_without_epoch_collides(self):
+        # The bug this satellite fixes: a stats refresh whose values
+        # round to the same 4-significant-digit quantum produces the
+        # *same* signature, so the cache serves the pre-refresh plan.
+        old = chain3_catalog()
+        drifted = chain3_catalog(scale=1.0 + 1e-9)
+        sig_old, _ = request_signature(old, "tdmincutbranch")
+        sig_new, _ = request_signature(drifted, "tdmincutbranch")
+        assert sig_old == sig_new  # the collision the epoch must break
+
+    def test_sub_quantum_drift_with_epoch_invalidates(self):
+        service = OptimizerService()
+        before = service.optimize(
+            OptimizationRequest(query=chain3_catalog(), stats_epoch=0)
+        )
+        assert not before.cache_hit
+        replay_hit = service.optimize(
+            OptimizationRequest(query=chain3_catalog(), stats_epoch=0)
+        )
+        assert replay_hit.cache_hit
+        # Stats refresh: values drift below the rounding quantum, epoch
+        # bumps.  The request must MISS (recompute under new stats), not
+        # silently serve the stale plan.
+        after = service.optimize(
+            OptimizationRequest(
+                query=chain3_catalog(scale=1.0 + 1e-9), stats_epoch=1
+            )
+        )
+        assert not after.cache_hit
+        assert after.signature != before.signature
+
+    def test_wire_roundtrip_and_tolerant_default(self):
+        request = OptimizationRequest(query=chain3_catalog(), stats_epoch=7)
+        document = serialize.request_to_dict(request)
+        assert document["stats_epoch"] == 7
+        assert serialize.request_from_dict(document).stats_epoch == 7
+        # Documents from pre-epoch writers carry no field: default 0.
+        del document["stats_epoch"]
+        assert serialize.request_from_dict(document).stats_epoch == 0
+
+    def test_validation_rejects_bad_epochs(self):
+        for bad in (-1, 1.5, "3"):
+            with pytest.raises(OptimizationError):
+                OptimizationRequest(query=chain3_catalog(), stats_epoch=bad)
+
+
+# ----------------------------------------------------------------------
+# Satellite: Retry-After must ceil to >= 1 second
+# ----------------------------------------------------------------------
+
+
+class TestRetryAfter:
+    def test_fractional_deficit_never_rounds_to_zero(self):
+        assert _retry_after_header(0.0) == "1"
+        assert _retry_after_header(0.25) == "1"
+        assert _retry_after_header(0.999) == "1"
+
+    def test_true_ceiling_above_one_second(self):
+        # int(x + 0.999) under-reported these: a 1.0005s deficit needs
+        # 2 whole seconds of waiting, not 1.
+        assert _retry_after_header(1.0) == "1"
+        assert _retry_after_header(1.0005) == "2"
+        assert _retry_after_header(1.2) == "2"
+        assert _retry_after_header(59.001) == "60"
+
+    def test_bucket_fractional_deficit_maps_to_one_second(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=4.0, burst=1.0, clock=lambda: now[0])
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        deficit = bucket.retry_after_seconds()
+        assert 0.0 < deficit < 1.0
+        assert _retry_after_header(deficit) == "1"
+
+
+# ----------------------------------------------------------------------
+# Tentpole: replay determinism + stream properties
+# ----------------------------------------------------------------------
+
+
+def small_config(**overrides) -> ReplayConfig:
+    defaults = dict(
+        seed=11,
+        tenants=3,
+        requests=90,
+        queries_per_tenant=4,
+        named_fraction=0.2,
+        clique_min=8,
+        clique_max=9,
+    )
+    defaults.update(overrides)
+    return ReplayConfig(**defaults)
+
+
+class TestReplayDeterminism:
+    def test_same_seed_is_byte_identical(self, tmp_path, monkeypatch):
+        # Same cwd for both runs: the summary lists the BENCH_* gate
+        # reports it can see, which is workspace state, not RNG state.
+        monkeypatch.chdir(tmp_path)
+        config = small_config()
+        events_a, summary_a = run_replay(config)
+        events_b, summary_b = run_replay(config)
+        lines_a = [
+            json.dumps(e, sort_keys=True, separators=(",", ":"))
+            for e in events_a
+        ]
+        lines_b = [
+            json.dumps(e, sort_keys=True, separators=(",", ":"))
+            for e in events_b
+        ]
+        assert lines_a == lines_b
+        assert json.dumps(summary_a, sort_keys=True) == json.dumps(
+            summary_b, sort_keys=True
+        )
+
+    def test_drift_schedule_is_part_of_the_seed(self):
+        queries_a, _ = build_stream(small_config())
+        queries_b, _ = build_stream(small_config())
+        assert [q.drifts for q in queries_a] == [q.drifts for q in queries_b]
+        queries_c, _ = build_stream(small_config(seed=12))
+        assert [q.qid for q in queries_a] == [q.qid for q in queries_c]
+
+    def test_different_seed_changes_the_schedule(self):
+        _, schedule_a = build_stream(small_config())
+        _, schedule_b = build_stream(small_config(seed=12))
+        assert schedule_a != schedule_b
+
+
+class TestZipfSkew:
+    def test_top_tenant_share_matches_configured_skew(self):
+        config = small_config(requests=600, zipf_s=1.2)
+        _, schedule = build_stream(config)
+        per_tenant = config.queries_per_tenant
+        counts = [0] * config.tenants
+        for row in schedule:
+            counts[row["query_index"] // per_tenant] += 1
+        weights = [
+            1.0 / (t + 1) ** config.zipf_s for t in range(config.tenants)
+        ]
+        expected = weights[0] / sum(weights)
+        observed = counts[0] / len(schedule)
+        assert observed == pytest.approx(expected, abs=0.08)
+        # And the skew is real: the top tenant strictly dominates.
+        assert counts[0] > max(counts[1:])
+
+
+class TestReplayRun:
+    def test_drift_invalidates_and_nothing_is_stale(self):
+        events, summary = run_replay(small_config())
+        totals = summary["totals"]
+        assert totals["requests"] == 90
+        assert totals["errors"] == 0
+        assert totals["drift_invalidations"] >= 1
+        assert totals["stale_plan_serves"] == 0
+        assert summary["phases"]["skewed"]["hit_rate"] >= 0.5
+
+    def test_sub_quantum_drift_mode_still_invalidates_via_epoch(self):
+        # The regression scenario end-to-end: statistics move by less
+        # than a rounding quantum, so ONLY the stats-epoch signature
+        # field separates old from new.  Zero stale serves proves the
+        # fix; nonzero invalidations prove the drift actually happened.
+        events, summary = run_replay(small_config(sub_quantum_drift=True))
+        totals = summary["totals"]
+        assert totals["drift_invalidations"] >= 1
+        assert totals["stale_plan_serves"] == 0
+
+    def test_events_carry_the_dashboard_dimensions(self):
+        events, _ = run_replay(small_config())
+        event = events[0]
+        for key in (
+            "seq",
+            "t",
+            "tenant",
+            "qid",
+            "shape",
+            "phase",
+            "epoch",
+            "rung",
+            "cache_hit",
+            "latency_ms",
+            "shard",
+            "signature",
+            "stale",
+            "invalidated",
+        ):
+            assert key in event
+        assert {e["phase"] for e in events} == {
+            "warmup",
+            "skewed",
+            "post_drift",
+        }
+        assert all(e["shard"] is not None for e in events if not e["error"])
+
+
+class TestFigures:
+    def test_every_registered_figure_renders(self, tmp_path):
+        events, summary = run_replay(small_config())
+        manifest = render_all(events, summary, str(tmp_path), png=False)
+        assert set(manifest) == set(FIGURES)
+        for name, paths in manifest.items():
+            with open(paths["svg"], "r", encoding="utf-8") as handle:
+                text = handle.read()
+            assert text.startswith("<svg"), name
+            assert text.rstrip().endswith("</svg>"), name
+
+    def test_expected_dashboard_figures_are_registered(self):
+        assert {
+            "latency_percentiles",
+            "cache_hit_rate_by_tenant",
+            "rung_mix",
+            "breaker_trips",
+            "hard_kills_avoided",
+        } <= set(FIGURES)
+
+    def test_write_outputs_produces_the_full_manifest(self, tmp_path):
+        events, summary = run_replay(small_config())
+        manifest = write_outputs(events, summary, str(tmp_path))
+        assert os.path.exists(manifest["events"])
+        assert os.path.exists(manifest["report"])
+        with open(manifest["report"], "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["kind"] == "replay_report"
+        assert report["totals"]["requests"] == len(events)
+        with open(manifest["events"], "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == len(events)
+        json.loads(lines[0])
+
+
+# ----------------------------------------------------------------------
+# Satellite: unified BENCH_*.json output location
+# ----------------------------------------------------------------------
+
+
+class TestBenchOutputPath:
+    def test_defaults_to_cwd(self, tmp_path, monkeypatch):
+        from repro.bench.report import bench_output_path
+
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        assert bench_output_path("frontdoor") == str(
+            tmp_path / "BENCH_frontdoor.json"
+        )
+        assert bench_output_path("BENCH_kernel.json") == str(
+            tmp_path / "BENCH_kernel.json"
+        )
+
+    def test_env_var_overrides(self, tmp_path, monkeypatch):
+        from repro.bench.report import bench_output_path
+
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        assert bench_output_path("dpconv") == str(
+            tmp_path / "BENCH_dpconv.json"
+        )
+
+    def test_collect_finds_all_gate_reports(self, tmp_path, monkeypatch):
+        from repro.bench.report import collect_bench_reports
+
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        for name in ("kernel", "dpconv"):
+            (tmp_path / f"BENCH_{name}.json").write_text("{}")
+        reports = collect_bench_reports(str(tmp_path))
+        assert sorted(reports) == ["dpconv", "kernel"]
+
+
+# ----------------------------------------------------------------------
+# Drift primitives
+# ----------------------------------------------------------------------
+
+
+class TestPerturbCatalog:
+    def test_sub_quantum_moves_every_stat_but_barely(self):
+        import random
+
+        catalog = chain3_catalog()
+        drifted = perturb_catalog(
+            catalog, random.Random(0), magnitude=0.05, sub_quantum=True
+        )
+        for v in range(3):
+            assert drifted.cardinality(v) != catalog.cardinality(v)
+            assert drifted.cardinality(v) == pytest.approx(
+                catalog.cardinality(v), rel=1e-8
+            )
+
+    def test_regular_drift_respects_catalog_invariants(self):
+        import random
+
+        catalog = chain3_catalog()
+        drifted = perturb_catalog(
+            catalog, random.Random(3), magnitude=0.5, sub_quantum=False
+        )
+        for v in range(3):
+            assert drifted.cardinality(v) > 0
+        for edge in catalog.graph.edges:
+            assert 0.0 < drifted.selectivity(*edge) <= 1.0
+
+
+class TestPercentile:
+    def test_nearest_rank_basics(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 0.5) == 3.0
+        assert percentile(samples, 1.0) == 5.0
+        assert percentile([], 0.5) == 0.0
