@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test chaos bench-service bench-batch bench-resilience bench-observability bench-kernel bench-dpconv bench-anytime bench-frontdoor serve-smoke replay replay-smoke profile verify
+.PHONY: test chaos bench-service bench-batch bench-resilience bench-observability bench-kernel bench-dpconv bench-native bench-anytime bench-frontdoor serve-smoke replay replay-smoke profile verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,7 +36,8 @@ bench-observability:
 	$(PYTHON) benchmarks/bench_observability.py
 
 # Fast-kernel gate: >= 1.3x geometric-mean speedup over the reference
-# driver with bit-identical plans, and chain-600 must optimize and
+# driver with bit-identical plans, and a deep chain (chain-200 smoke by
+# default; --deep-chain for the full chain-600) must optimize and
 # extract without RecursionError.  Writes BENCH_kernel.json.
 bench-kernel:
 	$(PYTHON) benchmarks/bench_kernel_speedup.py
@@ -47,6 +48,15 @@ bench-kernel:
 # it).  Writes BENCH_dpconv.json.
 bench-dpconv:
 	$(PYTHON) benchmarks/bench_dpconv.py
+
+# Native-backend gate: the best available native rung (compiled C,
+# else numpy batch-DP) must beat the pure-python dpconv engine by a
+# >= 5x geometric mean on the dense gate shapes, with bit-identical
+# costs and ccp parity against the reference enumerator.  Skips with a
+# notice on hosts without numpy (silent degradation is supported).
+# Writes BENCH_native.json.
+bench-native:
+	$(PYTHON) benchmarks/bench_native_kernel.py
 
 # Anytime gate: a 50ms-deadline clique-16 must return a *valid*
 # salvaged plan within deadline + 20ms, never costlier than pure GOO,
@@ -86,5 +96,5 @@ replay-smoke:
 profile:
 	$(PYTHON) benchmarks/bench_kernel_speedup.py --profile
 
-verify: test bench-service bench-resilience bench-observability bench-kernel bench-dpconv bench-anytime serve-smoke bench-frontdoor replay-smoke
+verify: test bench-service bench-resilience bench-observability bench-kernel bench-dpconv bench-native bench-anytime serve-smoke bench-frontdoor replay-smoke
 	@echo "verify: ok"

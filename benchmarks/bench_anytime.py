@@ -36,7 +36,6 @@ Exit status is non-zero if any gate fails, so ``make verify`` gates on it.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import sys
 import time
@@ -313,13 +312,9 @@ def main(argv=None) -> int:
         "skipped": skipped,
         "failures": failures,
     }
-    if args.output is None:
-        from repro.bench.report import bench_output_path
+    from repro.bench.report import write_bench_report
 
-        args.output = bench_output_path("anytime")
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    args.output = write_bench_report("anytime", report, output=args.output)
     print(f"wrote {args.output}")
 
     for failure in failures:

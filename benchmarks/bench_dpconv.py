@@ -36,7 +36,6 @@ Exit status is non-zero if any gate fails, so ``make verify`` gates on it.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import sys
 import time
@@ -72,7 +71,13 @@ def run_once(catalog, engine):
             catalog, MinCutBranch, CoutCostModel(), use_kernel=True
         )
     else:
-        optimizer = DPconvPlanGenerator(catalog, cost_model=CoutCostModel())
+        # Pin the pure-python convolution: this gate prices the dpconv
+        # *tier* against the fast kernel, and must keep doing so on
+        # hosts where the numpy/C rungs would otherwise auto-select
+        # (bench_native_kernel.py owns the native-vs-pure comparison).
+        optimizer = DPconvPlanGenerator(
+            catalog, cost_model=CoutCostModel(), native_backend="off"
+        )
     started = time.perf_counter()
     plan = optimizer.optimize()
     return time.perf_counter() - started, optimizer, plan
@@ -188,13 +193,9 @@ def main(argv=None) -> int:
         "skipped": skipped,
         "failures": failures,
     }
-    if args.output is None:
-        from repro.bench.report import bench_output_path
+    from repro.bench.report import write_bench_report
 
-        args.output = bench_output_path("dpconv")
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    args.output = write_bench_report("dpconv", report, output=args.output)
     print(f"wrote {args.output}")
 
     for failure in failures:

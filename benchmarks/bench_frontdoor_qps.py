@@ -255,11 +255,9 @@ def main(argv=None) -> int:
         "results": {str(k): v for k, v in results.items()},
         "scaling_4_over_1": scaling,
     }
-    from repro.bench.report import bench_output_path
+    from repro.bench.report import write_bench_report
 
-    out_path = bench_output_path("frontdoor")
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
+    out_path = write_bench_report("frontdoor", report)
     print(f"wrote {out_path}")
 
     failures = []

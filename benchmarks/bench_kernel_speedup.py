@@ -12,10 +12,13 @@ kernel (``use_kernel=True``) — and enforces three gates:
 * **equivalence**: per shape, both paths must produce the identical
   optimal cost, the identical number of emitted ccps, and the identical
   plan shape — speed is worthless if the answer drifts,
-* **depth**: a 600-relation chain must optimize *and* extract through
-  the kernel without ``RecursionError`` (the recursive driver dies near
+* **depth**: a deep chain must optimize *and* extract through the
+  kernel without ``RecursionError`` (the recursive driver dies near
   n=490; the explicit-stack kernel is bound by memory, not
-  ``sys.getrecursionlimit()``).
+  ``sys.getrecursionlimit()``).  The default smoke uses chain-200 —
+  already past any plausible default recursion limit — because the
+  full chain-600 case costs minutes of wall clock for the same
+  assertion; ``--deep-chain`` opts into the full size.
 
 Methodology: per shape, both paths are warmed once, then timed in
 alternating order and the **best** run per path is compared.  Scheduler
@@ -36,7 +39,6 @@ Exit status is non-zero if any gate fails, so ``make verify`` gates on it.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import sys
 import time
@@ -56,9 +58,14 @@ from repro.optimizer.topdown import TopDownPlanGenerator
 #: driver across the timed shapes.
 SPEEDUP_FLOOR = 1.3
 
-#: Deep-chain regression size: comfortably past the reference driver's
-#: RecursionError threshold (~490 relations on default limits).
+#: Full deep-chain regression size: comfortably past the reference
+#: driver's RecursionError threshold (~490 relations on default limits).
+#: Opt-in via ``--deep-chain``; the default smoke runs SMOKE_CHAIN_N.
 DEEP_CHAIN_N = 600
+
+#: Default depth smoke: big enough that a recursive extraction from an
+#: already-deep stack would die, cheap enough for every verify run.
+SMOKE_CHAIN_N = 200
 
 #: (label, graph builder, alternating timed repetitions per path).
 #: Statistics are bounded (|R| = 4, sel = 0.25) so cardinalities — and
@@ -123,25 +130,25 @@ def bench_shape(label, graph, repeat):
     }, problems
 
 
-def bench_deep_chain():
-    """chain-600 must optimize and extract on the kernel path."""
-    catalog = make_catalog(chain_graph(DEEP_CHAIN_N))
+def bench_deep_chain(n):
+    """A deep chain must optimize and extract on the kernel path."""
+    catalog = make_catalog(chain_graph(n))
     try:
         elapsed, optimizer, plan = run_once(catalog, use_kernel=True)
     except RecursionError:
         return {
-            "shape": f"chain-{DEEP_CHAIN_N}",
+            "shape": f"chain-{n}",
             "recursion_error": True,
-        }, [f"chain-{DEEP_CHAIN_N}: kernel path hit RecursionError"]
+        }, [f"chain-{n}: kernel path hit RecursionError"]
     problems = []
-    if plan.n_joins() != DEEP_CHAIN_N - 1:
+    if plan.n_joins() != n - 1:
         problems.append(
-            f"chain-{DEEP_CHAIN_N}: extracted {plan.n_joins()} joins, "
-            f"expected {DEEP_CHAIN_N - 1}"
+            f"chain-{n}: extracted {plan.n_joins()} joins, "
+            f"expected {n - 1}"
         )
     plan.validate()
     return {
-        "shape": f"chain-{DEEP_CHAIN_N}",
+        "shape": f"chain-{n}",
         "recursion_error": False,
         "kernel_ms": elapsed * 1e3,
         "ccps": optimizer.partitioner.stats.emitted,
@@ -173,7 +180,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--skip-deep", action="store_true",
-        help=f"skip the chain-{DEEP_CHAIN_N} depth regression",
+        help="skip the deep-chain depth regression entirely",
+    )
+    parser.add_argument(
+        "--deep-chain", action="store_true",
+        help=f"run the full chain-{DEEP_CHAIN_N} depth regression "
+        f"(minutes of wall clock; default is a chain-{SMOKE_CHAIN_N} "
+        "smoke covering the same RecursionError assertion)",
     )
     parser.add_argument(
         "--output", default=None,
@@ -217,11 +230,12 @@ def main(argv=None) -> int:
 
     deep_row = None
     if not args.skip_deep:
-        deep_row, problems = bench_deep_chain()
+        deep_n = DEEP_CHAIN_N if args.deep_chain else SMOKE_CHAIN_N
+        deep_row, problems = bench_deep_chain(deep_n)
         failures.extend(problems)
         if not problems:
             print(
-                f"chain-{DEEP_CHAIN_N}: optimized and extracted "
+                f"chain-{deep_n}: optimized and extracted "
                 f"{deep_row['joins']} joins in {deep_row['kernel_ms']:.0f}ms "
                 f"({deep_row['ccps']} ccps) without RecursionError"
             )
@@ -234,13 +248,9 @@ def main(argv=None) -> int:
         "deep_chain": deep_row,
         "failures": failures,
     }
-    if args.output is None:
-        from repro.bench.report import bench_output_path
+    from repro.bench.report import write_bench_report
 
-        args.output = bench_output_path("kernel")
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    args.output = write_bench_report("kernel", report, output=args.output)
     print(f"wrote {args.output}")
 
     for failure in failures:

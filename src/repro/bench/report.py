@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import argparse
 import glob
+import json
 import os
 import sys
 import time
@@ -19,7 +20,13 @@ from typing import Dict, List, Optional
 
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 
-__all__ = ["main", "bench_output_path", "collect_bench_reports"]
+__all__ = [
+    "main",
+    "bench_output_path",
+    "bench_environment",
+    "collect_bench_reports",
+    "write_bench_report",
+]
 
 
 def bench_output_path(name: str) -> str:
@@ -35,6 +42,50 @@ def bench_output_path(name: str) -> str:
         name = f"BENCH_{name}.json"
     base = os.environ.get("REPRO_BENCH_DIR") or os.getcwd()
     return os.path.join(base, name)
+
+
+def bench_environment() -> Dict:
+    """Describe the host a benchmark ran on, for the gate report.
+
+    Numbers in ``BENCH_*.json`` are only comparable across runs when the
+    execution substrate is known — above all which enumeration backend
+    (pure python, numpy batch-DP, compiled C) actually served the hot
+    loop.  Every gate writer stamps this stanza via
+    :func:`write_bench_report` so a perf regression can immediately be
+    told apart from a host that silently lost its numpy or C toolchain.
+    """
+    import platform
+
+    from repro.optimizer.native import native_backend_status
+
+    status = native_backend_status()
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "backend": status["resolved"],
+        "requested_backend": status["requested"],
+        "numpy_version": status["numpy"]["version"],
+        "cffi_version": status["cffi"]["version"],
+        "cc": status["compiler"]["cc"],
+        "c_kernel_built": status["c_kernel"]["built"],
+    }
+
+
+def write_bench_report(name: str, report: Dict, output: Optional[str] = None) -> str:
+    """Write a gate report to ``BENCH_<name>.json`` with the environment stanza.
+
+    ``output`` overrides the canonical :func:`bench_output_path`
+    location (benchmarks expose it as ``--output``).  The report is
+    written with an ``environment`` block (see :func:`bench_environment`)
+    unless the caller already provided one.  Returns the path written.
+    """
+    document = dict(report)
+    document.setdefault("environment", bench_environment())
+    path = output or bench_output_path(name)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def collect_bench_reports(directory: Optional[str] = None) -> Dict[str, str]:

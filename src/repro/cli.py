@@ -27,6 +27,11 @@ Subcommands (``repro-optimize <subcommand> ...`` or
                    render the fleet dashboard: per-request event log,
                    REPLAY.json summary, and every registered figure
                    (see docs/REPLAY.md)
+    backends       report which enumeration backends (pure python, numpy
+                   batch-DP, compiled C kernel) are available on this
+                   host and which one the auto-selector would pick;
+                   --build compiles the C kernel eagerly, --json emits
+                   the raw status document
 """
 
 from __future__ import annotations
@@ -305,8 +310,18 @@ def _serve_stats_main(argv: List[str]) -> int:
             f"retries={totals.get('retries', 0)} "
             f"kernel_fast={totals.get('kernel_fast', 0)} "
             f"kernel_reference={totals.get('kernel_reference', 0)} "
-            f"kernel_dpconv={totals.get('kernel_dpconv', 0)}"
+            f"kernel_dpconv={totals.get('kernel_dpconv', 0)} "
+            f"kernel_native_numpy={totals.get('kernel_native_numpy', 0)} "
+            f"kernel_native_c={totals.get('kernel_native_c', 0)}"
         )
+        backends = snapshot.get("backends")
+        if backends:
+            print(
+                f"backends: resolved={backends.get('resolved')} "
+                f"requested={backends.get('requested')} "
+                f"numpy={backends.get('numpy', {}).get('available')} "
+                f"c_kernel={backends.get('c_kernel', {}).get('built')}"
+            )
         breakers = snapshot.get("breaker", {})
         open_breakers = {
             name: slot
@@ -343,6 +358,87 @@ def _serve_stats_main(argv: List[str]) -> int:
         # file is NOT an error — it loads as empty/partial with a warning.
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _backends_main(argv: List[str]) -> int:
+    """``backends``: report native enumeration backend availability.
+
+    Shows what :mod:`repro.optimizer.native` can use on this host —
+    numpy, cffi, a C compiler, a cached compiled kernel — and which
+    backend the auto-selector resolves to for the symmetric-cost exact
+    tier.  ``--build`` compiles the C kernel now (so first-request
+    latency never pays for it); ``--json`` dumps the same document the
+    service embeds under ``backends`` in ``/v1/stats``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-optimize backends",
+        description="Report native enumeration backend availability "
+        "(numpy batch-DP, compiled C kernel) and the auto-selector's "
+        "resolution on this host.",
+    )
+    parser.add_argument(
+        "--build",
+        action="store_true",
+        help="compile the C kernel now if a toolchain is available "
+        "(otherwise it is built lazily on first explicit request)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw status document as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.optimizer import native
+    from repro.optimizer._native_build import load_c_kernel
+
+    if args.build:
+        kernel = load_c_kernel(build=True)
+        if kernel is None and not args.json:
+            print(
+                "C kernel build failed or no toolchain available "
+                "(falling back is automatic)",
+                file=sys.stderr,
+            )
+    status = native.native_backend_status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    numpy_info = status["numpy"]
+    cffi_info = status["cffi"]
+    compiler = status["compiler"]
+    c_kernel = status["c_kernel"]
+    print(f"requested: {status['requested']} (env {native.NATIVE_KERNEL_ENV})")
+    print(f"resolved:  {status['resolved']}")
+    print(
+        "numpy:     "
+        + (
+            f"available ({numpy_info['version']})"
+            if numpy_info["available"]
+            else "missing"
+        )
+    )
+    print(
+        "cffi:      "
+        + (
+            f"available ({cffi_info['version']})"
+            if cffi_info["available"]
+            else "missing"
+        )
+    )
+    print(
+        "compiler:  "
+        + (f"{compiler['cc']}" if compiler["available"] else "missing")
+    )
+    if c_kernel["built"]:
+        print(f"c kernel:  built ({c_kernel['path']}, tag {c_kernel['tag']})")
+    else:
+        print("c kernel:  not built")
+    print(
+        f"limits:    numpy n<={status['max_n']['numpy']}, "
+        f"c n<={status['max_n']['c']} (larger queries use pure python)"
+    )
+    return 0
 
 
 def _serve_main(argv: List[str]) -> int:
@@ -538,6 +634,7 @@ SUBCOMMANDS = {
     "serve-stats": _serve_stats_main,
     "serve": _serve_main,
     "replay": _replay_main,
+    "backends": _backends_main,
 }
 
 

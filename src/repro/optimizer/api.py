@@ -528,6 +528,13 @@ def optimize_request(request: OptimizationRequest) -> OptimizationResult:
         # paper-faithful recursive driver); flows into the service's
         # `enumerate` trace span and kernel metrics unchanged.
         details["kernel"] = kernel
+    backend = getattr(optimizer, "last_backend", None)
+    if backend is not None:
+        # Engine that executed the enumeration: "python", or a native
+        # dpconv rung ("numpy"/"c" — see repro.optimizer.native).  The
+        # service mirrors it into metrics, trace spans, and serve-stats
+        # so the fleet can tell which hosts run accelerated.
+        details["backend"] = backend
     if getattr(optimizer, "budget_expired", False):
         # The plan is a salvaged anytime answer, not the exact optimum:
         # valid and at most the pure-GOO cost, but callers (and the

@@ -100,6 +100,7 @@ class DPconvPlanGenerator:
         cost_model: Optional[CostModel] = None,
         enable_pruning: bool = False,
         budget: Optional[Budget] = None,
+        native_backend: Optional[str] = None,
     ):
         if enable_pruning:
             raise OptimizationError(
@@ -120,6 +121,25 @@ class DPconvPlanGenerator:
         self.budget_expired = False
         self.salvage_report = None
         self.last_kernel: Optional[str] = None
+        #: ``None``/``"auto"``/``"numpy"``/``"c"``/``"off"`` — explicit
+        #: override for the native rung selection (``None`` defers to
+        #: ``$REPRO_NATIVE_KERNEL``; see :mod:`repro.optimizer.native`).
+        #: Validated eagerly so a typo fails at construction, not deep
+        #: inside a request.
+        if native_backend is not None:
+            from repro.optimizer.native import BACKENDS
+
+            if native_backend not in BACKENDS:
+                raise OptimizationError(
+                    f"native_backend must be one of {BACKENDS}, "
+                    f"got {native_backend!r}"
+                )
+        self.native_backend = native_backend
+        #: Engine that actually ran the last ``optimize()``: ``"python"``
+        #: (pure layered convolution), ``"numpy"``, or ``"c"``.  Distinct
+        #: from ``last_kernel`` (always ``"dpconv"`` here) so dashboards
+        #: keyed on the algorithm tier keep working unchanged.
+        self.last_backend: Optional[str] = None
 
     # ------------------------------------------------------------------
 
@@ -137,9 +157,22 @@ class DPconvPlanGenerator:
                 "space has no solution (join the components explicitly)"
             )
         self.last_kernel = "dpconv"
+        self.last_backend = "python"
         if graph.n_vertices > 1:
+            from repro.optimizer import native
+
+            backend = native.resolve_backend(
+                self.cost_model,
+                requested=self.native_backend,
+                n=graph.n_vertices,
+            )
+            if backend is not None:
+                self.last_backend = backend
             try:
-                self._convolve(full)
+                if backend is not None:
+                    native.run_native_convolution(self, full, backend)
+                else:
+                    self._convolve(full)
             except BudgetExpired:
                 self.budget_expired = True
                 return self._salvage(full)

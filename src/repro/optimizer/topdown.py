@@ -102,6 +102,11 @@ class TopDownPlanGenerator:
         self.budget_expired = False
         self.salvage_report = None
         self.last_kernel: Optional[str] = None
+        #: The top-down driver always runs in the interpreter — the
+        #: native rungs live behind the dpconv tier — but reporting the
+        #: engine uniformly lets the service label every result with a
+        #: ``backend`` (see :mod:`repro.optimizer.native`).
+        self.last_backend = "python"
         self.pruned_sets = 0
         self._proven_budget = {}
 

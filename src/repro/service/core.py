@@ -463,6 +463,7 @@ class OptimizerService:
                 )
             ),
             kernel=None if result.cache_hit else result.details.get("kernel"),
+            backend=None if result.cache_hit else result.details.get("backend"),
         )
         result.trace_id = trace.trace_id
         self.tracer.finish(
@@ -805,6 +806,7 @@ class OptimizerService:
                     rung=result.details.get("rung"),
                     reason=result.details.get("degrade_reason"),
                     kernel=result.details.get("kernel"),
+                    backend=result.details.get("backend"),
                 )
             return result, job.effective
         try:
@@ -1002,6 +1004,9 @@ class OptimizerService:
                 kernel=(
                     None if result.cache_hit else result.details.get("kernel")
                 ),
+                backend=(
+                    None if result.cache_hit else result.details.get("backend")
+                ),
             )
         else:
             trace.set_root("abandoned", 1)
@@ -1132,6 +1137,7 @@ class OptimizerService:
                             rung=result.details.get("rung"),
                             reason=result.details.get("degrade_reason"),
                             kernel=result.details.get("kernel"),
+                            backend=result.details.get("backend"),
                         )
                 except Exception as exc:
                     elapsed = time.perf_counter() - started
@@ -1152,6 +1158,7 @@ class OptimizerService:
                         "memo_solved_fraction"
                     ),
                     kernel=result.details.get("kernel"),
+                    backend=result.details.get("backend"),
                 )
                 result.trace_id = trace.trace_id
                 self.tracer.finish(trace, algorithm=job.effective)
@@ -1253,6 +1260,7 @@ class OptimizerService:
                     ),
                     retries=outcome.retries,
                     kernel=result.details.get("kernel"),
+                    backend=result.details.get("backend"),
                 )
                 result.trace_id = trace.trace_id
                 self.tracer.finish(
@@ -1367,9 +1375,12 @@ class OptimizerService:
 
     def stats_snapshot(self) -> Dict:
         """Return a JSON-ready snapshot of cache, breaker, and request metrics."""
+        from repro.optimizer.native import native_backend_status
+
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = self.cache.stats()
         snapshot["breaker"] = self.breaker.snapshot()
+        snapshot["backends"] = native_backend_status()
         return snapshot
 
     def reset_stats(self) -> None:

@@ -116,6 +116,8 @@ class ServiceMetrics:
             "kernel_fast": 0,
             "kernel_reference": 0,
             "kernel_dpconv": 0,
+            "kernel_native_numpy": 0,
+            "kernel_native_c": 0,
         }
         self._algorithms: Dict[str, Dict] = {}
         # Fraction of the memo each salvaged anytime answer had solved
@@ -138,6 +140,8 @@ class ServiceMetrics:
                 "kernel_fast": 0,
                 "kernel_reference": 0,
                 "kernel_dpconv": 0,
+                "kernel_native_numpy": 0,
+                "kernel_native_c": 0,
                 "histogram": LatencyHistogram(self._max_samples),
             }
             self._algorithms[algorithm] = slot
@@ -158,6 +162,7 @@ class ServiceMetrics:
         salvage_fraction: Optional[float] = None,
         retries: int = 0,
         kernel: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> None:
         """Record one request outcome under the given algorithm label.
 
@@ -180,7 +185,13 @@ class ServiceMetrics:
         attempts this request consumed.  ``kernel`` (``"fast"``,
         ``"reference"``, or ``"dpconv"``) records which enumeration
         engine a fresh optimization ran on; pass None for cache hits,
-        errors, and algorithms that do not report one.
+        errors, and algorithms that do not report one.  ``backend``
+        (``"python"``, ``"numpy"``, or ``"c"``) records which execution
+        backend served a fresh dpconv-tier optimization — the native
+        rungs count as ``kernel_native_numpy``/``kernel_native_c`` so a
+        fleet dashboard can tell accelerated hosts from pure-python
+        ones; ``"python"`` adds nothing (it is the implied default
+        everywhere else).
         """
         with self._lock:
             self._totals["requests"] += 1
@@ -218,6 +229,12 @@ class ServiceMetrics:
             elif kernel == "dpconv":
                 self._totals["kernel_dpconv"] += 1
                 slot["kernel_dpconv"] += 1
+            if backend == "numpy":
+                self._totals["kernel_native_numpy"] += 1
+                slot["kernel_native_numpy"] += 1
+            elif backend == "c":
+                self._totals["kernel_native_c"] += 1
+                slot["kernel_native_c"] += 1
             if error:
                 self._totals["errors"] += 1
                 slot["errors"] += 1
@@ -252,6 +269,8 @@ class ServiceMetrics:
                         "kernel_fast": slot["kernel_fast"],
                         "kernel_reference": slot["kernel_reference"],
                         "kernel_dpconv": slot["kernel_dpconv"],
+                        "kernel_native_numpy": slot["kernel_native_numpy"],
+                        "kernel_native_c": slot["kernel_native_c"],
                         "latency": slot["histogram"].snapshot(),
                     }
                     for name, slot in sorted(self._algorithms.items())
@@ -336,6 +355,8 @@ def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
         "kernel_fast": "Fresh optimizations run on the fast enumeration kernel.",
         "kernel_reference": "Fresh optimizations run on the reference driver.",
         "kernel_dpconv": "Fresh optimizations run on the dpconv convolution engine.",
+        "kernel_native_numpy": "Fresh optimizations served by the numpy batch-DP backend.",
+        "kernel_native_c": "Fresh optimizations served by the compiled C backend.",
     }
     for key, value in totals.items():
         name = f"{prefix}_{key}_total"
@@ -412,6 +433,16 @@ def render_prometheus(snapshot: Dict, prefix: str = "repro") -> str:
                 "kernel_dpconv",
                 "kernel_dpconv",
                 "Dpconv-engine optimizations per algorithm.",
+            ),
+            (
+                "kernel_native_numpy",
+                "kernel_native_numpy",
+                "Numpy-backend optimizations per algorithm.",
+            ),
+            (
+                "kernel_native_c",
+                "kernel_native_c",
+                "Compiled-C-backend optimizations per algorithm.",
             ),
         )
         for key, metric, help_text in algo_counters:

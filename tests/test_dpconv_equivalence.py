@@ -47,6 +47,27 @@ SHAPES = [
 ]
 
 
+def _available_backends():
+    """Backends this host can run: pure python always, native rungs when
+    their substrate imports/compiles.  The same corpus gates every rung
+    so a host with numpy or a C toolchain proves the whole ladder."""
+    backends = ["off"]
+    from repro.optimizer import native
+    from repro.optimizer._native_build import load_c_kernel
+
+    if native._numpy() is not None:
+        backends.append("numpy")
+    if load_c_kernel(build=True) is not None:
+        backends.append("c")
+    return backends
+
+
+BACKENDS = _available_backends()
+
+#: The backend label each request is expected to report back.
+EXPECTED_LABEL = {"off": "python", "numpy": "numpy", "c": "c"}
+
+
 class SymmetricModel(CoutCostModel):
     """C_out priced through the generic symmetric code path.
 
@@ -65,12 +86,14 @@ def exact_catalog(graph):
     return uniform_statistics(graph, cardinality=4.0, selectivity=0.25)
 
 
-def run_pair(catalog, cost_model_cls=CoutCostModel):
+def run_pair(catalog, cost_model_cls=CoutCostModel, backend="off"):
     """Optimize with the top-down kernel and with dpconv; return both."""
     reference = TopDownPlanGenerator(
         catalog, MinCutBranch, cost_model_cls(), use_kernel=True
     )
-    conv = DPconvPlanGenerator(catalog, cost_model=cost_model_cls())
+    conv = DPconvPlanGenerator(
+        catalog, cost_model=cost_model_cls(), native_backend=backend
+    )
     return reference, reference.optimize(), conv, conv.optimize()
 
 
@@ -99,20 +122,28 @@ def assert_cost_identical(reference, ref_plan, conv, conv_plan):
 
 
 class TestShapeEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("shape", [name for name, _ in SHAPES])
-    def test_bit_identical_cost_on_exact_statistics(self, shape):
+    def test_bit_identical_cost_on_exact_statistics(self, shape, backend):
         graph = dict(SHAPES)[shape]
-        assert_cost_identical(*run_pair(exact_catalog(graph)))
+        pair = run_pair(exact_catalog(graph), backend=backend)
+        assert pair[2].last_backend == EXPECTED_LABEL[backend]
+        assert_cost_identical(*pair)
 
     @pytest.mark.parametrize("shape", [name for name, _ in SHAPES])
     def test_generic_symmetric_path_matches_too(self, shape):
         graph = dict(SHAPES)[shape]
-        assert_cost_identical(
-            *run_pair(exact_catalog(graph), SymmetricModel)
-        )
+        pair = run_pair(exact_catalog(graph), SymmetricModel)
+        # Generic symmetric subclasses must stay on the pure engine:
+        # the native rungs hard-code the C_out pricing.
+        assert pair[2].last_backend == "python"
+        assert_cost_identical(*pair)
 
-    def test_two_relation_join(self):
-        assert_cost_identical(*run_pair(exact_catalog(chain_graph(2))))
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_two_relation_join(self, backend):
+        assert_cost_identical(
+            *run_pair(exact_catalog(chain_graph(2)), backend=backend)
+        )
 
     def test_single_relation_is_a_leaf(self):
         catalog = exact_catalog(chain_graph(1))
@@ -121,7 +152,8 @@ class TestShapeEquivalence:
         assert plan.n_joins() == 0
         assert conv.last_kernel == "dpconv"
 
-    def test_seeded_random_graphs_exact_statistics(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_seeded_random_graphs_exact_statistics(self, backend):
         rng = random.Random(0xD9C0)
         for _ in range(12):
             n = rng.randint(2, 9)
@@ -130,11 +162,17 @@ class TestShapeEquivalence:
             else:
                 m = rng.randint(n, n * (n - 1) // 2)
                 graph = random_cyclic_graph(n, m, rng=rng)
-            assert_cost_identical(*run_pair(exact_catalog(graph)))
+            assert_cost_identical(
+                *run_pair(exact_catalog(graph), backend=backend)
+            )
 
-    def test_arbitrary_statistics_agree_to_1e9(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_arbitrary_statistics_agree_to_1e9(self, backend):
         # Arbitrary floats lose association invariance, so the engines
         # may differ in the last ulps; optimality itself is unaffected.
+        # (The C rung mirrors the pure loop's operation order exactly
+        # and stays bit-identical even here; numpy's vectorized
+        # cardinality sweep may associate products differently.)
         rng = random.Random(0xA11)
         for _ in range(10):
             n = rng.randint(3, 9)
@@ -144,7 +182,9 @@ class TestShapeEquivalence:
                 cardinality=rng.uniform(10.0, 5000.0),
                 selectivity=rng.uniform(0.001, 0.9),
             )
-            reference, ref_plan, conv, conv_plan = run_pair(catalog)
+            reference, ref_plan, conv, conv_plan = run_pair(
+                catalog, backend=backend
+            )
             assert math.isclose(
                 conv_plan.cost, ref_plan.cost, rel_tol=1e-9
             )

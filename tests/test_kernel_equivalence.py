@@ -8,8 +8,13 @@ canonical shape, seeded random graphs, both cost-model families, and all
 three partitioning strategies; plus the driver-level behaviors that only
 the kernel provides (no RecursionError on deep chains) and the selection
 plumbing (``use_kernel``, ``last_kernel``, the env-var opt-out).
+
+The same shape corpus also anchors the native dpconv rungs (numpy / C)
+to the reference driver whenever this host can run them — see
+:class:`TestNativeRungEquivalence`.
 """
 
+import math
 import os
 import random
 import sys
@@ -31,6 +36,7 @@ from repro.graph.shapes import (
     grid_graph,
     star_graph,
 )
+from repro.optimizer.dpconv import DPconvPlanGenerator
 from repro.optimizer.topdown import REFERENCE_KERNEL_ENV, TopDownPlanGenerator
 
 SHAPES = [
@@ -42,6 +48,22 @@ SHAPES = [
     ("random-acyclic-10", random_acyclic_graph(10, seed=7)),
     ("random-cyclic-10", random_cyclic_graph(10, 14, seed=9)),
 ]
+
+
+def _native_backends():
+    """Native dpconv rungs this host can run (possibly empty)."""
+    from repro.optimizer import native
+    from repro.optimizer._native_build import load_c_kernel
+
+    backends = []
+    if native._numpy() is not None:
+        backends.append("numpy")
+    if load_c_kernel(build=True) is not None:
+        backends.append("c")
+    return backends
+
+
+NATIVE_BACKENDS = _native_backends()
 
 COST_MODELS = [CoutCostModel, PhysicalCostModel]
 PARTITIONERS = [MinCutBranch, MinCutLazy, NaivePartitioning]
@@ -129,6 +151,67 @@ class TestShapeEquivalence:
             catalog = uniform_statistics(graph)
             cost_model = rng.choice(COST_MODELS)
             assert_identical(*run_pair(catalog, MinCutBranch, cost_model))
+
+
+class TestNativeRungEquivalence:
+    """Anchor the native dpconv rungs to the reference enumerator.
+
+    Skipped wholesale on hosts without numpy or a C toolchain — silent
+    degradation to pure python is a supported configuration with its
+    own CI leg.
+    """
+
+    @pytest.mark.parametrize("backend", NATIVE_BACKENDS)
+    @pytest.mark.parametrize("shape", [name for name, _ in SHAPES])
+    def test_bit_identity_on_exact_statistics(self, shape, backend):
+        # Power-of-two statistics keep cardinality arithmetic exact and
+        # association-invariant: bit-identical cost is required.
+        graph = dict(SHAPES)[shape]
+        catalog = uniform_statistics(
+            graph, cardinality=4.0, selectivity=0.25
+        )
+        reference = TopDownPlanGenerator(
+            catalog, MinCutBranch, CoutCostModel(), use_kernel=True
+        )
+        ref_plan = reference.optimize()
+        conv = DPconvPlanGenerator(
+            catalog, cost_model=CoutCostModel(), native_backend=backend
+        )
+        plan = conv.optimize()
+        assert conv.last_backend == backend
+        assert plan.cost == ref_plan.cost
+        assert (
+            conv.builder.cost_evaluations
+            == reference.builder.cost_evaluations
+        )
+        assert len(conv.builder.memo) == len(reference.builder.memo)
+        plan.validate()
+
+    @pytest.mark.parametrize("backend", NATIVE_BACKENDS)
+    @pytest.mark.parametrize("shape", [name for name, _ in SHAPES])
+    def test_arbitrary_statistics(self, shape, backend):
+        # Non-pow-2 statistics lose association invariance between
+        # *engines*; the native rung is still compared bit-for-bit
+        # against the pure dpconv loop when it replicates its operation
+        # order (the C rung), and to 1e-9 when it vectorizes the
+        # cardinality sweep in a different order (numpy).
+        graph = dict(SHAPES)[shape]
+        catalog = uniform_statistics(graph)  # 1000.0 / 0.01
+        pure = DPconvPlanGenerator(
+            catalog, cost_model=CoutCostModel(), native_backend="off"
+        )
+        pure_plan = pure.optimize()
+        conv = DPconvPlanGenerator(
+            catalog, cost_model=CoutCostModel(), native_backend=backend
+        )
+        plan = conv.optimize()
+        if backend == "c":
+            assert plan.cost == pure_plan.cost
+        else:
+            assert math.isclose(plan.cost, pure_plan.cost, rel_tol=1e-9)
+        assert (
+            conv.builder.cost_evaluations == pure.builder.cost_evaluations
+        )
 
 
 class TestPruningInteraction:
